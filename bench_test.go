@@ -1,0 +1,159 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section. Each iteration regenerates the corresponding
+// artifact at CI scale (single run, small pools); `cmd/faction-bench -scale
+// paper` runs the same code at the paper's protocol constants. Custom
+// benchmark metrics attach the headline numbers (e.g. FACTION's mean DDP) to
+// the benchmark output so shapes can be read straight from `go test -bench`.
+package faction_test
+
+import (
+	"testing"
+
+	"faction/internal/experiments"
+)
+
+func benchOpts(datasets []string, methods []string) experiments.Options {
+	return experiments.Options{
+		Seed:     42,
+		Runs:     1,
+		Scale:    experiments.ScaleCI,
+		Datasets: datasets,
+		Methods:  methods,
+	}
+}
+
+// benchmarkFig2 runs the full 8-method comparison on one dataset (one row of
+// Fig. 2) per iteration.
+func benchmarkFig2(b *testing.B, dataset string) {
+	b.ReportAllocs()
+	var res *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig2(benchOpts([]string{dataset}, nil))
+	}
+	reportHeadline(b, res, dataset)
+}
+
+func reportHeadline(b *testing.B, res *experiments.Fig2Result, dataset string) {
+	b.Helper()
+	for _, row := range res.Rows {
+		if row.Dataset != dataset {
+			continue
+		}
+		for i, m := range res.Methods {
+			if m != "FACTION" {
+				continue
+			}
+			acc := res.Rows[0].Panels[experiments.MetricAccuracy][i]
+			ddp := res.Rows[0].Panels[experiments.MetricDDP][i]
+			b.ReportMetric(mean(acc.Mean), "faction-acc")
+			b.ReportMetric(mean(ddp.Mean), "faction-ddp")
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func BenchmarkFig2_RCMNIST(b *testing.B)  { benchmarkFig2(b, "rcmnist") }
+func BenchmarkFig2_CelebA(b *testing.B)   { benchmarkFig2(b, "celeba") }
+func BenchmarkFig2_FFHQ(b *testing.B)     { benchmarkFig2(b, "ffhq") }
+func BenchmarkFig2_FairFace(b *testing.B) { benchmarkFig2(b, "fairface") }
+func BenchmarkFig2_NYSF(b *testing.B)     { benchmarkFig2(b, "nysf") }
+
+// BenchmarkFig3_TradeoffSweep regenerates the fairness–accuracy trade-off
+// sweep (all four fairness-aware methods × 5 parameter values) on NYSF.
+func BenchmarkFig3_TradeoffSweep(b *testing.B) {
+	b.ReportAllocs()
+	var res *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig3(benchOpts([]string{"nysf"}, nil))
+	}
+	if pts := res.Points["nysf"]; len(pts) > 0 {
+		b.ReportMetric(float64(len(pts)), "sweep-points")
+	}
+}
+
+// BenchmarkFig4_Ablation regenerates the FACTION ablation ladder on NYSF.
+func BenchmarkFig4_Ablation(b *testing.B) {
+	b.ReportAllocs()
+	var res *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig4(benchOpts([]string{"nysf"}, nil))
+	}
+	mf := res.MeanFairness(experiments.MetricDDP)
+	b.ReportMetric(mf["nysf"]["FACTION"], "full-ddp")
+	b.ReportMetric(mf["nysf"]["FACTION w/o fair select & fair reg"], "bare-ddp")
+}
+
+// BenchmarkFig5_Runtimes regenerates both runtime comparisons (5a and 5b) on
+// RCMNIST.
+func BenchmarkFig5_Runtimes(b *testing.B) {
+	b.ReportAllocs()
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig5(benchOpts([]string{"rcmnist"}, nil))
+	}
+	b.ReportMetric(res.FairAware["rcmnist"]["FAL"][0], "fal-sec")
+	b.ReportMetric(res.Variants["rcmnist"]["FACTION"][0], "faction-sec")
+	b.ReportMetric(res.Variants["rcmnist"]["Random"][0], "random-sec")
+}
+
+// BenchmarkTable1_NYSF regenerates Table I.
+func BenchmarkTable1_NYSF(b *testing.B) {
+	b.ReportAllocs()
+	var res *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunTable1(benchOpts(nil, nil))
+	}
+	for _, row := range res.Rows {
+		if row.Model == "FACTION" {
+			b.ReportMetric(row.Acc, "acc")
+			b.ReportMetric(row.DDP, "ddp")
+		}
+	}
+}
+
+// BenchmarkFig6_WideBackbone regenerates the wide-backbone CelebA comparison.
+func BenchmarkFig6_WideBackbone(b *testing.B) {
+	b.ReportAllocs()
+	var res *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig6(benchOpts(nil, []string{"FACTION", "QuFUR", "Random"}))
+	}
+	b.ReportMetric(res.MeanOverTasks(experiments.MetricDDP)["FACTION"], "faction-ddp")
+}
+
+// BenchmarkTheory_Bounds regenerates the Theorem 1 empirical validation.
+func BenchmarkTheory_Bounds(b *testing.B) {
+	b.ReportAllocs()
+	var res *experiments.TheoryResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunTheory(benchOpts(nil, nil))
+	}
+	b.ReportMetric(res.RegretExponent, "regret-exp")
+	b.ReportMetric(res.ViolationExponent, "violation-exp")
+}
+
+// BenchmarkDesign_Ablation regenerates the design-choice ablation
+// (DESIGN.md §5): hinge form, fairness notion, spectral norm, GDA shrinkage
+// and the individual-fairness penalty.
+func BenchmarkDesign_Ablation(b *testing.B) {
+	b.ReportAllocs()
+	var res *experiments.DesignResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunDesign(benchOpts([]string{"nysf"}, nil))
+	}
+	for _, row := range res.Rows {
+		if row.Name == "one-sided hinge [v]+ (paper literal)" {
+			b.ReportMetric(row.DDP, "onesided-ddp")
+		}
+	}
+}

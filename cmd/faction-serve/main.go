@@ -1,0 +1,169 @@
+// Command faction-serve deploys a trained FACTION model as an HTTP service:
+// fairness-regularized predictions, epistemic-uncertainty query scoring
+// (Eq. 6 as a service for external annotation pipelines), OOD flags and
+// drift monitoring.
+//
+// Two modes:
+//
+//	# train on a benchmark stream, save the artifacts, and serve
+//	faction-serve -train nysf -model model.gob -density density.gob -addr :8080
+//
+//	# serve previously saved artifacts
+//	faction-serve -model model.gob -density density.gob -addr :8080
+//
+// Endpoints: GET /healthz, GET /info, POST /predict, POST /score, GET /drift,
+// and with -online also POST /feedback and POST /refit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"faction/internal/data"
+	"faction/internal/drift"
+	"faction/internal/gda"
+	"faction/internal/nn"
+	"faction/internal/rngutil"
+	"faction/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelPath = flag.String("model", "model.gob", "classifier snapshot path")
+		densPath  = flag.String("density", "", "density-estimator snapshot path (optional)")
+		train     = flag.String("train", "", "train on this benchmark stream first and save the artifacts")
+		seed      = flag.Int64("seed", 1, "training seed")
+		samples   = flag.Int("samples", 800, "training samples when -train is set")
+		lambda    = flag.Float64("lambda", 1, "fairness trade-off λ for /score")
+		mu        = flag.Float64("mu", 0.7, "fairness regularization μ when training")
+		online    = flag.Bool("online", false, "enable POST /feedback and POST /refit (serving-time adaptation)")
+	)
+	flag.Parse()
+
+	if *train != "" {
+		if err := trainAndSave(*train, *modelPath, *densPath, *seed, *samples, *mu); err != nil {
+			fatal(err)
+		}
+	}
+
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := server.Config{
+		Model:  model,
+		Lambda: *lambda,
+		Drift:  drift.New(drift.Config{}),
+		Online: server.OnlineConfig{
+			Enabled: *online,
+			Fair:    nn.FairConfig{Mu: *mu, Eps: 0.01},
+			Seed:    *seed,
+		},
+	}
+	if *densPath != "" {
+		est, lds, err := loadDensity(*densPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Density = est
+		cfg.TrainLogDensities = lds
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("faction-serve listening on %s (model %s, density %q)", *addr, *modelPath, *densPath)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// trainAndSave fits a fairness-regularized model + density estimator on the
+// named benchmark stream's first tasks and writes the snapshots.
+func trainAndSave(streamName, modelPath, densPath string, seed int64, samples int, mu float64) error {
+	stream, err := data.ByName(streamName, data.StreamConfig{Seed: seed, SamplesPerTask: samples})
+	if err != nil {
+		return err
+	}
+	pool := data.NewDataset("train", stream.Dim, stream.Classes)
+	for _, task := range stream.Tasks[:minInt(3, len(stream.Tasks))] {
+		pool.Samples = append(pool.Samples, task.Pool.Samples...)
+	}
+	model := nn.NewClassifier(nn.Config{
+		InputDim: stream.Dim, NumClasses: stream.Classes, Hidden: []int{64},
+		SpectralNorm: true, SpectralCoeff: 3, Seed: seed,
+	})
+	rng := rngutil.New(seed)
+	stats := model.Train(pool.Matrix(), pool.Labels(), pool.Sensitive(), nn.NewAdam(0.01),
+		nn.TrainOpts{Epochs: 20, BatchSize: 32, Fair: nn.FairConfig{Mu: mu, Eps: 0.01}}, rng)
+	log.Printf("trained on %d samples from %s: accuracy %.3f, loss %.3f",
+		pool.Len(), streamName, stats.Accuracy, stats.Loss)
+
+	if err := saveTo(modelPath, model.Save); err != nil {
+		return fmt.Errorf("saving model: %w", err)
+	}
+	if densPath != "" {
+		feats := model.Features(pool.Matrix())
+		est, err := gda.Fit(feats, pool.Labels(), pool.Sensitive(), stream.Classes, []int{-1, 1}, gda.Config{})
+		if err != nil {
+			return fmt.Errorf("fitting density: %w", err)
+		}
+		if err := saveTo(densPath, est.Save); err != nil {
+			return fmt.Errorf("saving density: %w", err)
+		}
+	}
+	return nil
+}
+
+func saveTo(path string, save func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadModel(path string) (*nn.Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return nn.LoadClassifier(f)
+}
+
+// loadDensity loads the estimator; its snapshot carries the training-set
+// log-densities used to calibrate the OOD threshold.
+func loadDensity(path string) (*gda.Estimator, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	est, err := gda.Load(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return est, est.TrainLogDensities, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faction-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command faction runs one method over one benchmark stream under the Fair
+// Active Online Learning protocol and prints the per-task metrics — the
+// smallest way to watch FACTION (or any baseline) work.
+//
+// Usage:
+//
+//	faction -dataset nysf -method FACTION -scale ci -seed 1
+//	faction -dataset rcmnist -method Random -tasks 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"faction/internal/data"
+	"faction/internal/experiments"
+	"faction/internal/online"
+	"faction/internal/report"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "rcmnist", "benchmark stream: "+strings.Join(data.StreamNames(), ", "))
+		method  = flag.String("method", "FACTION", "method: "+strings.Join(online.MethodNames(), ", ")+" or a FACTION ablation name")
+		scale   = flag.String("scale", "ci", "protocol scale: ci, small or paper")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		tasks   = flag.Int("tasks", 0, "limit the number of tasks (0 = all)")
+		budget  = flag.Int("budget", 0, "override the per-task label budget B")
+		regret  = flag.Bool("regret", false, "track per-task regret against a supervised oracle")
+		trace   = flag.String("trace", "", "write one JSON line per task to this file")
+	)
+	flag.Parse()
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	stream, err := data.ByName(*dataset, sc.StreamConfig(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	if *tasks > 0 && *tasks < len(stream.Tasks) {
+		stream.Tasks = stream.Tasks[:*tasks]
+	}
+	spec, err := online.MethodByName(*method, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sc.RunConfig(*seed)
+	if *budget > 0 {
+		cfg.Budget = *budget
+	}
+	cfg.TrackRegret = *regret
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.Trace = f
+	}
+
+	fmt.Printf("%s on %s (%d tasks, budget %d, acquisition %d, warm start %d)\n\n",
+		spec.Name, stream.Name, stream.NumTasks(), cfg.Budget, cfg.AcqSize, cfg.WarmStart)
+	res := online.Run(stream, spec, cfg)
+
+	t := report.Table{
+		Columns: []string{"task", "env", "name", "Acc(↑)", "DDP(↓)", "EOD(↓)", "MI(↓)", "queries", "time"},
+	}
+	if *regret {
+		t.Columns = append(t.Columns, "regret")
+	}
+	for _, rec := range res.Records {
+		row := []string{
+			fmt.Sprint(rec.TaskID), fmt.Sprint(rec.Env), rec.Name,
+			report.F(rec.Report.Accuracy, 3), report.F(rec.Report.DDP, 3),
+			report.F(rec.Report.EOD, 3), report.F(rec.Report.MI, 3),
+			fmt.Sprint(rec.Queries), fmt.Sprintf("%.2fs", rec.Elapsed.Seconds()),
+		}
+		if *regret {
+			row = append(row, report.F(rec.Regret, 3))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(os.Stdout)
+
+	mean := res.MeanReport()
+	fmt.Printf("\nmean across tasks: Acc %.3f  DDP %.3f  EOD %.3f  MI %.4f\n",
+		mean.Accuracy, mean.DDP, mean.EOD, mean.MI)
+	fmt.Printf("total queries %d, wall clock %.1fs\n", res.TotalQueries, res.Elapsed.Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faction:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Driftdetect demonstrates the epistemic-uncertainty half of FACTION in
+// isolation: the (class × sensitive) Gaussian density estimator of Section
+// IV-B as an out-of-distribution detector for environment shifts. A
+// classifier is trained on the first environment of the Stop-and-Frisk
+// analog (one borough, one quarter); the mean feature-space log-density of
+// each subsequent task then drops sharply at every borough boundary and
+// drifts gradually across quarters — exactly the signal FACTION uses to
+// spend its label budget where the world has changed.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"faction"
+)
+
+func main() {
+	stream, err := faction.NewStream("nysf", faction.StreamConfig{Seed: 5, SamplesPerTask: 400})
+	if err != nil {
+		panic(err)
+	}
+
+	// Train a spectral-normalized classifier on the first task only.
+	first := stream.Tasks[0].Pool
+	model := faction.NewClassifier(faction.ClassifierConfig{
+		InputDim:      stream.Dim,
+		NumClasses:    stream.Classes,
+		Hidden:        []int{64},
+		SpectralNorm:  true,
+		SpectralCoeff: 3,
+		Seed:          5,
+	})
+	rng := faction.NewRand(5)
+	trainX := first.Matrix()
+	model.Train(trainX, first.Labels(), nil, faction.NewAdam(0.01),
+		faction.TrainOpts{Epochs: 20, BatchSize: 32}, rng)
+
+	// Fit the density estimator on the training features.
+	est, err := faction.FitDensity(model.Features(trainX), first.Labels(), first.Sensitive(),
+		stream.Classes, []int{-1, 1}, faction.DensityConfig{})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("mean feature-space log-density per task (density fitted on task 0 only):")
+	fmt.Println("a drop marks distribution shift — high epistemic uncertainty / OOD")
+	fmt.Println()
+	base := meanLogDensity(est, model, first)
+	prevArea := areaOf(stream.Tasks[0].Name)
+	for _, task := range stream.Tasks {
+		ld := meanLogDensity(est, model, task.Pool)
+		bar := strings.Repeat("#", barLen(ld, base))
+		marker := ""
+		if a := areaOf(task.Name); a != prevArea {
+			marker = "  <- new borough"
+			prevArea = a
+		}
+		fmt.Printf("task %2d (%-12s) mean logg %9.2f %s%s\n", task.ID, task.Name, ld, bar, marker)
+	}
+	fmt.Println()
+	fmt.Println("quarters within the training borough stay close to the fitted density;")
+	fmt.Println("each borough change pushes the representation far out of distribution.")
+}
+
+func areaOf(taskName string) string {
+	if i := strings.IndexByte(taskName, '-'); i > 0 {
+		return taskName[:i]
+	}
+	return taskName
+}
+
+func meanLogDensity(est *faction.DensityEstimator, model *faction.Classifier, d *faction.Dataset) float64 {
+	feats := model.Features(d.Matrix())
+	total := 0.0
+	for i := 0; i < feats.Rows; i++ {
+		total += est.LogDensity(feats.Row(i))
+	}
+	return total / float64(feats.Rows)
+}
+
+// barLen maps a log-density to a bar relative to the in-distribution level.
+func barLen(ld, base float64) int {
+	n := int(40 + (ld-base)/8)
+	if n < 1 {
+		n = 1
+	}
+	if n > 50 {
+		n = 50
+	}
+	return n
+}

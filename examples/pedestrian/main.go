@@ -1,0 +1,118 @@
+// Pedestrian models the paper's motivating scenario (Section I): a pedestrian
+// detection system fed by live cameras whose population mix shifts with the
+// time of day — mornings near a school skew young, evenings skew adult — and
+// whose historical labels are biased by age group. The example builds that
+// stream with the public API's dataset types (no internal generator), then
+// compares FACTION against plain uncertainty sampling on accuracy and
+// demographic parity across the shift.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"faction"
+)
+
+// scene is one camera context: the hour-of-day environment with its own
+// feature distribution, age mix and label bias.
+type scene struct {
+	name      string
+	offset    float64 // covariate shift of this hour's footage
+	youngRate float64 // P(s=+1): proportion of young pedestrians
+	bias      float64 // P("crossing" label forced to align with age group)
+}
+
+// makeStream builds a sequential stream: three tasks per scene, scenes in
+// chronological order.
+func makeStream(seed int64, perTask int) *faction.Stream {
+	scenes := []scene{
+		{"school-morning", 0.0, 0.75, 0.55},
+		{"midday", 1.2, 0.45, 0.40},
+		{"office-evening", 2.4, 0.25, 0.45},
+		{"night", 3.6, 0.35, 0.35},
+	}
+	const dim = 12
+	rng := rand.New(rand.NewSource(seed))
+	dir := make([]float64, dim)
+	for i := range dir {
+		dir[i] = rng.NormFloat64() * 0.4
+	}
+	stream := &faction.Stream{Name: "pedestrian", Dim: dim, Classes: 2}
+	id := 0
+	for env, sc := range scenes {
+		for t := 0; t < 3; t++ {
+			pool := &faction.Dataset{Name: sc.name, Dim: dim, Classes: 2}
+			for i := 0; i < perTask; i++ {
+				y := 0 // y=1: pedestrian about to cross
+				if rng.Float64() < 0.5 {
+					y = 1
+				}
+				s := -1 // sensitive attribute: young (+1) vs adult (−1)
+				if rng.Float64() < sc.bias {
+					s = 2*y - 1
+				} else if rng.Float64() < sc.youngRate {
+					s = 1
+				}
+				x := make([]float64, dim)
+				for d := range x {
+					class := -0.8
+					if y == 1 {
+						class = 0.8
+					}
+					x[d] = class*dirSign(d) + float64(s)*dir[d] + sc.offset*envShape(d) + rng.NormFloat64()*0.7
+				}
+				pool.Append(faction.Sample{X: x, Y: y, S: s, Env: env})
+			}
+			stream.Tasks = append(stream.Tasks, faction.Task{ID: id, Env: env, Name: fmt.Sprintf("%s#%d", sc.name, t), Pool: pool})
+			id++
+		}
+	}
+	return stream
+}
+
+func dirSign(d int) float64 {
+	if d%2 == 0 {
+		return 1
+	}
+	return -0.5
+}
+
+func envShape(d int) float64 {
+	if d%3 == 0 {
+		return 1
+	}
+	return 0.2
+}
+
+func main() {
+	stream := makeStream(11, 260)
+	cfg := faction.DefaultRunConfig(11)
+	cfg.Budget = 60
+	cfg.AcqSize = 30
+	cfg.WarmStart = 60
+	cfg.Epochs = 8
+
+	factionSpec := faction.FactionMethod(faction.DefaultOptions())
+	entropySpec, err := faction.MethodByName("Entropy-AL", 11)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("pedestrian stream: %d tasks across %d hour-of-day environments\n\n", stream.NumTasks(), 4)
+	fRes := faction.Run(stream, factionSpec, cfg)
+	eRes := faction.Run(stream, entropySpec, cfg)
+
+	fmt.Println("task  scene               FACTION acc/DDP    Entropy-AL acc/DDP")
+	for i := range fRes.Records {
+		fr, er := fRes.Records[i], eRes.Records[i]
+		fmt.Printf("%4d  %-18s  %.3f / %.3f      %.3f / %.3f\n",
+			fr.TaskID, fr.Name, fr.Report.Accuracy, fr.Report.DDP,
+			er.Report.Accuracy, er.Report.DDP)
+	}
+	fm, em := fRes.MeanReport(), eRes.MeanReport()
+	fmt.Printf("\nmean        FACTION: acc %.3f DDP %.3f EOD %.3f\n", fm.Accuracy, fm.DDP, fm.EOD)
+	fmt.Printf("mean     Entropy-AL: acc %.3f DDP %.3f EOD %.3f\n", em.Accuracy, em.DDP, em.EOD)
+	fmt.Println("\nFACTION should track accuracy across the hour-of-day shifts while keeping")
+	fmt.Println("the young/adult demographic-parity gap visibly smaller.")
+}

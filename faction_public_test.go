@@ -1,0 +1,179 @@
+package faction_test
+
+import (
+	"bytes"
+	"testing"
+
+	"faction"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end, mirroring the
+// package documentation example.
+func TestPublicAPIQuickstart(t *testing.T) {
+	stream, err := faction.NewStream("rcmnist", faction.StreamConfig{Seed: 1, SamplesPerTask: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faction.DefaultRunConfig(1)
+	cfg.Budget = 20
+	cfg.AcqSize = 10
+	cfg.WarmStart = 20
+	cfg.Epochs = 3
+	cfg.Hidden = []int{16}
+	spec := faction.FactionMethod(faction.DefaultOptions())
+	res := faction.Run(stream, spec, cfg)
+	if len(res.Records) != stream.NumTasks() {
+		t.Fatalf("records = %d, want %d", len(res.Records), stream.NumTasks())
+	}
+	if res.TotalQueries == 0 {
+		t.Fatal("no labels were bought")
+	}
+}
+
+func TestPublicAPIMethods(t *testing.T) {
+	if len(faction.Methods(1)) != 8 {
+		t.Fatal("expected 8 methods")
+	}
+	if len(faction.MethodNames()) != 8 {
+		t.Fatal("expected 8 names")
+	}
+	if _, err := faction.MethodByName("FACTION", 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(faction.StreamNames()) != 5 {
+		t.Fatal("expected 5 streams")
+	}
+}
+
+func TestPublicAPIFairnessMetrics(t *testing.T) {
+	pred := []int{1, 1, 0, 0}
+	y := []int{1, 0, 1, 0}
+	s := []int{1, 1, -1, -1}
+	r := faction.Evaluate(pred, y, s)
+	if r.DDP != faction.DDP(pred, s) || r.EOD != faction.EOD(pred, y, s) || r.MI != faction.MI(pred, s) {
+		t.Fatal("Evaluate disagrees with individual metrics")
+	}
+}
+
+func TestPublicAPIDensity(t *testing.T) {
+	x := faction.NewMatrix(8, 2)
+	rng := faction.NewRand(2)
+	y := make([]int, 8)
+	s := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		y[i] = i % 2
+		s[i] = 2*(i/4%2) - 1
+		x.Set(i, 0, rng.NormFloat64()+float64(y[i])*4)
+		x.Set(i, 1, rng.NormFloat64()+float64(s[i]))
+	}
+	est, err := faction.FitDensity(x, y, s, 2, []int{-1, 1}, faction.DensityConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.NumComponents() == 0 {
+		t.Fatal("no components fitted")
+	}
+}
+
+func TestPublicAPIClassifier(t *testing.T) {
+	c := faction.NewClassifier(faction.ClassifierConfig{InputDim: 3, NumClasses: 2, Hidden: []int{8}, Seed: 1})
+	if c.FeatureDim() != 8 {
+		t.Fatal("feature dim")
+	}
+	st := faction.StationaryStream(faction.StreamConfig{Seed: 3, SamplesPerTask: 30}, 2)
+	if st.NumTasks() != 2 {
+		t.Fatal("stationary stream")
+	}
+}
+
+func TestPublicAPIExtensions(t *testing.T) {
+	// Multi-group metrics.
+	pred := []int{1, 0, 1}
+	s3 := []int{0, 1, 2}
+	if faction.DDPMulti(pred, s3) < 0 || faction.MIMulti(pred, s3) < 0 {
+		t.Fatal("multi-group metrics")
+	}
+	if faction.FlipRate([]int{1, 0}, []int{1, 1}) != 0.5 {
+		t.Fatal("flip rate")
+	}
+	// Multi-group stream + counterfactuals on a benchmark stream.
+	mg := faction.MultiGroupStream(faction.StreamConfig{Seed: 1, SamplesPerTask: 30}, 3, 2, 0.2)
+	if mg.NumTasks() != 2 {
+		t.Fatal("multi-group stream")
+	}
+	st, err := faction.NewStream("rcmnist", faction.StreamConfig{Seed: 1, SamplesPerTask: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Counterfactual == nil {
+		t.Fatal("counterfactual missing")
+	}
+	// Streaming selector + drift detector.
+	sel := faction.NewStreamSelector(1, 3, 0)
+	rng := faction.NewRand(2)
+	taken := 0
+	for i := 0; i < 100; i++ {
+		if sel.Offer(rng, rng.Float64()) {
+			taken++
+		}
+	}
+	if taken != 3 {
+		t.Fatalf("selector bought %d, want 3", taken)
+	}
+	det := faction.NewDriftDetector(faction.DriftConfig{})
+	for i := 0; i < 6; i++ {
+		det.Observe(100)
+	}
+	if !det.Observe(0).Shift {
+		t.Fatal("drift detector missed an obvious shift")
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	c := faction.NewClassifier(faction.ClassifierConfig{InputDim: 2, NumClasses: 2, Hidden: []int{4}, Seed: 3})
+	var buf bytes.Buffer
+	if err := faction.SaveClassifier(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := faction.LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := faction.NewMatrix(1, 2)
+	x.Set(0, 0, 1)
+	if loaded.Logits(x).At(0, 0) != c.Logits(x).At(0, 0) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestPublicAPICSV(t *testing.T) {
+	st, err := faction.NewStream("ffhq", faction.StreamConfig{Seed: 4, SamplesPerTask: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := faction.WriteStreamCSV(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	back, err := faction.ReadStreamCSV(&buf, "ffhq2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != st.NumTasks() {
+		t.Fatal("csv roundtrip")
+	}
+}
+
+func TestPublicAPIThresholds(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.8, 0.2}
+	y := []int{1, 0, 1, 0}
+	s := []int{1, 1, -1, -1}
+	g, rep := faction.FitThresholds(scores, y, s, 0.05)
+	if rep.Accuracy != 1 {
+		t.Fatalf("accuracy = %g", rep.Accuracy)
+	}
+	pred := g.Apply(scores, s)
+	if len(pred) != 4 {
+		t.Fatal("apply")
+	}
+}

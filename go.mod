@@ -1,0 +1,3 @@
+module faction
+
+go 1.22

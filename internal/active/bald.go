@@ -1,0 +1,38 @@
+package active
+
+// BALD is Bayesian Active Learning by Disagreement via Monte-Carlo dropout
+// (Gal, Islam & Ghahramani, ICML 2017 — the paper's reference [44] for
+// Bayesian epistemic-uncertainty heuristics): query the samples whose
+// stochastic forward passes disagree most, BALD(x) = H(E[p]) − E[H(p)].
+//
+// It requires the protocol model to be built with DropoutRate > 0; with a
+// deterministic model it falls back to entropy sampling (all passes agree,
+// BALD ≡ 0, and the fallback keeps the method usable in mixed configs). Not
+// part of the paper's comparison; included as an additional uncertainty
+// baseline for the extension experiments.
+type BALD struct {
+	// Samples is the number of MC-dropout passes (default 10).
+	Samples int
+}
+
+// Name implements Strategy.
+func (BALD) Name() string { return "BALD" }
+
+// SelectBatch implements Strategy.
+func (b BALD) SelectBatch(ctx *Context, a int) []int {
+	a = clampA(ctx, a)
+	if a <= 0 {
+		return nil
+	}
+	if ctx.Model.Config().DropoutRate <= 0 {
+		return EntropyAL{}.SelectBatch(ctx, a)
+	}
+	samples := b.Samples
+	if samples <= 0 {
+		samples = 10
+	}
+	_, bald := ctx.Model.ProbsMC(ctx.PoolMatrix(), samples)
+	return topK(bald, a)
+}
+
+var _ Strategy = BALD{}

@@ -1,0 +1,82 @@
+package active
+
+import (
+	"math"
+)
+
+// Coreset is the k-Center-Greedy core-set strategy (Sener & Savarese, ICLR
+// 2018): each pick is the pool sample farthest (in feature space) from every
+// already-covered point — labeled-set members and earlier picks alike. It is
+// a pure diversity baseline: no uncertainty, no fairness. Not part of the
+// paper's comparison; included as an additional reference point for the
+// extension experiments.
+type Coreset struct{}
+
+// Name implements Strategy.
+func (Coreset) Name() string { return "Coreset" }
+
+// SelectBatch implements Strategy.
+func (Coreset) SelectBatch(ctx *Context, a int) []int {
+	a = clampA(ctx, a)
+	if a <= 0 {
+		return nil
+	}
+	pool := ctx.PoolFeatures()
+	// minDist[i] = distance from pool sample i to its nearest covered point.
+	minDist := make([]float64, pool.Rows)
+	if ctx.Labeled.Len() == 0 {
+		for i := range minDist {
+			minDist[i] = math.Inf(1)
+		}
+	} else {
+		labeled := ctx.LabeledFeatures()
+		for i := 0; i < pool.Rows; i++ {
+			best := math.Inf(1)
+			row := pool.Row(i)
+			for j := 0; j < labeled.Rows; j++ {
+				if d := sqDistVec(row, labeled.Row(j)); d < best {
+					best = d
+				}
+			}
+			minDist[i] = best
+		}
+	}
+	picks := make([]int, 0, a)
+	taken := make([]bool, pool.Rows)
+	for len(picks) < a {
+		best, bestD := -1, math.Inf(-1)
+		for i, d := range minDist {
+			if taken[i] {
+				continue
+			}
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		picks = append(picks, best)
+		taken[best] = true
+		// The new pick covers its neighbourhood.
+		chosen := pool.Row(best)
+		for i := 0; i < pool.Rows; i++ {
+			if taken[i] {
+				continue
+			}
+			if d := sqDistVec(pool.Row(i), chosen); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return picks
+}
+
+func sqDistVec(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

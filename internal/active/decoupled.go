@@ -1,0 +1,108 @@
+package active
+
+import (
+	"math/rand"
+
+	"faction/internal/data"
+	"faction/internal/nn"
+)
+
+// Decoupled implements D-FA²L ("Fairness-Aware Active Learning for Decoupled
+// Model", Cao & Lan, IJCNN 2022): two lightweight group-specific models are
+// fitted on the labeled samples of each sensitive group, and pool samples on
+// which the decoupled models disagree most are the most promising queries —
+// disagreement signals group-dependent decision boundaries, i.e. potential
+// unfairness. Samples whose disagreement exceeds Threshold are preferred;
+// the batch is completed by descending disagreement.
+type Decoupled struct {
+	// Threshold is the disagreement cutoff α (swept over {0.1 … 0.8} in
+	// Fig. 3). Default 0.2.
+	Threshold float64
+	// Epochs trains the group models per selection round. Default 5.
+	Epochs int
+	// Hidden is the group models' hidden width. Default 16 (they are
+	// deliberately lighter than the main model — the paper notes Decoupled
+	// is the cheapest fairness-aware baseline, Fig. 5a).
+	Hidden int
+	// Seed derives group-model initializations.
+	Seed int64
+}
+
+// Name implements Strategy.
+func (Decoupled) Name() string { return "Decoupled" }
+
+// SelectBatch implements Strategy.
+func (d Decoupled) SelectBatch(ctx *Context, a int) []int {
+	a = clampA(ctx, a)
+	if a <= 0 {
+		return nil
+	}
+	epochs := d.Epochs
+	if epochs <= 0 {
+		epochs = 5
+	}
+	hidden := d.Hidden
+	if hidden <= 0 {
+		hidden = 16
+	}
+	thr := d.Threshold
+	if thr <= 0 {
+		thr = 0.2
+	}
+
+	var posIdx, negIdx []int
+	for i, smp := range ctx.Labeled.Samples {
+		if smp.S == 1 {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	// Not enough per-group data to decouple: fall back to margin sampling.
+	if len(posIdx) < 4 || len(negIdx) < 4 {
+		return Margin{}.SelectBatch(ctx, a)
+	}
+	mPos := trainGroupModel(ctx.Labeled.Subset(posIdx), hidden, epochs, d.Seed*1000+1)
+	mNeg := trainGroupModel(ctx.Labeled.Subset(negIdx), hidden, epochs, d.Seed*1000+2)
+
+	poolX := ctx.PoolMatrix()
+	pPos := mPos.Probs(poolX)
+	pNeg := mNeg.Probs(poolX)
+	disagreement := make([]float64, poolX.Rows)
+	for i := range disagreement {
+		disagreement[i] = absf(pPos.At(i, 1) - pNeg.At(i, 1))
+	}
+
+	// Above-threshold samples form a strict priority tier, ordered by
+	// disagreement within each tier.
+	boosted := make([]float64, len(disagreement))
+	for i, v := range disagreement {
+		boosted[i] = v
+		if v >= thr {
+			boosted[i] += 1
+		}
+	}
+	return topK(boosted, a)
+}
+
+func trainGroupModel(group *data.Dataset, hidden, epochs int, seed int64) *nn.Classifier {
+	m := nn.NewClassifier(nn.Config{
+		InputDim:   group.Dim,
+		NumClasses: group.Classes,
+		Hidden:     []int{hidden},
+		Seed:       seed,
+	})
+	rng := rand.New(rand.NewSource(seed + 7))
+	m.Train(group.Matrix(), group.Labels(), nil, nn.NewAdam(0.01), nn.TrainOpts{
+		Epochs:    epochs,
+		BatchSize: 32,
+	}, rng)
+	return m
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

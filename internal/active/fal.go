@@ -1,0 +1,140 @@
+package active
+
+import (
+	"math/rand"
+
+	"faction/internal/fairness"
+	"faction/internal/mat"
+	"faction/internal/nn"
+)
+
+// FAL implements Fair Active Learning (Anahideh et al., Expert Systems with
+// Applications 2022), adapted to the online setting by running it per task:
+// an entropy shortlist of the l most uncertain pool samples is re-ranked by
+// *Expected Fairness* — the expected demographic-parity gap of the model if
+// the candidate were added to the labeled set, taking the expectation over
+// the model's predicted label distribution for the candidate:
+//
+//	EF(x) = Σ_c p_c(x) · DDP( h⁺(x,c) on D^labeled )
+//
+// where h⁺(x,c) is the current model updated with one gradient step on
+// (x, c). The candidate whose addition is expected to make the model fairest
+// wins; entropy breaks the trade-off via Lambda.
+//
+// Computing EF requires, per shortlisted candidate and per hypothesized
+// label, cloning the model, one update step, and a full re-prediction of the
+// labeled pool — which is what makes FAL the most expensive method in the
+// paper's runtime comparison (Fig. 5a).
+type FAL struct {
+	// L is the entropy shortlist size (the paper sweeps {64, 96, 128, 196,
+	// 256} in Fig. 3). Default 128.
+	L int
+	// Lambda balances entropy and expected fairness in the final score;
+	// 0.5 by default.
+	Lambda float64
+	// UpdateLR is the learning rate of the hypothetical one-step update
+	// (default 0.05).
+	UpdateLR float64
+}
+
+// Name implements Strategy.
+func (FAL) Name() string { return "FAL" }
+
+// SelectBatch implements Strategy.
+func (f FAL) SelectBatch(ctx *Context, a int) []int {
+	a = clampA(ctx, a)
+	if a <= 0 {
+		return nil
+	}
+	l := f.L
+	if l <= 0 {
+		l = 128
+	}
+	lambda := f.Lambda
+	if lambda <= 0 {
+		lambda = 0.5
+	}
+	lr := f.UpdateLR
+	if lr <= 0 {
+		lr = 0.05
+	}
+	probs := ctx.PoolProbs()
+	entropies := make([]float64, probs.Rows)
+	for i := range entropies {
+		entropies[i] = Entropy(probs.Row(i))
+	}
+	shortlist := topK(entropies, l)
+
+	labX := ctx.Labeled.Matrix()
+	labSens := ctx.Labeled.Sensitive()
+
+	// Expected fairness per shortlisted candidate:
+	// E_c[ DDP(one-step-updated model on the labeled pool) ].
+	expFair := make([]float64, len(shortlist))
+	if ctx.Labeled.Len() > 0 {
+		candX := mat.NewDense(1, ctx.Pool.Dim)
+		for rank, idx := range shortlist {
+			copy(candX.Row(0), ctx.Pool.Samples[idx].X)
+			ef := 0.0
+			for c := 0; c < probs.Cols; c++ {
+				pc := probs.At(idx, c)
+				if pc < 1e-6 {
+					continue
+				}
+				ef += pc * fairness.DDP(hypotheticalPredictions(ctx.Model, candX, c, lr, labX), labSens)
+			}
+			expFair[rank] = ef
+		}
+	}
+
+	// Combined score over the shortlist: high entropy, low expected unfairness.
+	normEnt := make([]float64, len(shortlist))
+	for rank, idx := range shortlist {
+		normEnt[rank] = entropies[idx]
+	}
+	normEnt = NormalizeScores(normEnt)
+	normFair := NormalizeScores(expFair)
+	combined := make([]float64, len(shortlist))
+	for i := range combined {
+		combined[i] = lambda*normEnt[i] + (1-lambda)*(1-normFair[i])
+	}
+	k := a
+	if k > len(shortlist) {
+		k = len(shortlist)
+	}
+	picks := topK(combined, k)
+	out := make([]int, len(picks))
+	for i, p := range picks {
+		out[i] = shortlist[p]
+	}
+	// If the shortlist was smaller than a (tiny pools), pad with entropy.
+	if len(out) < a {
+		seen := map[int]bool{}
+		for _, i := range out {
+			seen[i] = true
+		}
+		for _, i := range topK(entropies, len(entropies)) {
+			if len(out) >= a {
+				break
+			}
+			if !seen[i] {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// hypotheticalPredictions clones the model, applies one SGD step on the
+// single labeled candidate (x, y), and returns the updated model's
+// predictions on labX.
+func hypotheticalPredictions(model *nn.Classifier, x *mat.Dense, y int, lr float64, labX *mat.Dense) []int {
+	clone := model.Clone()
+	opt := nn.NewSGD(lr, 0, 0)
+	clone.Train(x, []int{y}, nil, opt, nn.TrainOpts{Epochs: 1, BatchSize: 1}, noShuffleRand())
+	return clone.PredictClasses(labX)
+}
+
+// noShuffleRand returns a fixed-seed source for degenerate single-sample
+// training where shuffling is a no-op.
+func noShuffleRand() *rand.Rand { return rand.New(rand.NewSource(1)) }

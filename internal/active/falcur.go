@@ -1,0 +1,127 @@
+package active
+
+import (
+	"math"
+	"sort"
+
+	"faction/internal/cluster"
+)
+
+// FALCUR implements FAL-CUR (Fajri et al., Expert Systems with Applications
+// 2024): fair clustering of the unlabeled pool followed by per-cluster
+// selection of the samples with the best combination of uncertainty and
+// representativeness. Fair clustering uses the fairlet-based FairKMeans of
+// the cluster package so every cluster mixes both sensitive groups; the
+// acquisition batch is spread over clusters proportionally to their size.
+type FALCUR struct {
+	// K is the number of clusters (default 8, clamped to the pool size).
+	K int
+	// Beta weighs uncertainty against representativeness (the paper's β,
+	// swept over {0.3 … 0.7} in Fig. 3). Default 0.5.
+	Beta float64
+}
+
+// Name implements Strategy.
+func (FALCUR) Name() string { return "FAL-CUR" }
+
+// SelectBatch implements Strategy.
+func (f FALCUR) SelectBatch(ctx *Context, a int) []int {
+	a = clampA(ctx, a)
+	if a <= 0 {
+		return nil
+	}
+	k := f.K
+	if k <= 0 {
+		k = 8
+	}
+	beta := f.Beta
+	if beta <= 0 {
+		beta = 0.5
+	}
+	feats := ctx.PoolFeatures()
+	res := cluster.FairKMeans(ctx.Rng, feats, ctx.Pool.Sensitive(), k, 30)
+
+	probs := ctx.PoolProbs()
+	uncertainty := make([]float64, probs.Rows)
+	for i := range uncertainty {
+		uncertainty[i] = Entropy(probs.Row(i))
+	}
+	uncertainty = NormalizeScores(uncertainty)
+
+	// Representativeness: negated distance to the cluster center, normalized.
+	repr := make([]float64, feats.Rows)
+	for i := 0; i < feats.Rows; i++ {
+		c := res.Assign[i]
+		d := 0.0
+		row := feats.Row(i)
+		ctr := res.Centers.Row(c)
+		for j := range row {
+			diff := row[j] - ctr[j]
+			d += diff * diff
+		}
+		repr[i] = -math.Sqrt(d)
+	}
+	repr = NormalizeScores(repr)
+
+	score := make([]float64, feats.Rows)
+	for i := range score {
+		score[i] = beta*uncertainty[i] + (1-beta)*repr[i]
+	}
+
+	// Proportional allocation of the batch across clusters (largest first),
+	// then best-scored samples within each cluster.
+	counts := res.Counts()
+	type clusterInfo struct{ id, count int }
+	infos := make([]clusterInfo, 0, res.K)
+	for c, n := range counts {
+		if n > 0 {
+			infos = append(infos, clusterInfo{c, n})
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].count != infos[j].count {
+			return infos[i].count > infos[j].count
+		}
+		return infos[i].id < infos[j].id
+	})
+	total := feats.Rows
+	picked := make([]int, 0, a)
+	taken := make([]bool, total)
+	for _, info := range infos {
+		if len(picked) >= a {
+			break
+		}
+		quota := int(math.Ceil(float64(a) * float64(info.count) / float64(total)))
+		if rem := a - len(picked); quota > rem {
+			quota = rem
+		}
+		members := res.Members(info.id)
+		sort.Slice(members, func(x, y int) bool {
+			if score[members[x]] != score[members[y]] {
+				return score[members[x]] > score[members[y]]
+			}
+			return members[x] < members[y]
+		})
+		for _, m := range members {
+			if quota == 0 {
+				break
+			}
+			picked = append(picked, m)
+			taken[m] = true
+			quota--
+		}
+	}
+	// Fill any remaining slots by global score.
+	if len(picked) < a {
+		for _, i := range topK(score, total) {
+			if len(picked) >= a {
+				break
+			}
+			if !taken[i] {
+				picked = append(picked, i)
+				taken[i] = true
+			}
+		}
+	}
+	return picked
+}

@@ -1,0 +1,101 @@
+package active
+
+import (
+	"fmt"
+	"math/rand"
+
+	"faction/internal/rngutil"
+)
+
+// StreamSelector implements the single-sample-arrival variant sketched in
+// Section IV-D: instead of normalizing scores within a batch, the min–max
+// range is "updated incrementally with all gathered scores", and each
+// arriving sample is accepted or rejected immediately by a Bernoulli trial
+// with p = min(α·(1 − normalize(u)), 1).
+//
+// The selector enforces a hard budget: once Remaining reaches zero every
+// offer is rejected. Early samples — seen before the score range is
+// informative — are handled by a warm-up period during which the acceptance
+// probability is α·0.5 (the uninformed prior).
+type StreamSelector struct {
+	alpha    float64
+	budget   int
+	warmup   int
+	accepted int
+
+	n        int
+	min, max float64
+}
+
+// NewStreamSelector builds a selector with query-rate α and a total label
+// budget. warmup is the number of initial scores used only to establish the
+// normalization range (default 5 when ≤ 0).
+func NewStreamSelector(alpha float64, budget, warmup int) *StreamSelector {
+	if alpha <= 0 {
+		alpha = 1
+	}
+	if budget < 0 {
+		panic(fmt.Sprintf("active: negative budget %d", budget))
+	}
+	if warmup <= 0 {
+		warmup = 5
+	}
+	return &StreamSelector{alpha: alpha, budget: budget, warmup: warmup}
+}
+
+// Offer presents one arriving sample's raw score u(x) (lower = more worth
+// querying) and reports whether its label should be bought. The score is
+// always folded into the running normalization range, even when rejected.
+func (s *StreamSelector) Offer(rng *rand.Rand, score float64) bool {
+	s.observe(score)
+	if s.accepted >= s.budget {
+		return false
+	}
+	p := s.alpha * s.omega(score)
+	if p > 1 {
+		p = 1
+	}
+	if rngutil.Bernoulli(rng, p) {
+		s.accepted++
+		return true
+	}
+	return false
+}
+
+// observe folds a score into the running range.
+func (s *StreamSelector) observe(score float64) {
+	if s.n == 0 {
+		s.min, s.max = score, score
+	} else {
+		if score < s.min {
+			s.min = score
+		}
+		if score > s.max {
+			s.max = score
+		}
+	}
+	s.n++
+}
+
+// omega returns 1 − normalized(u) under the running range, with the warm-up
+// prior of 0.5 while the range is still uninformative.
+func (s *StreamSelector) omega(score float64) float64 {
+	if s.n <= s.warmup || s.max == s.min {
+		return 0.5
+	}
+	norm := (score - s.min) / (s.max - s.min)
+	return 1 - norm
+}
+
+// Accepted reports how many labels have been bought.
+func (s *StreamSelector) Accepted() int { return s.accepted }
+
+// Remaining reports the unused budget.
+func (s *StreamSelector) Remaining() int { return s.budget - s.accepted }
+
+// Seen reports the number of scores observed so far.
+func (s *StreamSelector) Seen() int { return s.n }
+
+// Range returns the current normalization range (min, max). Valid once at
+// least one score has been observed.
+func (s *StreamSelector) Range() (min, max float64) { return s.min, s.max }

@@ -1,0 +1,100 @@
+package active
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamSelectorBudgetRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewStreamSelector(10, 7, 0) // huge α: accept whenever allowed
+	taken := 0
+	for i := 0; i < 1000; i++ {
+		if s.Offer(rng, rng.Float64()) {
+			taken++
+		}
+	}
+	if taken != 7 || s.Accepted() != 7 || s.Remaining() != 0 {
+		t.Fatalf("taken=%d accepted=%d remaining=%d", taken, s.Accepted(), s.Remaining())
+	}
+	if s.Seen() != 1000 {
+		t.Fatalf("seen = %d", s.Seen())
+	}
+}
+
+func TestStreamSelectorPrefersLowScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewStreamSelector(0.5, 1_000_000, 5)
+	lowTaken, highTaken := 0, 0
+	const rounds = 20000
+	for i := 0; i < rounds; i++ {
+		// Alternate low (0.1) and high (0.9) scores within a [0,1]-ish range
+		// established by occasional extremes.
+		if i%100 == 0 {
+			s.Offer(rng, 0)
+			s.Offer(rng, 1)
+			continue
+		}
+		if i%2 == 0 {
+			if s.Offer(rng, 0.1) {
+				lowTaken++
+			}
+		} else {
+			if s.Offer(rng, 0.9) {
+				highTaken++
+			}
+		}
+	}
+	if lowTaken <= highTaken*3 {
+		t.Fatalf("low-score samples should be taken far more often: low=%d high=%d", lowTaken, highTaken)
+	}
+}
+
+func TestStreamSelectorWarmupPrior(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// During warm-up (and for constant scores) ω = 0.5 so p = α/2.
+	s := NewStreamSelector(1, 1_000_000, 1_000_000)
+	taken := 0
+	const n = 40000
+	for i := 0; i < n; i++ {
+		if s.Offer(rng, 42) {
+			taken++
+		}
+	}
+	freq := float64(taken) / float64(n)
+	if math.Abs(freq-0.5) > 0.02 {
+		t.Fatalf("warm-up acceptance %g, want ≈0.5", freq)
+	}
+}
+
+func TestStreamSelectorRangeTracksExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewStreamSelector(1, 10, 0)
+	for _, v := range []float64{3, -1, 7, 2} {
+		s.Offer(rng, v)
+	}
+	min, max := s.Range()
+	if min != -1 || max != 7 {
+		t.Fatalf("range = [%g, %g]", min, max)
+	}
+}
+
+func TestStreamSelectorZeroBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewStreamSelector(1, 0, 0)
+	for i := 0; i < 100; i++ {
+		if s.Offer(rng, rng.Float64()) {
+			t.Fatal("zero-budget selector accepted a sample")
+		}
+	}
+}
+
+func TestStreamSelectorNegativeBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStreamSelector(1, -1, 0)
+}

@@ -1,0 +1,275 @@
+// Package cluster provides k-means++ clustering and a fairlet-based fair
+// clustering variant. It is the substrate for the FAL-CUR baseline
+// (Fajri et al. 2024), which selects uncertain-and-representative samples
+// from sensitive-balanced clusters.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"faction/internal/mat"
+)
+
+// Result is a clustering of the rows of the input matrix.
+type Result struct {
+	K          int
+	Centers    *mat.Dense // K×d
+	Assign     []int      // cluster index per row
+	Iterations int
+}
+
+// Counts returns the cluster sizes.
+func (r *Result) Counts() []int {
+	counts := make([]int, r.K)
+	for _, c := range r.Assign {
+		counts[c]++
+	}
+	return counts
+}
+
+// Members returns the row indices assigned to cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kmeansPPInit picks k initial centers with the k-means++ D² weighting.
+func kmeansPPInit(rng *rand.Rand, x *mat.Dense, k int) *mat.Dense {
+	n := x.Rows
+	centers := mat.NewDense(k, x.Cols)
+	first := rng.Intn(n)
+	copy(centers.Row(0), x.Row(first))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = sqDist(x.Row(i), centers.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for _, v := range d2 {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			u := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, v := range d2 {
+				acc += v
+				if u < acc {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centers.Row(c), x.Row(pick))
+		for i := range d2 {
+			if d := sqDist(x.Row(i), centers.Row(c)); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+// KMeans clusters the rows of x into k clusters using k-means++ seeding and
+// Lloyd iterations (at most maxIter, default 50). k is clamped to the number
+// of rows.
+func KMeans(rng *rand.Rand, x *mat.Dense, k, maxIter int) Result {
+	n := x.Rows
+	if n == 0 {
+		panic("cluster: empty input")
+	}
+	if k <= 0 {
+		panic(fmt.Sprintf("cluster: k = %d", k))
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	centers := kmeansPPInit(rng, x, k)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if d := sqDist(x.Row(i), centers.Row(c)); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		centers.Zero()
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			mat.AxpyVec(centers.Row(c), 1, x.Row(i))
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centers.Row(c), x.Row(rng.Intn(n)))
+				continue
+			}
+			mat.ScaleVec(centers.Row(c), 1/float64(counts[c]))
+		}
+	}
+	return Result{K: k, Centers: centers, Assign: assign, Iterations: iters}
+}
+
+// Inertia returns the within-cluster sum of squared distances.
+func Inertia(x *mat.Dense, r Result) float64 {
+	total := 0.0
+	for i := 0; i < x.Rows; i++ {
+		total += sqDist(x.Row(i), r.Centers.Row(r.Assign[i]))
+	}
+	return total
+}
+
+// Balance returns the sensitive balance of a clustering: the minimum over
+// clusters of min(n₊/n₋, n₋/n₊), where n± are the per-cluster group counts
+// (Chierichetti et al. 2017). 1 is perfectly balanced; 0 means some cluster
+// is single-group. Empty clusters are skipped.
+func Balance(r Result, s []int) float64 {
+	if len(s) != len(r.Assign) {
+		panic(fmt.Sprintf("cluster: %d sensitive values for %d assignments", len(s), len(r.Assign)))
+	}
+	pos := make([]float64, r.K)
+	neg := make([]float64, r.K)
+	for i, c := range r.Assign {
+		if s[i] == 1 {
+			pos[c]++
+		} else {
+			neg[c]++
+		}
+	}
+	balance := math.Inf(1)
+	for c := 0; c < r.K; c++ {
+		if pos[c]+neg[c] == 0 {
+			continue
+		}
+		if pos[c] == 0 || neg[c] == 0 {
+			return 0
+		}
+		b := math.Min(pos[c]/neg[c], neg[c]/pos[c])
+		if b < balance {
+			balance = b
+		}
+	}
+	if math.IsInf(balance, 1) {
+		return 0
+	}
+	return balance
+}
+
+// FairKMeans clusters with a fairlet-style preprocessing: each s=+1 point is
+// greedily matched to its nearest unmatched s=−1 point; each matched pair
+// (fairlet) is then clustered by its midpoint, and both members inherit the
+// fairlet's cluster. Leftover unmatched points are assigned to their nearest
+// resulting center. This guarantees that matched pairs — one from each group
+// — always land in the same cluster, which substantially improves Balance on
+// group-separable data.
+func FairKMeans(rng *rand.Rand, x *mat.Dense, s []int, k, maxIter int) Result {
+	n := x.Rows
+	if len(s) != n {
+		panic(fmt.Sprintf("cluster: %d sensitive values for %d rows", len(s), n))
+	}
+	if n == 0 {
+		panic("cluster: empty input")
+	}
+	var posIdx, negIdx []int
+	for i, v := range s {
+		if v == 1 {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	if len(posIdx) == 0 || len(negIdx) == 0 {
+		return KMeans(rng, x, k, maxIter) // single group: fairness is moot
+	}
+	// Greedy nearest matching from the smaller group into the larger.
+	small, large := posIdx, negIdx
+	if len(negIdx) < len(posIdx) {
+		small, large = negIdx, posIdx
+	}
+	used := make([]bool, len(large))
+	type fairlet struct{ a, b int }
+	fairlets := make([]fairlet, 0, len(small))
+	for _, i := range small {
+		best, bestD := -1, math.Inf(1)
+		for j, cand := range large {
+			if used[j] {
+				continue
+			}
+			if d := sqDist(x.Row(i), x.Row(cand)); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		used[best] = true
+		fairlets = append(fairlets, fairlet{a: i, b: large[best]})
+	}
+	// Cluster fairlet midpoints.
+	mids := mat.NewDense(len(fairlets), x.Cols)
+	for fi, f := range fairlets {
+		ra, rb := x.Row(f.a), x.Row(f.b)
+		row := mids.Row(fi)
+		for j := range row {
+			row[j] = (ra[j] + rb[j]) / 2
+		}
+	}
+	inner := KMeans(rng, mids, k, maxIter)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for fi, f := range fairlets {
+		assign[f.a] = inner.Assign[fi]
+		assign[f.b] = inner.Assign[fi]
+	}
+	// Unmatched leftovers of the larger group: nearest center.
+	for i := range assign {
+		if assign[i] >= 0 {
+			continue
+		}
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < inner.K; c++ {
+			if d := sqDist(x.Row(i), inner.Centers.Row(c)); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+	return Result{K: inner.K, Centers: inner.Centers, Assign: assign, Iterations: inner.Iterations}
+}

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"faction/internal/mat"
+)
+
+// twoBlobs builds two well-separated clusters of nPer points each.
+func twoBlobs(rng *rand.Rand, nPer int) *mat.Dense {
+	x := mat.NewDense(2*nPer, 2)
+	for i := 0; i < nPer; i++ {
+		x.Set(i, 0, -5+rng.NormFloat64()*0.4)
+		x.Set(i, 1, rng.NormFloat64()*0.4)
+		x.Set(nPer+i, 0, 5+rng.NormFloat64()*0.4)
+		x.Set(nPer+i, 1, rng.NormFloat64()*0.4)
+	}
+	return x
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := twoBlobs(rng, 50)
+	r := KMeans(rng, x, 2, 0)
+	// Every point in the first blob shares a cluster; likewise the second,
+	// and they differ.
+	c0 := r.Assign[0]
+	for i := 1; i < 50; i++ {
+		if r.Assign[i] != c0 {
+			t.Fatal("first blob split across clusters")
+		}
+	}
+	c1 := r.Assign[50]
+	if c1 == c0 {
+		t.Fatal("blobs merged")
+	}
+	for i := 51; i < 100; i++ {
+		if r.Assign[i] != c1 {
+			t.Fatal("second blob split across clusters")
+		}
+	}
+	// Centers near ±5.
+	lo, hi := r.Centers.At(c0, 0), r.Centers.At(c1, 0)
+	if math.Abs(lo+5) > 0.5 || math.Abs(hi-5) > 0.5 {
+		t.Fatalf("centers %g, %g", lo, hi)
+	}
+}
+
+func TestKMeansKClampedToN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := mat.FromRows([][]float64{{0, 0}, {1, 1}})
+	r := KMeans(rng, x, 10, 0)
+	if r.K != 2 {
+		t.Fatalf("k = %d, want clamped to 2", r.K)
+	}
+}
+
+func TestKMeansPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mustPanic := func(fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { KMeans(rng, mat.NewDense(0, 2), 2, 0) })
+	mustPanic(func() { KMeans(rng, mat.NewDense(2, 2), 0, 0) })
+}
+
+func TestCountsAndMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := twoBlobs(rng, 10)
+	r := KMeans(rng, x, 2, 0)
+	counts := r.Counts()
+	if counts[0]+counts[1] != 20 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if len(r.Members(0)) != counts[0] {
+		t.Fatal("Members disagrees with Counts")
+	}
+}
+
+func TestInertiaDecreasingInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := mat.NewDense(60, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	i2 := Inertia(x, KMeans(rng, x, 2, 0))
+	i8 := Inertia(x, KMeans(rng, x, 8, 0))
+	if i8 >= i2 {
+		t.Fatalf("inertia k=8 (%g) should be below k=2 (%g)", i8, i2)
+	}
+}
+
+func TestBalancePerfect(t *testing.T) {
+	r := Result{K: 2, Assign: []int{0, 0, 1, 1}}
+	s := []int{1, -1, 1, -1}
+	if b := Balance(r, s); b != 1 {
+		t.Fatalf("balance = %g, want 1", b)
+	}
+}
+
+func TestBalanceSingleGroupCluster(t *testing.T) {
+	r := Result{K: 2, Assign: []int{0, 0, 1, 1}}
+	s := []int{1, 1, 1, -1}
+	if b := Balance(r, s); b != 0 {
+		t.Fatalf("balance = %g, want 0", b)
+	}
+}
+
+func TestBalanceSkipsEmptyClusters(t *testing.T) {
+	r := Result{K: 3, Assign: []int{0, 0}}
+	s := []int{1, -1}
+	if b := Balance(r, s); b != 1 {
+		t.Fatalf("balance = %g, want 1", b)
+	}
+}
+
+// TestFairKMeansImprovesBalance uses data where groups are spatially
+// separated, which makes plain k-means produce single-group clusters while
+// fairlet matching keeps pairs together.
+func TestFairKMeansImprovesBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 40
+	x := mat.NewDense(2*n, 2)
+	s := make([]int, 2*n)
+	for i := 0; i < n; i++ {
+		// Group +1 on the left, group −1 on the right.
+		x.Set(i, 0, -3+rng.NormFloat64()*0.3)
+		x.Set(i, 1, rng.NormFloat64())
+		s[i] = 1
+		x.Set(n+i, 0, 3+rng.NormFloat64()*0.3)
+		x.Set(n+i, 1, rng.NormFloat64())
+		s[n+i] = -1
+	}
+	plain := KMeans(rand.New(rand.NewSource(7)), x, 2, 0)
+	fair := FairKMeans(rand.New(rand.NewSource(7)), x, s, 2, 0)
+	if Balance(plain, s) != 0 {
+		t.Fatalf("test setup: plain k-means balance %g, expected 0", Balance(plain, s))
+	}
+	if b := Balance(fair, s); b < 0.9 {
+		t.Fatalf("fair k-means balance %g, want ≥ 0.9", b)
+	}
+}
+
+func TestFairKMeansSingleGroupFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := twoBlobs(rng, 10)
+	s := make([]int, 20)
+	for i := range s {
+		s[i] = 1
+	}
+	r := FairKMeans(rng, x, s, 2, 0)
+	if len(r.Assign) != 20 {
+		t.Fatal("fallback clustering incomplete")
+	}
+}
+
+func TestFairKMeansUnevenGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := mat.NewDense(30, 2)
+	s := make([]int, 30)
+	for i := 0; i < 30; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+		if i < 10 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	r := FairKMeans(rng, x, s, 3, 0)
+	for _, a := range r.Assign {
+		if a < 0 || a >= r.K {
+			t.Fatalf("invalid assignment %d", a)
+		}
+	}
+}
+
+// Property: every assignment is a valid cluster index and counts sum to n.
+func TestKMeansAssignValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		d := 1 + r.Intn(4)
+		k := 1 + r.Intn(6)
+		x := mat.NewDense(n, d)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat64()
+		}
+		res := KMeans(r, x, k, 20)
+		total := 0
+		for _, c := range res.Counts() {
+			total += c
+		}
+		if total != n {
+			return false
+		}
+		for _, a := range res.Assign {
+			if a < 0 || a >= res.K {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	x := mat.NewDense(500, 16)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMeans(rng, x, 8, 25)
+	}
+}

@@ -1,0 +1,182 @@
+// Package data defines the record, dataset, task and stream types shared by
+// every learner, plus the five synthetic stream generators standing in for
+// the paper's benchmark datasets (see synth.go and DESIGN.md §4 for the
+// substitution rationale) and the labeling Oracle that enforces the active
+// learning protocol's budget accounting.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"faction/internal/mat"
+)
+
+// Sample is the universal record: features, sensitive attribute (±1), binary
+// class label and the environment that generated it. Learners must not read
+// Y directly from unlabeled pools — labels are revealed through an Oracle.
+type Sample struct {
+	X   []float64
+	S   int // sensitive attribute: −1 or +1
+	Y   int // class label: 0 or 1
+	Env int // environment index (for bookkeeping/diagnostics only)
+}
+
+// Dataset is an ordered collection of samples with shared dimensionality.
+type Dataset struct {
+	Name    string
+	Dim     int
+	Classes int
+	Samples []Sample
+}
+
+// NewDataset creates an empty dataset.
+func NewDataset(name string, dim, classes int) *Dataset {
+	return &Dataset{Name: name, Dim: dim, Classes: classes}
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// Append adds samples, validating their dimensionality.
+func (d *Dataset) Append(samples ...Sample) {
+	for _, s := range samples {
+		if len(s.X) != d.Dim {
+			panic(fmt.Sprintf("data: sample dim %d, dataset dim %d", len(s.X), d.Dim))
+		}
+		d.Samples = append(d.Samples, s)
+	}
+}
+
+// Matrix returns the feature matrix (one row per sample, copied).
+func (d *Dataset) Matrix() *mat.Dense {
+	m := mat.NewDense(d.Len(), d.Dim)
+	for i, s := range d.Samples {
+		copy(m.Row(i), s.X)
+	}
+	return m
+}
+
+// Labels returns the label vector. Intended for evaluation and oracle use.
+func (d *Dataset) Labels() []int {
+	out := make([]int, d.Len())
+	for i, s := range d.Samples {
+		out[i] = s.Y
+	}
+	return out
+}
+
+// Sensitive returns the sensitive-attribute vector.
+func (d *Dataset) Sensitive() []int {
+	out := make([]int, d.Len())
+	for i, s := range d.Samples {
+		out[i] = s.S
+	}
+	return out
+}
+
+// Subset returns a new dataset containing the samples at idx (shared backing
+// Sample values, copied slice).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := NewDataset(d.Name, d.Dim, d.Classes)
+	out.Samples = make([]Sample, len(idx))
+	for i, j := range idx {
+		out.Samples[i] = d.Samples[j]
+	}
+	return out
+}
+
+// Clone returns a dataset with a copied sample slice (sample feature slices
+// are shared; samples are treated as immutable throughout the repository).
+func (d *Dataset) Clone() *Dataset {
+	out := NewDataset(d.Name, d.Dim, d.Classes)
+	out.Samples = append([]Sample(nil), d.Samples...)
+	return out
+}
+
+// Remove deletes the sample at index i (order not preserved).
+func (d *Dataset) Remove(i int) {
+	last := len(d.Samples) - 1
+	d.Samples[i] = d.Samples[last]
+	d.Samples = d.Samples[:last]
+}
+
+// SplitEven shuffles the dataset with rng and splits it into parts nearly
+// equal subsets (used to cut each environment into sequential tasks).
+func (d *Dataset) SplitEven(rng *rand.Rand, parts int) []*Dataset {
+	if parts <= 0 {
+		panic(fmt.Sprintf("data: split into %d parts", parts))
+	}
+	idx := rng.Perm(d.Len())
+	out := make([]*Dataset, parts)
+	for p := 0; p < parts; p++ {
+		lo := p * d.Len() / parts
+		hi := (p + 1) * d.Len() / parts
+		out[p] = d.Subset(idx[lo:hi])
+	}
+	return out
+}
+
+// GroupCounts returns sample counts keyed by (y, s).
+func (d *Dataset) GroupCounts() map[[2]int]int {
+	out := map[[2]int]int{}
+	for _, s := range d.Samples {
+		out[[2]int{s.Y, s.S}]++
+	}
+	return out
+}
+
+// Task is one step of the online protocol: an unlabeled pool from a single
+// environment. Labels inside Pool are hidden behind the Oracle by convention.
+type Task struct {
+	ID   int
+	Env  int
+	Name string
+	Pool *Dataset
+}
+
+// Stream is the full sequential problem: an ordered list of tasks.
+type Stream struct {
+	Name    string
+	Dim     int
+	Classes int
+	Tasks   []Task
+
+	// Counterfactual, when non-nil, returns a sample's counterfactual twin:
+	// identical except that the sensitive attribute is flipped together with
+	// its causal effect on the features (Section IV-H's counterfactual
+	// fairness direction). The synthetic generators can produce *true*
+	// counterfactuals because they know their own causal model; loaders of
+	// external data leave this nil.
+	Counterfactual func(Sample) Sample
+}
+
+// NumTasks returns the number of sequential tasks.
+func (s *Stream) NumTasks() int { return len(s.Tasks) }
+
+// TotalSamples returns the pooled sample count across tasks.
+func (s *Stream) TotalSamples() int {
+	n := 0
+	for _, t := range s.Tasks {
+		n += t.Pool.Len()
+	}
+	return n
+}
+
+// Oracle reveals ground-truth labels and counts how many were bought.
+// One Oracle instance accounts for one learner's whole run.
+type Oracle struct {
+	queries int
+}
+
+// Label reveals the label of sample s, charging one query.
+func (o *Oracle) Label(s *Sample) int {
+	o.queries++
+	return s.Y
+}
+
+// Queries reports the number of labels revealed so far.
+func (o *Oracle) Queries() int { return o.queries }
+
+// Reset clears the query counter.
+func (o *Oracle) Reset() { o.queries = 0 }

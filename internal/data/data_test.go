@@ -1,0 +1,354 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sampleDataset() *Dataset {
+	d := NewDataset("test", 2, 2)
+	d.Append(
+		Sample{X: []float64{1, 2}, S: 1, Y: 0, Env: 0},
+		Sample{X: []float64{3, 4}, S: -1, Y: 1, Env: 0},
+		Sample{X: []float64{5, 6}, S: 1, Y: 1, Env: 1},
+	)
+	return d
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	d := sampleDataset()
+	if d.Len() != 3 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	m := d.Matrix()
+	if m.Rows != 3 || m.Cols != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("matrix = %v", m)
+	}
+	y := d.Labels()
+	s := d.Sensitive()
+	if y[0] != 0 || y[2] != 1 || s[1] != -1 {
+		t.Fatalf("y=%v s=%v", y, s)
+	}
+}
+
+func TestAppendDimMismatchPanics(t *testing.T) {
+	d := NewDataset("x", 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Append(Sample{X: []float64{1}})
+}
+
+func TestSubsetAndClone(t *testing.T) {
+	d := sampleDataset()
+	sub := d.Subset([]int{2, 0})
+	if sub.Len() != 2 || sub.Samples[0].X[0] != 5 || sub.Samples[1].X[0] != 1 {
+		t.Fatalf("subset = %+v", sub.Samples)
+	}
+	cl := d.Clone()
+	cl.Remove(0)
+	if d.Len() != 3 {
+		t.Fatal("Clone should not share the sample slice")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	d := sampleDataset()
+	d.Remove(0)
+	if d.Len() != 2 {
+		t.Fatalf("len after remove = %d", d.Len())
+	}
+	for _, s := range d.Samples {
+		if s.X[0] == 1 {
+			t.Fatal("removed sample still present")
+		}
+	}
+}
+
+func TestSplitEvenPartitions(t *testing.T) {
+	d := NewDataset("x", 1, 2)
+	for i := 0; i < 10; i++ {
+		d.Append(Sample{X: []float64{float64(i)}})
+	}
+	parts := d.SplitEven(rand.New(rand.NewSource(1)), 3)
+	total := 0
+	seen := map[float64]bool{}
+	for _, p := range parts {
+		total += p.Len()
+		for _, s := range p.Samples {
+			if seen[s.X[0]] {
+				t.Fatal("duplicate sample across parts")
+			}
+			seen[s.X[0]] = true
+		}
+	}
+	if total != 10 || len(parts) != 3 {
+		t.Fatalf("total=%d parts=%d", total, len(parts))
+	}
+}
+
+func TestGroupCounts(t *testing.T) {
+	d := sampleDataset()
+	gc := d.GroupCounts()
+	if gc[[2]int{0, 1}] != 1 || gc[[2]int{1, -1}] != 1 || gc[[2]int{1, 1}] != 1 {
+		t.Fatalf("counts = %v", gc)
+	}
+}
+
+func TestOracleCharges(t *testing.T) {
+	o := &Oracle{}
+	s := Sample{Y: 1}
+	if o.Label(&s) != 1 || o.Queries() != 1 {
+		t.Fatal("oracle")
+	}
+	o.Label(&s)
+	if o.Queries() != 2 {
+		t.Fatal("queries should accumulate")
+	}
+	o.Reset()
+	if o.Queries() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestAllStreamsShape(t *testing.T) {
+	cfg := StreamConfig{Seed: 1, SamplesPerTask: 60}
+	wantTasks := map[string]int{
+		"rcmnist":  12,
+		"celeba":   12,
+		"fairface": 21,
+		"ffhq":     12,
+		"nysf":     16,
+	}
+	for name, want := range wantTasks {
+		st, err := ByName(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.NumTasks() != want {
+			t.Fatalf("%s: %d tasks, want %d", name, st.NumTasks(), want)
+		}
+		if st.TotalSamples() != want*60 {
+			t.Fatalf("%s: %d samples", name, st.TotalSamples())
+		}
+		for _, task := range st.Tasks {
+			if task.Pool.Dim != st.Dim {
+				t.Fatalf("%s: task dim %d != stream dim %d", name, task.Pool.Dim, st.Dim)
+			}
+			for _, smp := range task.Pool.Samples {
+				if smp.Y != 0 && smp.Y != 1 {
+					t.Fatalf("%s: non-binary label %d", name, smp.Y)
+				}
+				if smp.S != -1 && smp.S != 1 {
+					t.Fatalf("%s: invalid sensitive %d", name, smp.S)
+				}
+				for _, v := range smp.X {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("%s: non-finite feature", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", StreamConfig{}); err == nil {
+		t.Fatal("expected error for unknown stream")
+	}
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	cfg := StreamConfig{Seed: 7, SamplesPerTask: 40}
+	a := RotatedColoredMNIST(cfg)
+	b := RotatedColoredMNIST(cfg)
+	for ti := range a.Tasks {
+		sa, sb := a.Tasks[ti].Pool.Samples, b.Tasks[ti].Pool.Samples
+		for i := range sa {
+			if sa[i].Y != sb[i].Y || sa[i].S != sb[i].S || sa[i].X[0] != sb[i].X[0] {
+				t.Fatal("same seed must give identical streams")
+			}
+		}
+	}
+	c := RotatedColoredMNIST(StreamConfig{Seed: 8, SamplesPerTask: 40})
+	if c.Tasks[0].Pool.Samples[0].X[0] == a.Tasks[0].Pool.Samples[0].X[0] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+// TestRCMNISTBiasDecays checks the label–color correlation follows the
+// paper's coefficients {0.9, 0.8, 0.7, 0.6} across rotation environments.
+func TestRCMNISTBiasDecays(t *testing.T) {
+	st := RotatedColoredMNIST(StreamConfig{Seed: 3, SamplesPerTask: 2000})
+	want := []float64{0.9, 0.8, 0.7, 0.6}
+	for e := 0; e < 4; e++ {
+		aligned, total := 0, 0
+		for _, task := range st.Tasks {
+			if task.Env != e {
+				continue
+			}
+			for _, s := range task.Pool.Samples {
+				total++
+				if s.S == 2*s.Y-1 {
+					aligned++
+				}
+			}
+		}
+		got := float64(aligned) / float64(total)
+		// Aligned rate = bias + (1−bias)·0.5 due to the unbiased fallback;
+		// e.g. bias 0.9 ⇒ ≈0.95 alignment. Note label noise perturbs Y a bit.
+		expect := want[e] + (1-want[e])*0.5
+		if math.Abs(got-expect) > 0.05 {
+			t.Fatalf("env %d alignment %.3f, want ≈%.3f", e, got, expect)
+		}
+	}
+}
+
+// TestRCMNISTRotationShiftsFeatures verifies the environments actually differ
+// in feature space (covariate shift), by comparing class-0 stroke means.
+func TestRCMNISTRotationShiftsFeatures(t *testing.T) {
+	st := RotatedColoredMNIST(StreamConfig{Seed: 4, SamplesPerTask: 1500})
+	meanEnv := func(env int) []float64 {
+		mean := make([]float64, st.Dim)
+		n := 0
+		for _, task := range st.Tasks {
+			if task.Env != env {
+				continue
+			}
+			for _, s := range task.Pool.Samples {
+				if s.Y != 0 {
+					continue
+				}
+				for i, v := range s.X {
+					mean[i] += v
+				}
+				n++
+			}
+		}
+		for i := range mean {
+			mean[i] /= float64(n)
+		}
+		return mean
+	}
+	m0 := meanEnv(0)
+	m3 := meanEnv(3)
+	dist := 0.0
+	for i := 0; i < 14; i++ { // stroke dims only
+		d := m0[i] - m3[i]
+		dist += d * d
+	}
+	if math.Sqrt(dist) < 0.3 {
+		t.Fatalf("rotation shift too small: %g", math.Sqrt(dist))
+	}
+}
+
+// TestNYSFBiasedLabels verifies the frisk label correlates with the
+// sensitive attribute (the historical bias the dataset is known for).
+func TestNYSFBiasedLabels(t *testing.T) {
+	st := NYSF(StreamConfig{Seed: 5, SamplesPerTask: 2000})
+	var posY, posN, negY, negN float64
+	for _, task := range st.Tasks {
+		for _, s := range task.Pool.Samples {
+			if s.S == 1 {
+				posN++
+				posY += float64(s.Y)
+			} else {
+				negN++
+				negY += float64(s.Y)
+			}
+		}
+	}
+	gap := posY/posN - negY/negN
+	if gap < 0.15 {
+		t.Fatalf("NYSF label-group gap %.3f, want strong positive bias", gap)
+	}
+}
+
+func TestStationaryStream(t *testing.T) {
+	st := Stationary(StreamConfig{Seed: 6, SamplesPerTask: 50}, 9)
+	if st.NumTasks() != 9 {
+		t.Fatalf("tasks = %d", st.NumTasks())
+	}
+	for _, task := range st.Tasks {
+		if task.Env != 0 {
+			t.Fatal("stationary stream must have a single environment")
+		}
+	}
+}
+
+func TestFairFaceLabelImbalance(t *testing.T) {
+	st := FairFace(StreamConfig{Seed: 7, SamplesPerTask: 1000})
+	pos, n := 0, 0
+	for _, task := range st.Tasks {
+		for _, s := range task.Pool.Samples {
+			n++
+			pos += s.Y
+		}
+	}
+	rate := float64(pos) / float64(n)
+	if rate > 0.45 || rate < 0.2 {
+		t.Fatalf("age>50 rate %.3f, want imbalanced ≈0.3", rate)
+	}
+}
+
+func TestCounterfactualTwins(t *testing.T) {
+	st := RotatedColoredMNIST(StreamConfig{Seed: 11, SamplesPerTask: 40})
+	if st.Counterfactual == nil {
+		t.Fatal("generator should supply counterfactuals")
+	}
+	for _, task := range st.Tasks[:3] {
+		for _, smp := range task.Pool.Samples[:10] {
+			twin := st.Counterfactual(smp)
+			if twin.S != -smp.S || twin.Y != smp.Y || twin.Env != smp.Env {
+				t.Fatalf("twin metadata wrong: %+v vs %+v", twin, smp)
+			}
+			// Stroke dimensions (0..13) untouched; color dims (14, 15) moved
+			// by exactly ∓2s·1.4.
+			for d := 0; d < 14; d++ {
+				if twin.X[d] != smp.X[d] {
+					t.Fatalf("stroke dim %d changed", d)
+				}
+			}
+			wantShift := -2 * float64(smp.S) * 1.4
+			if math.Abs(twin.X[14]-smp.X[14]-wantShift) > 1e-12 {
+				t.Fatalf("color dim shift %g, want %g", twin.X[14]-smp.X[14], wantShift)
+			}
+			// Twin of twin is the original.
+			back := st.Counterfactual(twin)
+			if back.S != smp.S {
+				t.Fatal("double flip should restore s")
+			}
+			for d := range back.X {
+				if math.Abs(back.X[d]-smp.X[d]) > 1e-12 {
+					t.Fatalf("double flip dim %d: %g vs %g", d, back.X[d], smp.X[d])
+				}
+			}
+			// The original sample must be untouched (twin copies X).
+			twin.X[0] = 1e9
+			if smp.X[0] == 1e9 {
+				t.Fatal("counterfactual shares feature storage")
+			}
+		}
+	}
+}
+
+func TestCounterfactualAllGenerators(t *testing.T) {
+	cfg := StreamConfig{Seed: 12, SamplesPerTask: 20}
+	for _, name := range StreamNames() {
+		st, err := ByName(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Counterfactual == nil {
+			t.Fatalf("%s: missing counterfactual", name)
+		}
+		smp := st.Tasks[0].Pool.Samples[0]
+		twin := st.Counterfactual(smp)
+		if twin.S != -smp.S {
+			t.Fatalf("%s: twin sensitive not flipped", name)
+		}
+	}
+}

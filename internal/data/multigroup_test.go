@@ -1,0 +1,58 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultiGroupStreamShape(t *testing.T) {
+	st := MultiGroupStream(StreamConfig{Seed: 1, SamplesPerTask: 200}, 3, 4, 0.3)
+	if st.NumTasks() != 4 {
+		t.Fatalf("tasks = %d", st.NumTasks())
+	}
+	groups := st.GroupValues()
+	if len(groups) != 3 || groups[0] != 0 || groups[2] != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	for _, task := range st.Tasks {
+		for _, s := range task.Pool.Samples {
+			if s.S < 0 || s.S > 2 || (s.Y != 0 && s.Y != 1) {
+				t.Fatalf("invalid sample %+v", s)
+			}
+		}
+	}
+}
+
+func TestMultiGroupStreamSkewsLabelRates(t *testing.T) {
+	st := MultiGroupStream(StreamConfig{Seed: 2, SamplesPerTask: 5000}, 3, 1, 0.4)
+	rates := map[int][2]float64{} // group → (positives, total)
+	for _, s := range st.Tasks[0].Pool.Samples {
+		r := rates[s.S]
+		r[0] += float64(s.Y)
+		r[1]++
+		rates[s.S] = r
+	}
+	r0 := rates[0][0] / rates[0][1]
+	r2 := rates[2][0] / rates[2][1]
+	// skew 0.4 ⇒ group 0 at ≈0.3, group 2 at ≈0.7.
+	if math.Abs(r0-0.3) > 0.04 || math.Abs(r2-0.7) > 0.04 {
+		t.Fatalf("rates: g0=%.3f g2=%.3f, want ≈0.3 / ≈0.7", r0, r2)
+	}
+}
+
+func TestMultiGroupStreamPanicsOnFewGroups(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MultiGroupStream(StreamConfig{}, 1, 1, 0)
+}
+
+func TestGroupValuesBinaryStream(t *testing.T) {
+	st := NYSF(StreamConfig{Seed: 3, SamplesPerTask: 50})
+	got := st.GroupValues()
+	if len(got) != 2 || got[0] != -1 || got[1] != 1 {
+		t.Fatalf("groups = %v", got)
+	}
+}

@@ -1,0 +1,499 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"faction/internal/rngutil"
+)
+
+// StreamConfig parameterizes the synthetic stream generators. The zero value
+// is usable: Seed 0 and the CI-scale task size.
+type StreamConfig struct {
+	// Seed drives every random choice of the generator.
+	Seed int64
+	// SamplesPerTask is the unlabeled pool size per task (default 150 — the
+	// CI scale; the paper-scale runs use ≥2000 so that pools are ≥10× the
+	// budget B=200, matching Section V-A3).
+	SamplesPerTask int
+}
+
+func (c StreamConfig) samplesPerTask() int {
+	if c.SamplesPerTask <= 0 {
+		return 150
+	}
+	return c.SamplesPerTask
+}
+
+// envModel is the per-environment generative model behind every synthetic
+// dataset: class-conditional Gaussian features with a sensitive-group shift,
+// an optional environment transform (covariate shift), a label/sensitive
+// spurious correlation ("bias", the paper's label–color coefficient), and
+// label noise.
+type envModel struct {
+	name       string
+	env        int
+	classMeans [2][]float64
+	groupShift []float64 // x += s · groupShift
+	noise      float64
+	pY1        float64
+	pS1        float64
+	bias       float64 // probability that s is forced to align with y
+	labelNoise float64
+	transform  func(x []float64)
+}
+
+func (m *envModel) sample(rng *rand.Rand) Sample {
+	y := 0
+	if rng.Float64() < m.pY1 {
+		y = 1
+	}
+	var s int
+	if rng.Float64() < m.bias {
+		s = 2*y - 1
+	} else if rng.Float64() < m.pS1 {
+		s = 1
+	} else {
+		s = -1
+	}
+	d := len(m.classMeans[y])
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = m.classMeans[y][i] + float64(s)*m.groupShift[i] + m.noise*rng.NormFloat64()
+	}
+	if m.transform != nil {
+		m.transform(x)
+	}
+	rec := y
+	if m.labelNoise > 0 && rng.Float64() < m.labelNoise {
+		rec = 1 - y
+	}
+	return Sample{X: x, S: s, Y: rec, Env: m.env}
+}
+
+// buildStream generates tasksPerEnv sequential tasks for each environment in
+// order, each with perTask samples. The returned stream carries a
+// Counterfactual function derived from the generative model: flipping s
+// subtracts its causal contribution 2s·groupShift from the features. This is
+// exact for every generator here because the environment transforms never
+// touch the shifted coordinates (the RC-MNIST rotation acts on stroke
+// dimensions only; all other generators use no transform).
+func buildStream(name string, dim int, models []envModel, tasksPerEnv, perTask int, seed int64) *Stream {
+	st := &Stream{Name: name, Dim: dim, Classes: 2}
+	shiftByEnv := map[int][]float64{}
+	for _, m := range models {
+		shiftByEnv[m.env] = m.groupShift
+	}
+	st.Counterfactual = func(smp Sample) Sample {
+		shift, ok := shiftByEnv[smp.Env]
+		if !ok {
+			return smp
+		}
+		twin := smp
+		twin.S = -smp.S
+		twin.X = make([]float64, len(smp.X))
+		for i := range smp.X {
+			twin.X[i] = smp.X[i] - 2*float64(smp.S)*shift[i]
+		}
+		return twin
+	}
+	id := 0
+	for _, m := range models {
+		rng := rngutil.Derive(seed, name, "env", m.name)
+		for t := 0; t < tasksPerEnv; t++ {
+			pool := NewDataset(fmt.Sprintf("%s/%s/task%d", name, m.name, t), dim, 2)
+			for i := 0; i < perTask; i++ {
+				pool.Append(m.sample(rng))
+			}
+			st.Tasks = append(st.Tasks, Task{
+				ID:   id,
+				Env:  m.env,
+				Name: fmt.Sprintf("%s#%d", m.name, t),
+				Pool: pool,
+			})
+			id++
+		}
+	}
+	return st
+}
+
+// randUnit returns a random unit vector of dimension d.
+func randUnit(rng *rand.Rand, d int) []float64 {
+	v := rngutil.NormalVec(rng, d)
+	n := 0.0
+	for _, x := range v {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	if n == 0 {
+		v[0] = 1
+		return v
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return v
+}
+
+// rotatePairs rotates consecutive coordinate pairs of x[:limit] by angle
+// theta (radians) — the covariate-shift analog of rotating an image.
+func rotatePairs(x []float64, limit int, theta float64) {
+	c, s := math.Cos(theta), math.Sin(theta)
+	for i := 0; i+1 < limit; i += 2 {
+		a, b := x[i], x[i+1]
+		x[i] = c*a - s*b
+		x[i+1] = s*a + c*b
+	}
+}
+
+// RotatedColoredMNIST builds the Rotated Colored MNIST analog: 4 rotation
+// environments {0°, 15°, 30°, 45°} with label–color (sensitive) correlation
+// coefficients {0.9, 0.8, 0.7, 0.6}, 3 tasks per rotation = 12 tasks
+// (Section V-A1). Features are 14 "stroke" dimensions that get rotated plus
+// a 2-dimensional color channel carrying the sensitive attribute.
+func RotatedColoredMNIST(cfg StreamConfig) *Stream {
+	const (
+		name      = "rcmnist"
+		dim       = 16
+		strokeDim = 14
+	)
+	setup := rngutil.Derive(cfg.Seed, name, "setup")
+	dir := randUnit(setup, strokeDim)
+	base0 := make([]float64, dim)
+	base1 := make([]float64, dim)
+	const sep = 1.6
+	for i := 0; i < strokeDim; i++ {
+		base0[i] = -sep / 2 * dir[i]
+		base1[i] = +sep / 2 * dir[i]
+	}
+	groupShift := make([]float64, dim)
+	groupShift[strokeDim] = 1.4 // the "color" channel encodes s
+	groupShift[strokeDim+1] = -1.4
+
+	angles := []float64{0, 15, 30, 45}
+	biases := []float64{0.9, 0.8, 0.7, 0.6}
+	models := make([]envModel, len(angles))
+	for e := range angles {
+		theta := angles[e] * math.Pi / 180
+		models[e] = envModel{
+			name:       fmt.Sprintf("rot%g", angles[e]),
+			env:        e,
+			classMeans: [2][]float64{base0, base1},
+			groupShift: groupShift,
+			noise:      0.6,
+			pY1:        0.5,
+			pS1:        0.5,
+			bias:       biases[e],
+			labelNoise: 0.02,
+			transform:  func(x []float64) { rotatePairs(x, strokeDim, theta) },
+		}
+	}
+	return buildStream(name, dim, models, 3, cfg.samplesPerTask(), cfg.Seed)
+}
+
+// CelebA builds the CelebA analog: 40 attribute-like features, 4 environments
+// formed by the Young×Smiling combinations, Male (±1) as the sensitive
+// attribute and Attractiveness as the label; 3 tasks per environment = 12
+// tasks (Section V-A1).
+func CelebA(cfg StreamConfig) *Stream {
+	const (
+		name = "celeba"
+		dim  = 40
+	)
+	setup := rngutil.Derive(cfg.Seed, name, "setup")
+	dir := randUnit(setup, dim)
+	base0 := make([]float64, dim)
+	base1 := make([]float64, dim)
+	const sep = 1.5
+	for i := range dir {
+		base0[i] = -sep / 2 * dir[i]
+		base1[i] = +sep / 2 * dir[i]
+	}
+	groupShift := randUnit(setup, dim)
+	for i := range groupShift {
+		groupShift[i] *= 0.9
+	}
+	envNames := []string{"young-smiling", "young-serious", "old-smiling", "old-serious"}
+	models := make([]envModel, len(envNames))
+	for e, en := range envNames {
+		offset := rngutil.NormalVec(rngutil.Derive(cfg.Seed, name, "offset", en), dim)
+		for i := range offset {
+			offset[i] *= 0.8
+		}
+		m0 := make([]float64, dim)
+		m1 := make([]float64, dim)
+		for i := range offset {
+			m0[i] = base0[i] + offset[i]
+			m1[i] = base1[i] + offset[i]
+		}
+		models[e] = envModel{
+			name:       en,
+			env:        e,
+			classMeans: [2][]float64{m0, m1},
+			groupShift: groupShift,
+			noise:      0.8,
+			pY1:        0.45 + 0.05*float64(e%2),
+			pS1:        0.42,
+			bias:       0.35,
+			labelNoise: 0.05,
+		}
+	}
+	return buildStream(name, dim, models, 3, cfg.samplesPerTask(), cfg.Seed)
+}
+
+// FairFace builds the FairFace analog: 7 racial-group environments with
+// distinct covariate offsets, gender as the sensitive attribute and binary
+// age (>50) as the imbalanced label; 3 tasks per environment = 21 tasks.
+func FairFace(cfg StreamConfig) *Stream {
+	const (
+		name = "fairface"
+		dim  = 24
+	)
+	setup := rngutil.Derive(cfg.Seed, name, "setup")
+	dir := randUnit(setup, dim)
+	base0 := make([]float64, dim)
+	base1 := make([]float64, dim)
+	const sep = 1.7
+	for i := range dir {
+		base0[i] = -sep / 2 * dir[i]
+		base1[i] = +sep / 2 * dir[i]
+	}
+	groupShift := randUnit(setup, dim)
+	for i := range groupShift {
+		groupShift[i] *= 0.7
+	}
+	races := []string{"east-asian", "indian", "black", "white", "middle-eastern", "latino", "southeast-asian"}
+	models := make([]envModel, len(races))
+	for e, en := range races {
+		offset := rngutil.NormalVec(rngutil.Derive(cfg.Seed, name, "offset", en), dim)
+		for i := range offset {
+			offset[i] *= 1.0
+		}
+		m0 := make([]float64, dim)
+		m1 := make([]float64, dim)
+		for i := range offset {
+			m0[i] = base0[i] + offset[i]
+			m1[i] = base1[i] + offset[i]
+		}
+		models[e] = envModel{
+			name:       en,
+			env:        e,
+			classMeans: [2][]float64{m0, m1},
+			groupShift: groupShift,
+			noise:      0.8,
+			pY1:        0.30,
+			pS1:        0.5,
+			bias:       0.3,
+			labelNoise: 0.05,
+		}
+	}
+	return buildStream(name, dim, models, 3, cfg.samplesPerTask(), cfg.Seed)
+}
+
+// FFHQFeatures builds the FFHQ-Features analog: 4 facial-expression
+// environments with milder covariate shift but stronger label noise; gender
+// sensitive, age (>50) label; 3 tasks per environment = 12 tasks.
+func FFHQFeatures(cfg StreamConfig) *Stream {
+	const (
+		name = "ffhq"
+		dim  = 24
+	)
+	setup := rngutil.Derive(cfg.Seed, name, "setup")
+	dir := randUnit(setup, dim)
+	base0 := make([]float64, dim)
+	base1 := make([]float64, dim)
+	const sep = 1.4
+	for i := range dir {
+		base0[i] = -sep / 2 * dir[i]
+		base1[i] = +sep / 2 * dir[i]
+	}
+	groupShift := randUnit(setup, dim)
+	for i := range groupShift {
+		groupShift[i] *= 0.6
+	}
+	expressions := []string{"happy", "neutral", "surprise", "sad"}
+	models := make([]envModel, len(expressions))
+	for e, en := range expressions {
+		offset := rngutil.NormalVec(rngutil.Derive(cfg.Seed, name, "offset", en), dim)
+		for i := range offset {
+			offset[i] *= 0.55
+		}
+		m0 := make([]float64, dim)
+		m1 := make([]float64, dim)
+		for i := range offset {
+			m0[i] = base0[i] + offset[i]
+			m1[i] = base1[i] + offset[i]
+		}
+		models[e] = envModel{
+			name:       en,
+			env:        e,
+			classMeans: [2][]float64{m0, m1},
+			groupShift: groupShift,
+			noise:      0.9,
+			pY1:        0.35,
+			pS1:        0.5,
+			bias:       0.25,
+			labelNoise: 0.12,
+		}
+	}
+	return buildStream(name, dim, models, 3, cfg.samplesPerTask(), cfg.Seed)
+}
+
+// NYSF builds the New York Stop-and-Frisk analog: 4 geographic areas × 4
+// yearly quarters = 16 tasks, race (black/non-black, ±1) as the sensitive
+// attribute, "was frisked" as the label. Areas differ sharply; quarters add
+// gradual temporal drift within an area. The strong historical bias of the
+// source data is modeled as a high label–sensitive correlation.
+func NYSF(cfg StreamConfig) *Stream {
+	const (
+		name = "nysf"
+		dim  = 16
+	)
+	setup := rngutil.Derive(cfg.Seed, name, "setup")
+	dir := randUnit(setup, dim)
+	base0 := make([]float64, dim)
+	base1 := make([]float64, dim)
+	const sep = 1.5
+	for i := range dir {
+		base0[i] = -sep / 2 * dir[i]
+		base1[i] = +sep / 2 * dir[i]
+	}
+	groupShift := randUnit(setup, dim)
+	for i := range groupShift {
+		groupShift[i] *= 0.8
+	}
+	areas := []string{"bronx", "brooklyn", "manhattan", "queens"}
+	var models []envModel
+	env := 0
+	for _, area := range areas {
+		areaOffset := rngutil.NormalVec(rngutil.Derive(cfg.Seed, name, "area", area), dim)
+		drift := rngutil.NormalVec(rngutil.Derive(cfg.Seed, name, "drift", area), dim)
+		for i := range drift {
+			areaOffset[i] *= 1.1
+			drift[i] *= 0.25
+		}
+		for q := 0; q < 4; q++ {
+			m0 := make([]float64, dim)
+			m1 := make([]float64, dim)
+			for i := range areaOffset {
+				shift := areaOffset[i] + float64(q)*drift[i]
+				m0[i] = base0[i] + shift
+				m1[i] = base1[i] + shift
+			}
+			models = append(models, envModel{
+				name:       fmt.Sprintf("%s-q%d", area, q+1),
+				env:        env,
+				classMeans: [2][]float64{m0, m1},
+				groupShift: groupShift,
+				noise:      0.85,
+				pY1:        0.35,
+				pS1:        0.55,
+				bias:       0.45,
+				labelNoise: 0.08,
+			})
+			env++
+		}
+	}
+	// One task per (area, quarter) environment: 16 tasks.
+	return buildStream(name, dim, models, 1, cfg.samplesPerTask(), cfg.Seed)
+}
+
+// Stationary builds a single-environment stream with T identical-distribution
+// tasks — the setting of the Theorem 1 discussion (m = 1, |I_u| = T) used by
+// the theory-validation experiments.
+func Stationary(cfg StreamConfig, tasks int) *Stream {
+	const (
+		name = "stationary"
+		dim  = 8
+	)
+	setup := rngutil.Derive(cfg.Seed, name, "setup")
+	dir := randUnit(setup, dim)
+	base0 := make([]float64, dim)
+	base1 := make([]float64, dim)
+	const sep = 2.0
+	for i := range dir {
+		base0[i] = -sep / 2 * dir[i]
+		base1[i] = +sep / 2 * dir[i]
+	}
+	groupShift := randUnit(setup, dim)
+	for i := range groupShift {
+		groupShift[i] *= 0.5
+	}
+	m := envModel{
+		name:       "stationary",
+		env:        0,
+		classMeans: [2][]float64{base0, base1},
+		groupShift: groupShift,
+		noise:      0.7,
+		pY1:        0.5,
+		pS1:        0.5,
+		bias:       0.3,
+		labelNoise: 0.05,
+	}
+	return buildStream(name, dim, []envModel{m}, tasks, cfg.samplesPerTask(), cfg.Seed)
+}
+
+// StationaryFair builds a stationary stream that satisfies the
+// fair-realizability assumption of Section IV-A (y = h*(x) + ε for a *fair*
+// h*): the label is independent of the sensitive attribute — no spurious
+// correlation, only a mild group covariate shift — so the Bayes classifier is
+// itself (approximately) fair and the regret comparator f*_t of Eq. 2 is
+// attainable by a fairness-constrained learner. This is the setting in which
+// Theorem 1's sublinear bounds are meaningful; on a biased stream the
+// fair-constrained learner provably cannot reach the unconstrained optimum
+// and regret grows linearly by construction.
+func StationaryFair(cfg StreamConfig, tasks int) *Stream {
+	const (
+		name = "stationary-fair"
+		dim  = 8
+	)
+	setup := rngutil.Derive(cfg.Seed, name, "setup")
+	dir := randUnit(setup, dim)
+	base0 := make([]float64, dim)
+	base1 := make([]float64, dim)
+	const sep = 2.0
+	for i := range dir {
+		base0[i] = -sep / 2 * dir[i]
+		base1[i] = +sep / 2 * dir[i]
+	}
+	// No group covariate shift at all: the sensitive attribute carries zero
+	// information about x or y, so the fair constraint v = 0 is exactly
+	// satisfiable at the optimum and the violation bound is meaningful.
+	groupShift := make([]float64, dim)
+	m := envModel{
+		name:       "stationary-fair",
+		env:        0,
+		classMeans: [2][]float64{base0, base1},
+		groupShift: groupShift,
+		noise:      0.7,
+		pY1:        0.5,
+		pS1:        0.5,
+		bias:       0, // y ⊥ s: the fair-realizable case
+		labelNoise: 0.05,
+	}
+	return buildStream(name, dim, []envModel{m}, tasks, cfg.samplesPerTask(), cfg.Seed)
+}
+
+// StreamNames lists the five benchmark streams in the paper's order.
+func StreamNames() []string {
+	return []string{"rcmnist", "celeba", "ffhq", "fairface", "nysf"}
+}
+
+// ByName builds a benchmark stream by its canonical name.
+func ByName(name string, cfg StreamConfig) (*Stream, error) {
+	switch name {
+	case "rcmnist":
+		return RotatedColoredMNIST(cfg), nil
+	case "celeba":
+		return CelebA(cfg), nil
+	case "fairface":
+		return FairFace(cfg), nil
+	case "ffhq":
+		return FFHQFeatures(cfg), nil
+	case "nysf":
+		return NYSF(cfg), nil
+	default:
+		return nil, fmt.Errorf("data: unknown stream %q (want one of %v)", name, StreamNames())
+	}
+}

@@ -1,0 +1,146 @@
+// Package drift turns the epistemic-uncertainty signal of Section IV-B into
+// an explicit environment-change detector: the mean feature-space log-density
+// of each incoming batch is compared against an exponentially weighted
+// baseline, and a statistically significant drop is flagged as a shift.
+//
+// FACTION itself does not need an explicit detector — its query scores react
+// to density drops automatically — but downstream systems often want the
+// boundary surfaced (to reset budgets, alert operators, or version models),
+// which is what this package provides.
+package drift
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// Decay is the EWMA decay for the baseline mean and variance (default
+	// 0.7; closer to 1 = slower-moving baseline).
+	Decay float64
+	// ZThreshold flags a shift when the observation sits more than this many
+	// baseline standard deviations *below* the baseline mean (default 4;
+	// rises in density are never flagged — familiarity is not drift).
+	ZThreshold float64
+	// MinBaseline is the number of observations required before detection is
+	// armed (default 3).
+	MinBaseline int
+	// MinStd floors the baseline standard deviation so that a perfectly
+	// stable baseline does not make infinitesimal drops significant
+	// (default 0.05 nats).
+	MinStd float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Decay <= 0 || c.Decay >= 1 {
+		c.Decay = 0.7
+	}
+	if c.ZThreshold <= 0 {
+		c.ZThreshold = 4
+	}
+	if c.MinBaseline <= 0 {
+		c.MinBaseline = 3
+	}
+	if c.MinStd <= 0 {
+		c.MinStd = 0.05
+	}
+}
+
+// Detector maintains the density baseline and flags shifts.
+type Detector struct {
+	cfg Config
+
+	n       int
+	mean    float64
+	varEst  float64
+	shifts  int
+	lastZ   float64
+	armed   bool
+	history []float64
+}
+
+// New builds a detector.
+func New(cfg Config) *Detector {
+	cfg.setDefaults()
+	return &Detector{cfg: cfg}
+}
+
+// Observation is the verdict for one batch.
+type Observation struct {
+	MeanLogDensity float64
+	// Z is how many baseline standard deviations below the baseline mean the
+	// observation lies (positive = below; only positive Z can flag).
+	Z float64
+	// Shift is true when Z exceeded the threshold and the baseline was armed.
+	Shift bool
+}
+
+// Observe feeds one batch's mean log-density. On a flagged shift the
+// baseline restarts from the new observation (the detector re-learns the new
+// environment).
+func (d *Detector) Observe(meanLogDensity float64) Observation {
+	if math.IsNaN(meanLogDensity) || math.IsInf(meanLogDensity, 0) {
+		panic(fmt.Sprintf("drift: non-finite observation %g", meanLogDensity))
+	}
+	obs := Observation{MeanLogDensity: meanLogDensity}
+	if d.n >= d.cfg.MinBaseline {
+		std := math.Sqrt(d.varEst)
+		if std < d.cfg.MinStd {
+			std = d.cfg.MinStd
+		}
+		obs.Z = (d.mean - meanLogDensity) / std
+		d.lastZ = obs.Z
+		if obs.Z > d.cfg.ZThreshold {
+			obs.Shift = true
+			d.shifts++
+			d.restart(meanLogDensity)
+			d.history = append(d.history, meanLogDensity)
+			return obs
+		}
+	}
+	d.update(meanLogDensity)
+	d.history = append(d.history, meanLogDensity)
+	return obs
+}
+
+func (d *Detector) update(x float64) {
+	if d.n == 0 {
+		d.mean = x
+		d.varEst = 0
+		d.n = 1
+		return
+	}
+	a := d.cfg.Decay
+	diff := x - d.mean
+	d.mean = a*d.mean + (1-a)*x
+	d.varEst = a*d.varEst + (1-a)*diff*diff
+	d.n++
+}
+
+// restart resets the baseline to begin from the post-shift observation.
+func (d *Detector) restart(x float64) {
+	d.n = 0
+	d.update(x)
+}
+
+// Shifts reports how many shifts have been flagged.
+func (d *Detector) Shifts() int { return d.shifts }
+
+// Baseline returns the current EWMA mean and standard deviation.
+func (d *Detector) Baseline() (mean, std float64) {
+	return d.mean, math.Sqrt(d.varEst)
+}
+
+// Observations returns the number of batches folded into the current
+// baseline segment.
+func (d *Detector) Observations() int { return d.n }
+
+// History returns all observed mean log-densities in order (shared slice —
+// callers must not modify).
+func (d *Detector) History() []float64 { return d.history }
+
+// Reset clears all state.
+func (d *Detector) Reset() {
+	*d = Detector{cfg: d.cfg}
+}

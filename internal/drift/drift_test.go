@@ -1,0 +1,145 @@
+package drift
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"faction/internal/data"
+	"faction/internal/gda"
+	"faction/internal/nn"
+)
+
+func TestDetectorFlagsClearDrop(t *testing.T) {
+	d := New(Config{})
+	for i := 0; i < 6; i++ {
+		if obs := d.Observe(100 + 0.1*float64(i%2)); obs.Shift {
+			t.Fatal("false positive on stable baseline")
+		}
+	}
+	obs := d.Observe(50) // catastrophic density drop
+	if !obs.Shift {
+		t.Fatalf("missed an obvious shift: %+v", obs)
+	}
+	if d.Shifts() != 1 {
+		t.Fatalf("shifts = %d", d.Shifts())
+	}
+}
+
+func TestDetectorIgnoresRises(t *testing.T) {
+	d := New(Config{})
+	for i := 0; i < 6; i++ {
+		d.Observe(100)
+	}
+	if obs := d.Observe(10_000); obs.Shift {
+		t.Fatal("density rise must not be flagged as drift")
+	}
+}
+
+func TestDetectorNotArmedEarly(t *testing.T) {
+	d := New(Config{MinBaseline: 5})
+	for i := 0; i < 4; i++ {
+		if obs := d.Observe(float64(1000 - i*500)); obs.Shift {
+			t.Fatal("detector fired before baseline was armed")
+		}
+	}
+}
+
+func TestDetectorRestartsAfterShift(t *testing.T) {
+	d := New(Config{})
+	for i := 0; i < 6; i++ {
+		d.Observe(100)
+	}
+	if !d.Observe(50).Shift {
+		t.Fatal("setup: shift not flagged")
+	}
+	// The baseline restarts at the new level; staying at 50 must not keep
+	// flagging.
+	for i := 0; i < 6; i++ {
+		if d.Observe(50 + 0.1*float64(i%2)).Shift {
+			t.Fatal("re-flagged after baseline restart")
+		}
+	}
+	// And a second drop is caught again.
+	if !d.Observe(0).Shift {
+		t.Fatal("second shift missed")
+	}
+	if d.Shifts() != 2 {
+		t.Fatalf("shifts = %d", d.Shifts())
+	}
+}
+
+func TestDetectorToleratesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := New(Config{})
+	for i := 0; i < 200; i++ {
+		if d.Observe(100 + rng.NormFloat64()).Shift {
+			t.Fatalf("false positive on stationary noise at step %d", i)
+		}
+	}
+}
+
+func TestDetectorPanicsOnNonFinite(t *testing.T) {
+	d := New(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Observe(math.NaN())
+}
+
+func TestResetAndAccessors(t *testing.T) {
+	d := New(Config{})
+	d.Observe(10)
+	d.Observe(11)
+	if d.Observations() != 2 || len(d.History()) != 2 {
+		t.Fatal("bookkeeping")
+	}
+	mean, std := d.Baseline()
+	if mean <= 0 || std < 0 {
+		t.Fatalf("baseline = %g, %g", mean, std)
+	}
+	d.Reset()
+	if d.Observations() != 0 || d.Shifts() != 0 || len(d.History()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// TestDetectorOnRealStream wires the detector to the actual density
+// estimator over the NYSF stream: it must fire at the first borough change
+// and not inside the training borough.
+func TestDetectorOnRealStream(t *testing.T) {
+	stream := data.NYSF(data.StreamConfig{Seed: 5, SamplesPerTask: 300})
+	first := stream.Tasks[0].Pool
+	model := nn.NewClassifier(nn.Config{
+		InputDim: stream.Dim, NumClasses: 2, Hidden: []int{32},
+		SpectralNorm: true, SpectralCoeff: 3, Seed: 5,
+	})
+	rng := rand.New(rand.NewSource(5))
+	model.Train(first.Matrix(), first.Labels(), nil, nn.NewAdam(0.01),
+		nn.TrainOpts{Epochs: 15, BatchSize: 32}, rng)
+	est, err := gda.Fit(model.Features(first.Matrix()), first.Labels(), first.Sensitive(), 2, []int{-1, 1}, gda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := New(Config{MinBaseline: 2, ZThreshold: 6})
+	meanLD := func(d *data.Dataset) float64 {
+		f := model.Features(d.Matrix())
+		total := 0.0
+		for i := 0; i < f.Rows; i++ {
+			total += est.LogDensity(f.Row(i))
+		}
+		return total / float64(f.Rows)
+	}
+	// Tasks 0–3 are the training borough (bronx): no shift flags.
+	for ti := 0; ti < 4; ti++ {
+		if det.Observe(meanLD(stream.Tasks[ti].Pool)).Shift {
+			t.Fatalf("false positive within training borough at task %d", ti)
+		}
+	}
+	// Task 4 is brooklyn: must flag.
+	if !det.Observe(meanLD(stream.Tasks[4].Pool)).Shift {
+		t.Fatal("borough change not detected")
+	}
+}

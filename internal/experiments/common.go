@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"faction/internal/data"
+	"faction/internal/online"
+	"faction/internal/report"
+	"faction/internal/rngutil"
+)
+
+// Options configures an experiment runner.
+type Options struct {
+	// Seed is the base seed; every run derives independent sub-streams.
+	Seed int64
+	// Runs is the repetition count (0 = the scale's default; the paper
+	// reports mean and std over 5).
+	Runs int
+	// Scale selects protocol size (default ScaleCI).
+	Scale Scale
+	// Datasets restricts the benchmark streams (default: all five).
+	Datasets []string
+	// Methods restricts the compared methods by name where applicable.
+	Methods []string
+	// Workers bounds parallel protocol runs (default: NumCPU).
+	Workers int
+	// Progress, when set, receives one line per finished protocol run.
+	Progress io.Writer
+}
+
+func (o *Options) setDefaults() {
+	if o.Scale == "" {
+		o.Scale = ScaleCI
+	}
+	if o.Runs <= 0 {
+		o.Runs = o.Scale.DefaultRuns()
+	}
+	if len(o.Datasets) == 0 {
+		o.Datasets = data.StreamNames()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+}
+
+func (o *Options) wantMethod(name string) bool {
+	if len(o.Methods) == 0 {
+		return true
+	}
+	for _, m := range o.Methods {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *Options) progressf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format, args...)
+	}
+}
+
+// gridKey identifies one protocol run in a grid.
+type gridKey struct {
+	Dataset string
+	Method  string
+	Run     int
+}
+
+// runGrid executes the full (dataset × method × run) grid in parallel.
+// mkMethods builds the per-run method list from a derived seed, so stateful
+// strategies get independent state per run. Results are keyed by dataset and
+// method, with one RunResult per run in run order.
+func runGrid(opt Options, datasets []string, mkMethods func(runSeed int64) []online.MethodSpec) map[string]map[string][]online.RunResult {
+	type job struct {
+		key    gridKey
+		stream *data.Stream
+		spec   online.MethodSpec
+	}
+	var jobs []job
+	for _, ds := range datasets {
+		for r := 0; r < opt.Runs; r++ {
+			runSeed := rngutil.DeriveSeed(opt.Seed, "grid", ds, fmt.Sprint(r))
+			stream, err := data.ByName(ds, opt.Scale.StreamConfig(runSeed))
+			if err != nil {
+				panic(err) // datasets are validated by callers
+			}
+			for _, spec := range mkMethods(runSeed) {
+				jobs = append(jobs, job{
+					key:    gridKey{Dataset: ds, Method: spec.Name, Run: r},
+					stream: stream,
+					spec:   spec,
+				})
+			}
+		}
+	}
+
+	results := make(map[gridKey]online.RunResult, len(jobs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Workers)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := opt.Scale.RunConfig(rngutil.DeriveSeed(opt.Seed, "run", j.key.Dataset, j.key.Method, fmt.Sprint(j.key.Run)))
+			res := online.Run(j.stream, j.spec, cfg)
+			mu.Lock()
+			results[j.key] = res
+			mu.Unlock()
+			opt.progressf("done %-10s %-36s run %d (%.1fs)\n", j.key.Dataset, j.key.Method, j.key.Run, res.Elapsed.Seconds())
+		}(j)
+	}
+	wg.Wait()
+
+	out := map[string]map[string][]online.RunResult{}
+	keys := make([]gridKey, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Dataset != keys[b].Dataset {
+			return keys[a].Dataset < keys[b].Dataset
+		}
+		if keys[a].Method != keys[b].Method {
+			return keys[a].Method < keys[b].Method
+		}
+		return keys[a].Run < keys[b].Run
+	})
+	for _, k := range keys {
+		if out[k.Dataset] == nil {
+			out[k.Dataset] = map[string][]online.RunResult{}
+		}
+		out[k.Dataset][k.Method] = append(out[k.Dataset][k.Method], results[k])
+	}
+	return out
+}
+
+// Metric identifies one of the four reported quantities.
+type Metric string
+
+// The reported metrics, in the paper's panel order.
+const (
+	MetricAccuracy Metric = "Accuracy"
+	MetricDDP      Metric = "DDP"
+	MetricEOD      Metric = "EOD"
+	MetricMI       Metric = "MI"
+)
+
+// Metrics lists the four panels in order.
+func Metrics() []Metric {
+	return []Metric{MetricAccuracy, MetricDDP, MetricEOD, MetricMI}
+}
+
+func metricOf(rec online.TaskRecord, m Metric) float64 {
+	switch m {
+	case MetricAccuracy:
+		return rec.Report.Accuracy
+	case MetricDDP:
+		return rec.Report.DDP
+	case MetricEOD:
+		return rec.Report.EOD
+	case MetricMI:
+		return rec.Report.MI
+	default:
+		panic(fmt.Sprintf("experiments: unknown metric %q", m))
+	}
+}
+
+// taskSeries aggregates one metric across runs into a per-task mean ± std
+// series (one line of a Fig. 2/4/6 panel).
+func taskSeries(name string, runs []online.RunResult, m Metric) report.Series {
+	if len(runs) == 0 {
+		return report.Series{Name: name}
+	}
+	nTasks := len(runs[0].Records)
+	s := report.Series{Name: name, Mean: make([]float64, nTasks), Std: make([]float64, nTasks)}
+	vals := make([]float64, 0, len(runs))
+	for t := 0; t < nTasks; t++ {
+		vals = vals[:0]
+		for _, r := range runs {
+			if t < len(r.Records) {
+				vals = append(vals, metricOf(r.Records[t], m))
+			}
+		}
+		s.Mean[t] = report.Mean(vals)
+		s.Std[t] = report.Std(vals)
+	}
+	return s
+}
+
+// meanOverTasks returns the per-run mean of a metric across tasks.
+func meanOverTasks(runs []online.RunResult, m Metric) []float64 {
+	out := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		vals := make([]float64, 0, len(r.Records))
+		for _, rec := range r.Records {
+			vals = append(vals, metricOf(rec, m))
+		}
+		out = append(out, report.Mean(vals))
+	}
+	return out
+}
+
+// runtimesSeconds extracts the total wall-clock seconds of each run.
+func runtimesSeconds(runs []online.RunResult) []float64 {
+	out := make([]float64, len(runs))
+	for i, r := range runs {
+		out[i] = r.Elapsed.Seconds()
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"faction/internal/report"
+)
+
+// Tabler is implemented by every experiment result: it exposes the result as
+// named tables suitable for CSV export (long format for per-task curves),
+// so external plotting tools can regenerate the paper's figures from the
+// exact measured data.
+type Tabler interface {
+	CSVTables() map[string]*report.Table
+}
+
+// curveTable flattens per-task series into a long-format table:
+// one row per (dataset, metric, method, task).
+func curveTable(title string, rows []PanelSet) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Columns: []string{"dataset", "metric", "method", "task", "mean", "std"},
+	}
+	for _, row := range rows {
+		for _, metric := range Metrics() {
+			for _, s := range row.Panels[metric] {
+				for i := range s.Mean {
+					std := 0.0
+					if len(s.Std) == len(s.Mean) {
+						std = s.Std[i]
+					}
+					t.AddRow(row.Dataset, string(metric), s.Name,
+						fmt.Sprint(i+1), report.F(s.Mean[i], 6), report.F(std, 6))
+				}
+			}
+		}
+	}
+	return t
+}
+
+// CSVTables implements Tabler.
+func (r *Fig2Result) CSVTables() map[string]*report.Table {
+	return map[string]*report.Table{
+		"curves":  curveTable("fig2 per-task curves", r.Rows),
+		"summary": r.SummaryTable(),
+	}
+}
+
+// CSVTables implements Tabler.
+func (r *Fig3Result) CSVTables() map[string]*report.Table {
+	t := &report.Table{
+		Title:   "fig3 trade-off points",
+		Columns: []string{"dataset", "method", "param", "value", "acc", "accStd", "eod", "eodStd"},
+	}
+	for _, ds := range r.Datasets {
+		for _, p := range r.Points[ds] {
+			t.AddRow(ds, p.Method, p.Param, report.F(p.Value, 4),
+				report.F(p.Acc, 6), report.F(p.AccStd, 6),
+				report.F(p.EOD, 6), report.F(p.EODStd, 6))
+		}
+	}
+	return map[string]*report.Table{"tradeoff": t}
+}
+
+// CSVTables implements Tabler.
+func (r *Fig4Result) CSVTables() map[string]*report.Table {
+	return map[string]*report.Table{"curves": curveTable("fig4 ablation curves", r.Rows)}
+}
+
+// CSVTables implements Tabler.
+func (r *Fig5Result) CSVTables() map[string]*report.Table {
+	mk := func(title string, order []string, cells map[string]map[string][2]float64) *report.Table {
+		t := &report.Table{
+			Title:   title,
+			Columns: []string{"dataset", "method", "seconds", "std"},
+		}
+		for _, ds := range r.Datasets {
+			for _, m := range order {
+				v := cells[ds][m]
+				t.AddRow(ds, m, report.F(v[0], 4), report.F(v[1], 4))
+			}
+		}
+		return t
+	}
+	return map[string]*report.Table{
+		"fair-aware": mk("fig5a runtimes", r.FairAwareOrder, r.FairAware),
+		"variants":   mk("fig5b runtimes", r.VariantOrder, r.Variants),
+	}
+}
+
+// CSVTables implements Tabler.
+func (r *Table1Result) CSVTables() map[string]*report.Table {
+	t := &report.Table{
+		Title:   "table1",
+		Columns: []string{"model", "runtimeSec", "runtimeStd", "acc", "ddp", "eod", "mi"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Model,
+			report.F(row.RuntimeSec, 4), report.F(row.RuntimeStd, 4),
+			report.F(row.Acc, 6), report.F(row.DDP, 6),
+			report.F(row.EOD, 6), report.F(row.MI, 6))
+	}
+	return map[string]*report.Table{"table1": t}
+}
+
+// CSVTables implements Tabler.
+func (r *Fig6Result) CSVTables() map[string]*report.Table {
+	row := PanelSet{Dataset: "celeba-wide", Panels: r.Panels}
+	return map[string]*report.Table{"curves": curveTable("fig6 wide-backbone curves", []PanelSet{row})}
+}
+
+// CSVTables implements Tabler.
+func (r *TheoryResult) CSVTables() map[string]*report.Table {
+	horizon := &report.Table{
+		Title:   "theory horizon sweep",
+		Columns: []string{"T", "regret", "violation"},
+	}
+	for i, T := range r.Ts {
+		horizon.AddRow(fmt.Sprint(T), report.F(r.Regret[i], 6), report.F(r.Violation[i], 6))
+	}
+	alpha := &report.Table{
+		Title:   "theory alpha sweep",
+		Columns: []string{"alpha", "trials"},
+	}
+	for i, a := range r.Alphas {
+		alpha.AddRow(report.F(a, 4), report.F(r.Trials[i], 1))
+	}
+	return map[string]*report.Table{"horizon": horizon, "alpha": alpha}
+}
+
+// CSVTables implements Tabler.
+func (r *DesignResult) CSVTables() map[string]*report.Table {
+	t := &report.Table{
+		Title:   "design ablation",
+		Columns: []string{"configuration", "acc", "ddp", "eod", "mi", "cfFlip", "runtimeSec"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			report.F(row.Acc, 6), report.F(row.DDP, 6), report.F(row.EOD, 6),
+			report.F(row.MI, 6), report.F(row.FlipRate, 6), report.F(row.RuntimeSec, 4))
+	}
+	return map[string]*report.Table{"design": t}
+}

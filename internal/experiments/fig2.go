@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"faction/internal/online"
+	"faction/internal/report"
+)
+
+// PanelSet is one dataset row of Fig. 2: per-task curves of the four metrics
+// for every compared method.
+type PanelSet struct {
+	Dataset string
+	// Panels maps metric → one series per method.
+	Panels map[Metric][]report.Series
+}
+
+// Fig2Result is the full main comparison (Fig. 2): Accuracy/DDP/EOD/MI
+// per-task curves on all five datasets for all eight methods.
+type Fig2Result struct {
+	Datasets []string
+	Methods  []string
+	Rows     []PanelSet
+}
+
+// RunFig2 executes the Fig. 2 grid: every method on every dataset, Runs
+// times, reporting per-task mean ± std curves.
+func RunFig2(opt Options) *Fig2Result {
+	opt.setDefaults()
+	mkMethods := func(runSeed int64) []online.MethodSpec {
+		var out []online.MethodSpec
+		for _, m := range online.Methods(runSeed) {
+			if opt.wantMethod(m.Name) {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	grid := runGrid(opt, opt.Datasets, mkMethods)
+
+	res := &Fig2Result{Datasets: opt.Datasets}
+	for _, name := range online.MethodNames() {
+		if opt.wantMethod(name) {
+			res.Methods = append(res.Methods, name)
+		}
+	}
+	for _, ds := range opt.Datasets {
+		row := PanelSet{Dataset: ds, Panels: map[Metric][]report.Series{}}
+		for _, metric := range Metrics() {
+			for _, method := range res.Methods {
+				row.Panels[metric] = append(row.Panels[metric], taskSeries(method, grid[ds][method], metric))
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints every panel as a per-task table, mirroring the figure's
+// 5×4 grid of plots.
+func (r *Fig2Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 2: per-task metrics, %d methods × %d datasets\n", len(r.Methods), len(r.Datasets))
+	fmt.Fprintf(w, "(higher is better for Accuracy; lower is better for DDP/EOD/MI)\n\n")
+	for _, row := range r.Rows {
+		for _, metric := range Metrics() {
+			report.Chart(w, fmt.Sprintf("[%s] %s per task", row.Dataset, metric), row.Panels[metric], 10)
+			fmt.Fprintln(w)
+			report.RenderSeries(w, "", row.Panels[metric], 3)
+			fmt.Fprintln(w)
+		}
+	}
+	r.SummaryTable().Render(w)
+	fmt.Fprintln(w)
+	for _, metric := range []Metric{MetricDDP, MetricEOD, MetricMI} {
+		wins := r.FairnessWinRate("FACTION", metric)
+		for _, ds := range r.Datasets {
+			if rate, ok := wins[ds]; ok {
+				fmt.Fprintf(w, "FACTION best %s on %.0f%% of %s tasks\n", metric, rate*100, ds)
+			}
+		}
+	}
+}
+
+// SummaryTable condenses Fig. 2 into mean-over-tasks values per dataset and
+// method (one row per method, metric columns) — the quick textual check of
+// "who wins".
+func (r *Fig2Result) SummaryTable() *report.Table {
+	t := &report.Table{
+		Title:   "Figure 2 summary: mean over tasks (Accuracy↑ / DDP↓ / EOD↓ / MI↓)",
+		Columns: []string{"dataset", "method", "Accuracy", "DDP", "EOD", "MI"},
+	}
+	for _, row := range r.Rows {
+		for mi, method := range r.Methods {
+			cells := []string{row.Dataset, method}
+			for _, metric := range Metrics() {
+				s := row.Panels[metric][mi]
+				cells = append(cells, report.F(report.Mean(s.Mean), 3))
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return t
+}
+
+// FairnessWinRate returns, per dataset, the fraction of tasks on which the
+// named method attains the best (lowest) value of the given fairness metric
+// among all compared methods — the paper's "majority of tasks" claim.
+func (r *Fig2Result) FairnessWinRate(method string, metric Metric) map[string]float64 {
+	out := map[string]float64{}
+	for _, row := range r.Rows {
+		series := row.Panels[metric]
+		var target *report.Series
+		for i := range series {
+			if series[i].Name == method {
+				target = &series[i]
+			}
+		}
+		if target == nil || len(target.Mean) == 0 {
+			continue
+		}
+		wins := 0
+		for t := range target.Mean {
+			best := true
+			for i := range series {
+				if series[i].Name == method || t >= len(series[i].Mean) {
+					continue
+				}
+				if series[i].Mean[t] < target.Mean[t] {
+					best = false
+					break
+				}
+			}
+			if best {
+				wins++
+			}
+		}
+		out[row.Dataset] = float64(wins) / float64(len(target.Mean))
+	}
+	return out
+}

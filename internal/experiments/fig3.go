@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"faction/internal/active"
+	"faction/internal/faction"
+	"faction/internal/online"
+	"faction/internal/report"
+)
+
+// TradeoffPoint is one configuration of one fairness-aware method in the
+// accuracy–EOD plane of Fig. 3 (top-left is preferred).
+type TradeoffPoint struct {
+	Method string
+	Param  string
+	Value  float64
+	Acc    float64
+	AccStd float64
+	EOD    float64
+	EODStd float64
+}
+
+// Fig3Result holds the fairness–accuracy trade-off sweeps per dataset.
+type Fig3Result struct {
+	Datasets []string
+	// Points maps dataset → sweep points of all four fairness-aware methods.
+	Points map[string][]TradeoffPoint
+}
+
+// fig3Sweeps mirrors Section V-B's sensitivity analysis: each fairness-aware
+// method's key parameter and its swept values.
+func fig3Sweeps() []struct {
+	Method string
+	Param  string
+	Values []float64
+	Make   func(v float64, seed int64) online.MethodSpec
+} {
+	return []struct {
+		Method string
+		Param  string
+		Values []float64
+		Make   func(v float64, seed int64) online.MethodSpec
+	}{
+		{
+			Method: "FACTION", Param: "mu",
+			Values: []float64{0.3, 0.5, 0.7, 1.4, 2.8},
+			Make: func(v float64, seed int64) online.MethodSpec {
+				o := faction.Defaults()
+				o.Mu = v
+				spec := online.FactionSpec(o)
+				spec.Name = fmt.Sprintf("FACTION(mu=%g)", v)
+				return spec
+			},
+		},
+		{
+			Method: "FAL", Param: "l",
+			Values: []float64{64, 96, 128, 196, 256},
+			Make: func(v float64, seed int64) online.MethodSpec {
+				return online.MethodSpec{
+					Name:     fmt.Sprintf("FAL(l=%g)", v),
+					Strategy: active.FAL{L: int(v)},
+				}
+			},
+		},
+		{
+			Method: "FAL-CUR", Param: "beta",
+			Values: []float64{0.3, 0.4, 0.5, 0.6, 0.7},
+			Make: func(v float64, seed int64) online.MethodSpec {
+				return online.MethodSpec{
+					Name:     fmt.Sprintf("FAL-CUR(beta=%g)", v),
+					Strategy: active.FALCUR{K: 8, Beta: v},
+				}
+			},
+		},
+		{
+			Method: "Decoupled", Param: "alpha",
+			Values: []float64{0.1, 0.2, 0.4, 0.6, 0.8},
+			Make: func(v float64, seed int64) online.MethodSpec {
+				return online.MethodSpec{
+					Name:     fmt.Sprintf("Decoupled(alpha=%g)", v),
+					Strategy: active.Decoupled{Threshold: v, Seed: seed},
+				}
+			},
+		},
+	}
+}
+
+// RunFig3 sweeps each fairness-aware method's key parameter and reports the
+// resulting mean accuracy and EOD (over tasks and runs) per configuration.
+func RunFig3(opt Options) *Fig3Result {
+	opt.setDefaults()
+	sweeps := fig3Sweeps()
+	mkMethods := func(runSeed int64) []online.MethodSpec {
+		var out []online.MethodSpec
+		for _, sw := range sweeps {
+			if !opt.wantMethod(sw.Method) {
+				continue
+			}
+			for _, v := range sw.Values {
+				out = append(out, sw.Make(v, runSeed))
+			}
+		}
+		return out
+	}
+	grid := runGrid(opt, opt.Datasets, mkMethods)
+
+	res := &Fig3Result{Datasets: opt.Datasets, Points: map[string][]TradeoffPoint{}}
+	for _, ds := range opt.Datasets {
+		for _, sw := range sweeps {
+			if !opt.wantMethod(sw.Method) {
+				continue
+			}
+			for _, v := range sw.Values {
+				name := sw.Make(v, 0).Name
+				runs := grid[ds][name]
+				accs := meanOverTasks(runs, MetricAccuracy)
+				eods := meanOverTasks(runs, MetricEOD)
+				res.Points[ds] = append(res.Points[ds], TradeoffPoint{
+					Method: sw.Method,
+					Param:  sw.Param,
+					Value:  v,
+					Acc:    report.Mean(accs),
+					AccStd: report.Std(accs),
+					EOD:    report.Mean(eods),
+					EODStd: report.Std(eods),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// Render prints one trade-off table per dataset (the textual Fig. 3 panel).
+func (r *Fig3Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3: fairness–accuracy trade-offs (Accuracy↑ vs EOD↓; top-left preferred)")
+	for _, ds := range r.Datasets {
+		t := report.Table{
+			Title:   fmt.Sprintf("\n[%s]", ds),
+			Columns: []string{"method", "param", "value", "Accuracy", "EOD"},
+		}
+		for _, p := range r.Points[ds] {
+			t.AddRow(p.Method, p.Param, report.F(p.Value, 2),
+				report.MeanStd(p.Acc, p.AccStd, 3), report.MeanStd(p.EOD, p.EODStd, 3))
+		}
+		t.Render(w)
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"faction/internal/active"
+	"faction/internal/online"
+	"faction/internal/report"
+)
+
+// Fig5Result holds both runtime comparisons: (a) the fairness-aware models
+// and (b) FACTION against its ablated variants plus Random.
+type Fig5Result struct {
+	Datasets []string
+	// FairAware maps dataset → method → runtime seconds (mean, std).
+	FairAware map[string]map[string][2]float64
+	// Variants maps dataset → variant → runtime seconds (mean, std).
+	Variants map[string]map[string][2]float64
+
+	FairAwareOrder []string
+	VariantOrder   []string
+}
+
+// RunFig5 measures wall-clock runtimes of (a) the four fairness-aware methods
+// and (b) the FACTION ablation ladder, per dataset (Fig. 5a/5b).
+func RunFig5(opt Options) *Fig5Result {
+	opt.setDefaults()
+
+	fairAware := func(runSeed int64) []online.MethodSpec {
+		return []online.MethodSpec{
+			mustMethod("FACTION", runSeed),
+			{Name: "FAL", Strategy: active.FAL{L: 128}},
+			{Name: "FAL-CUR", Strategy: active.FALCUR{K: 8, Beta: 0.5}},
+			{Name: "Decoupled", Strategy: active.Decoupled{Threshold: 0.2, Seed: runSeed}},
+		}
+	}
+	variants := func(runSeed int64) []online.MethodSpec {
+		specs := ablationSpecs()
+		specs = append(specs, online.MethodSpec{Name: "Random", Strategy: active.Random{}})
+		return specs
+	}
+
+	res := &Fig5Result{
+		Datasets:       opt.Datasets,
+		FairAware:      map[string]map[string][2]float64{},
+		Variants:       map[string]map[string][2]float64{},
+		FairAwareOrder: []string{"FACTION", "FAL", "FAL-CUR", "Decoupled"},
+		VariantOrder: []string{
+			"Random",
+			"FACTION w/o fair select & fair reg",
+			"FACTION w/o fair reg",
+			"FACTION w/o fair select",
+			"FACTION",
+		},
+	}
+
+	gridA := runGrid(opt, opt.Datasets, fairAware)
+	gridB := runGrid(opt, opt.Datasets, variants)
+	for _, ds := range opt.Datasets {
+		res.FairAware[ds] = map[string][2]float64{}
+		for _, m := range res.FairAwareOrder {
+			secs := runtimesSeconds(gridA[ds][m])
+			res.FairAware[ds][m] = [2]float64{report.Mean(secs), report.Std(secs)}
+		}
+		res.Variants[ds] = map[string][2]float64{}
+		for _, m := range res.VariantOrder {
+			secs := runtimesSeconds(gridB[ds][m])
+			res.Variants[ds][m] = [2]float64{report.Mean(secs), report.Std(secs)}
+		}
+	}
+	return res
+}
+
+func mustMethod(name string, seed int64) online.MethodSpec {
+	m, err := online.MethodByName(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Render prints the two runtime tables.
+func (r *Fig5Result) Render(w io.Writer) {
+	a := report.Table{
+		Title:   "Figure 5a: runtimes of fairness-aware models (seconds, mean ± std)",
+		Columns: append([]string{"method"}, r.Datasets...),
+	}
+	for _, m := range r.FairAwareOrder {
+		row := []string{m}
+		for _, ds := range r.Datasets {
+			v := r.FairAware[ds][m]
+			row = append(row, report.MeanStd(v[0], v[1], 2))
+		}
+		a.AddRow(row...)
+	}
+	a.Render(w)
+	fmt.Fprintln(w)
+
+	b := report.Table{
+		Title:   "Figure 5b: runtimes of FACTION vs ablated variants (seconds, mean ± std)",
+		Columns: append([]string{"variant"}, r.Datasets...),
+	}
+	for _, m := range r.VariantOrder {
+		row := []string{m}
+		for _, ds := range r.Datasets {
+			v := r.Variants[ds][m]
+			row = append(row, report.MeanStd(v[0], v[1], 2))
+		}
+		b.AddRow(row...)
+	}
+	b.Render(w)
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"faction/internal/data"
+	"faction/internal/online"
+	"faction/internal/report"
+	"faction/internal/rngutil"
+)
+
+// Fig6Result is the wide-backbone generality check (Fig. 6): all methods on
+// the CelebA stream with the WRN-50-analog architecture.
+type Fig6Result struct {
+	Methods []string
+	Hidden  []int
+	Panels  map[Metric][]report.Series
+}
+
+// RunFig6 repeats the CelebA comparison with the wide backbone applied to
+// FACTION and all baselines alike.
+func RunFig6(opt Options) *Fig6Result {
+	opt.setDefaults()
+	opt.Datasets = []string{"celeba"}
+	hidden := opt.Scale.WideHidden()
+
+	// runGrid derives the run config from the scale; this experiment patches
+	// Hidden, so the grid is run explicitly (parallel across runs × methods).
+	type cell struct {
+		method string
+		run    int
+		res    online.RunResult
+	}
+	var cells []cell
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Workers)
+	for r := 0; r < opt.Runs; r++ {
+		runSeed := rngutil.DeriveSeed(opt.Seed, "fig6", fmt.Sprint(r))
+		stream := data.CelebA(opt.Scale.StreamConfig(runSeed))
+		for _, spec := range online.Methods(runSeed) {
+			if !opt.wantMethod(spec.Name) {
+				continue
+			}
+			wg.Add(1)
+			go func(spec online.MethodSpec, r int, stream *data.Stream) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				cfg := opt.Scale.RunConfig(rngutil.DeriveSeed(opt.Seed, "fig6run", spec.Name, fmt.Sprint(r)))
+				cfg.Hidden = hidden
+				res := online.Run(stream, spec, cfg)
+				mu.Lock()
+				cells = append(cells, cell{method: spec.Name, run: r, res: res})
+				mu.Unlock()
+				opt.progressf("done fig6 %-12s run %d (%.1fs)\n", spec.Name, r, res.Elapsed.Seconds())
+			}(spec, r, stream)
+		}
+	}
+	wg.Wait()
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].method != cells[b].method {
+			return cells[a].method < cells[b].method
+		}
+		return cells[a].run < cells[b].run
+	})
+	grid := map[string][]online.RunResult{}
+	for _, c := range cells {
+		grid[c.method] = append(grid[c.method], c.res)
+	}
+
+	out := &Fig6Result{Hidden: hidden, Panels: map[Metric][]report.Series{}}
+	for _, name := range online.MethodNames() {
+		if opt.wantMethod(name) {
+			out.Methods = append(out.Methods, name)
+		}
+	}
+	for _, metric := range Metrics() {
+		for _, method := range out.Methods {
+			out.Panels[metric] = append(out.Panels[metric], taskSeries(method, grid[method], metric))
+		}
+	}
+	return out
+}
+
+// Render prints the wide-backbone panels.
+func (r *Fig6Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6: CelebA with wide backbone (hidden %v) for all methods\n", r.Hidden)
+	for _, metric := range Metrics() {
+		fmt.Fprintln(w)
+		report.Chart(w, fmt.Sprintf("[celeba/wide] %s per task", metric), r.Panels[metric], 8)
+		report.RenderSeries(w, "", r.Panels[metric], 3)
+	}
+}
+
+// MeanOverTasks returns the mean of a metric over tasks per method.
+func (r *Fig6Result) MeanOverTasks(metric Metric) map[string]float64 {
+	out := map[string]float64{}
+	for i, m := range r.Methods {
+		out[m] = report.Mean(r.Panels[metric][i].Mean)
+	}
+	return out
+}

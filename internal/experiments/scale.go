@@ -1,0 +1,102 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Section V): Fig. 2 (main comparison), Fig. 3
+// (fairness–accuracy trade-off sweeps), Fig. 4 (ablations), Fig. 5
+// (runtimes), Table I (NYSF ablation summary), Fig. 6 (wide-backbone CelebA)
+// and the empirical validation of Theorem 1. Each runner executes the online
+// protocol grid — datasets × methods × repeated runs — in parallel and
+// aggregates mean ± std statistics, rendering the same rows/series the paper
+// reports.
+package experiments
+
+import (
+	"fmt"
+
+	"faction/internal/data"
+	"faction/internal/online"
+)
+
+// Scale selects how close a run is to the paper's protocol. The shapes of
+// all results are expected to hold at every scale; the paper scale matches
+// Section V-A3 (B=200, A=50, warm start 100, hidden width 512, pools ≥ 10×B).
+type Scale string
+
+// Supported scales.
+const (
+	// ScaleCI is small enough for test suites and `go test -bench`.
+	ScaleCI Scale = "ci"
+	// ScaleSmall is a laptop-minutes configuration with clearer separation.
+	ScaleSmall Scale = "small"
+	// ScalePaper reproduces the protocol constants of Section V.
+	ScalePaper Scale = "paper"
+)
+
+// ParseScale validates a scale name.
+func ParseScale(s string) (Scale, error) {
+	switch Scale(s) {
+	case ScaleCI, ScaleSmall, ScalePaper:
+		return Scale(s), nil
+	}
+	return "", fmt.Errorf("experiments: unknown scale %q (want ci, small or paper)", s)
+}
+
+// StreamConfig returns the dataset-generation parameters for the scale.
+func (s Scale) StreamConfig(seed int64) data.StreamConfig {
+	switch s {
+	case ScaleSmall:
+		return data.StreamConfig{Seed: seed, SamplesPerTask: 500}
+	case ScalePaper:
+		return data.StreamConfig{Seed: seed, SamplesPerTask: 2200}
+	default:
+		return data.StreamConfig{Seed: seed, SamplesPerTask: 130}
+	}
+}
+
+// RunConfig returns the protocol parameters for the scale.
+func (s Scale) RunConfig(seed int64) online.Config {
+	cfg := online.DefaultConfig(seed)
+	switch s {
+	case ScaleSmall:
+		cfg.Budget = 100
+		cfg.AcqSize = 50
+		cfg.WarmStart = 60
+		cfg.Epochs = 10
+		cfg.Hidden = []int{64}
+	case ScalePaper:
+		cfg.Budget = 200
+		cfg.AcqSize = 50
+		cfg.WarmStart = 100
+		cfg.Epochs = 15
+		cfg.Hidden = []int{512}
+	default: // ScaleCI
+		cfg.Budget = 40
+		cfg.AcqSize = 20
+		cfg.WarmStart = 40
+		cfg.Epochs = 5
+		cfg.Hidden = []int{32}
+	}
+	return cfg
+}
+
+// WideHidden returns the WRN-50-analog architecture for Fig. 6 at this scale.
+func (s Scale) WideHidden() []int {
+	switch s {
+	case ScaleSmall:
+		return []int{128, 128, 128}
+	case ScalePaper:
+		return []int{1024, 1024, 1024}
+	default:
+		return []int{64, 64, 64}
+	}
+}
+
+// DefaultRuns is the repetition count per scale (the paper uses 5 runs).
+func (s Scale) DefaultRuns() int {
+	switch s {
+	case ScaleSmall:
+		return 3
+	case ScalePaper:
+		return 5
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"io"
+
+	"faction/internal/active"
+	"faction/internal/online"
+	"faction/internal/report"
+)
+
+// Table1Row is one row of Table I: a FACTION variant's runtime and
+// mean-across-tasks metrics on the NYSF stream.
+type Table1Row struct {
+	Model      string
+	RuntimeSec float64
+	RuntimeStd float64
+	Acc        float64
+	DDP        float64
+	EOD        float64
+	MI         float64
+}
+
+// Table1Result reproduces Table I (NYSF ablation summary).
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 runs the five Table I configurations on the NYSF stream and
+// reports runtime plus mean-across-tasks Accuracy/DDP/EOD/MI.
+func RunTable1(opt Options) *Table1Result {
+	opt.setDefaults()
+	opt.Datasets = []string{"nysf"}
+	order := []string{
+		"Random",
+		"FACTION w/o fair select & fair reg",
+		"FACTION w/o fair reg",
+		"FACTION w/o fair select",
+		"FACTION",
+	}
+	mkMethods := func(runSeed int64) []online.MethodSpec {
+		specs := []online.MethodSpec{{Name: "Random", Strategy: active.Random{}}}
+		return append(specs, ablationSpecs()...)
+	}
+	grid := runGrid(opt, opt.Datasets, mkMethods)
+
+	res := &Table1Result{}
+	for _, name := range order {
+		runs := grid["nysf"][name]
+		secs := runtimesSeconds(runs)
+		res.Rows = append(res.Rows, Table1Row{
+			Model:      name,
+			RuntimeSec: report.Mean(secs),
+			RuntimeStd: report.Std(secs),
+			Acc:        report.Mean(meanOverTasks(runs, MetricAccuracy)),
+			DDP:        report.Mean(meanOverTasks(runs, MetricDDP)),
+			EOD:        report.Mean(meanOverTasks(runs, MetricEOD)),
+			MI:         report.Mean(meanOverTasks(runs, MetricMI)),
+		})
+	}
+	return res
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table1Result) Render(w io.Writer) {
+	t := report.Table{
+		Title:   "Table I: FACTION vs ablated variants on NYSF (mean across all tasks)",
+		Columns: []string{"Model", "Runtime(s)", "Acc(↑)", "DDP(↓)", "EOD(↓)", "MI(↓)"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			row.Model,
+			report.MeanStd(row.RuntimeSec, row.RuntimeStd, 1),
+			report.F(row.Acc*100, 2),
+			report.F(row.DDP, 3),
+			report.F(row.EOD, 3),
+			report.F(row.MI, 3),
+		)
+	}
+	t.Render(w)
+}

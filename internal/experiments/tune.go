@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"faction/internal/data"
+	"faction/internal/faction"
+	"faction/internal/online"
+	"faction/internal/report"
+	"faction/internal/rngutil"
+)
+
+// TunePoint is one evaluated configuration of the μ grid.
+type TunePoint struct {
+	Mu       float64
+	Acc      float64
+	DDP      float64
+	EOD      float64
+	MI       float64
+	Selected bool
+}
+
+// TuneResult is the outcome of the Section V-A3 tuning procedure for μ:
+// the grid, the selected value, and the selection rule's inputs.
+type TuneResult struct {
+	Dataset string
+	// AccFloor is the accuracy constraint: best grid accuracy × (1 − Slack).
+	AccFloor float64
+	Slack    float64
+	Points   []TunePoint
+	BestMu   float64
+}
+
+// RunTune reproduces the paper's hyperparameter-tuning protocol for the
+// fairness weight μ (Section V-A3 tunes μ over {0.1 … 3}): run the protocol
+// on a held-out tuning stream for every candidate, then select the fairest
+// configuration (lowest DDP) whose mean accuracy stays within a slack of the
+// best achieved accuracy — the standard constrained model-selection rule for
+// fairness work. The tuning stream uses a seed disjoint from the evaluation
+// seeds so tuning never sees evaluation data.
+func RunTune(opt Options) *TuneResult {
+	opt.setDefaults()
+	dataset := "nysf"
+	if len(opt.Datasets) > 0 && len(opt.Datasets) < len(data.StreamNames()) {
+		dataset = opt.Datasets[0]
+	}
+	const slack = 0.05
+	grid := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.2, 1.8, 2.4, 3}
+
+	res := &TuneResult{Dataset: dataset, Slack: slack}
+	for _, mu := range grid {
+		var accs, ddps, eods, mis []float64
+		for r := 0; r < opt.Runs; r++ {
+			seed := rngutil.DeriveSeed(opt.Seed, "tune", dataset, fmt.Sprint(mu), fmt.Sprint(r))
+			stream, err := data.ByName(dataset, opt.Scale.StreamConfig(seed))
+			if err != nil {
+				panic(err)
+			}
+			o := faction.Defaults()
+			o.Mu = mu
+			cfg := opt.Scale.RunConfig(seed)
+			run := online.Run(stream, online.FactionSpec(o), cfg)
+			mean := run.MeanReport()
+			accs = append(accs, mean.Accuracy)
+			ddps = append(ddps, mean.DDP)
+			eods = append(eods, mean.EOD)
+			mis = append(mis, mean.MI)
+			opt.progressf("done tune mu=%g run %d\n", mu, r)
+		}
+		res.Points = append(res.Points, TunePoint{
+			Mu:  mu,
+			Acc: report.Mean(accs),
+			DDP: report.Mean(ddps),
+			EOD: report.Mean(eods),
+			MI:  report.Mean(mis),
+		})
+	}
+
+	bestAcc := 0.0
+	for _, p := range res.Points {
+		if p.Acc > bestAcc {
+			bestAcc = p.Acc
+		}
+	}
+	res.AccFloor = bestAcc * (1 - slack)
+	bestIdx := -1
+	for i, p := range res.Points {
+		if p.Acc < res.AccFloor {
+			continue
+		}
+		if bestIdx < 0 || p.DDP < res.Points[bestIdx].DDP {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 { // nothing meets the floor: fall back to most accurate
+		for i, p := range res.Points {
+			if bestIdx < 0 || p.Acc > res.Points[bestIdx].Acc {
+				bestIdx = i
+			}
+		}
+	}
+	res.Points[bestIdx].Selected = true
+	res.BestMu = res.Points[bestIdx].Mu
+	return res
+}
+
+// Render prints the tuning grid and the selected μ.
+func (r *TuneResult) Render(w io.Writer) {
+	t := report.Table{
+		Title:   fmt.Sprintf("μ tuning on %s (select lowest DDP with accuracy ≥ %.3f)", r.Dataset, r.AccFloor),
+		Columns: []string{"mu", "Acc(↑)", "DDP(↓)", "EOD(↓)", "MI(↓)", "selected"},
+	}
+	for _, p := range r.Points {
+		sel := ""
+		if p.Selected {
+			sel = "<=="
+		}
+		t.AddRow(report.F(p.Mu, 2), report.F(p.Acc, 3), report.F(p.DDP, 3),
+			report.F(p.EOD, 3), report.F(p.MI, 4), sel)
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "selected mu = %g\n", r.BestMu)
+}
+
+// CSVTables implements Tabler.
+func (r *TuneResult) CSVTables() map[string]*report.Table {
+	t := &report.Table{
+		Title:   "mu tuning grid",
+		Columns: []string{"mu", "acc", "ddp", "eod", "mi", "selected"},
+	}
+	for _, p := range r.Points {
+		sel := "0"
+		if p.Selected {
+			sel = "1"
+		}
+		t.AddRow(report.F(p.Mu, 4), report.F(p.Acc, 6), report.F(p.DDP, 6),
+			report.F(p.EOD, 6), report.F(p.MI, 6), sel)
+	}
+	return map[string]*report.Table{"grid": t}
+}

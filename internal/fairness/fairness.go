@@ -1,0 +1,185 @@
+// Package fairness implements the three group-fairness metrics the paper
+// reports (Section V-A1) — Difference of Demographic Parity (DDP), Equalized
+// Odds Difference (EOD) and Mutual Information (MI) — plus helper statistics
+// over binary predictions and a ±1 sensitive attribute.
+//
+// All metrics are defined so that lower absolute value means fairer, matching
+// the figures ("lower is better for fairness metrics").
+package fairness
+
+import (
+	"fmt"
+	"math"
+)
+
+// validate checks slice lengths and returns n.
+func validate(pred, y, s []int, needY bool) int {
+	n := len(pred)
+	if len(s) != n {
+		panic(fmt.Sprintf("fairness: %d predictions but %d sensitive values", n, len(s)))
+	}
+	if needY && len(y) != n {
+		panic(fmt.Sprintf("fairness: %d predictions but %d labels", n, len(y)))
+	}
+	return n
+}
+
+// DDP returns |P(ŷ=1 | s=+1) − P(ŷ=1 | s=−1)|, the demographic-parity gap.
+// It returns 0 when either group is empty (the gap is undefined).
+func DDP(pred, s []int) float64 {
+	n := validate(pred, nil, s, false)
+	var posRate, negRate, nPos, nNeg float64
+	for i := 0; i < n; i++ {
+		if s[i] == 1 {
+			nPos++
+			posRate += float64(pred[i])
+		} else {
+			nNeg++
+			negRate += float64(pred[i])
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0
+	}
+	return math.Abs(posRate/nPos - negRate/nNeg)
+}
+
+// EOD returns the equalized-odds difference: the larger of the true-positive
+// rate gap and the false-positive rate gap between the two sensitive groups
+// (Hardt et al. 2016). Rate gaps whose conditioning cell is empty in either
+// group contribute 0.
+func EOD(pred, y, s []int) float64 {
+	n := validate(pred, y, s, true)
+	// counts[s∈{0,1}][y][ŷ]
+	var counts [2][2][2]float64
+	for i := 0; i < n; i++ {
+		si := 0
+		if s[i] == 1 {
+			si = 1
+		}
+		yi, pi := y[i], pred[i]
+		if yi != 0 && yi != 1 || pi != 0 && pi != 1 {
+			panic(fmt.Sprintf("fairness: non-binary label %d / prediction %d", yi, pi))
+		}
+		counts[si][yi][pi]++
+	}
+	gap := func(yv int) float64 {
+		posDen := counts[1][yv][0] + counts[1][yv][1]
+		negDen := counts[0][yv][0] + counts[0][yv][1]
+		if posDen == 0 || negDen == 0 {
+			return 0
+		}
+		return math.Abs(counts[1][yv][1]/posDen - counts[0][yv][1]/negDen)
+	}
+	return math.Max(gap(1), gap(0)) // TPR gap vs FPR gap
+}
+
+// MI returns the empirical mutual information I(ŷ; s) in nats between the
+// binary prediction and the sensitive attribute. Zero means independence.
+func MI(pred, s []int) float64 {
+	n := validate(pred, nil, s, false)
+	if n == 0 {
+		return 0
+	}
+	var joint [2][2]float64
+	for i := 0; i < n; i++ {
+		si := 0
+		if s[i] == 1 {
+			si = 1
+		}
+		pi := pred[i]
+		if pi != 0 && pi != 1 {
+			panic(fmt.Sprintf("fairness: non-binary prediction %d", pi))
+		}
+		joint[si][pi]++
+	}
+	fn := float64(n)
+	mi := 0.0
+	for a := 0; a < 2; a++ {
+		pa := (joint[a][0] + joint[a][1]) / fn
+		for b := 0; b < 2; b++ {
+			pb := (joint[0][b] + joint[1][b]) / fn
+			pab := joint[a][b] / fn
+			if pab > 0 && pa > 0 && pb > 0 {
+				mi += pab * math.Log(pab/(pa*pb))
+			}
+		}
+	}
+	if mi < 0 { // guard against roundoff
+		mi = 0
+	}
+	return mi
+}
+
+// Report bundles one evaluation of all reported metrics on a task.
+type Report struct {
+	Accuracy float64
+	DDP      float64
+	EOD      float64
+	MI       float64
+}
+
+// Evaluate computes accuracy and all three fairness metrics for binary
+// predictions pred against ground truth y with sensitive attribute s.
+func Evaluate(pred, y, s []int) Report {
+	n := validate(pred, y, s, true)
+	correct := 0
+	for i := 0; i < n; i++ {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	acc := 0.0
+	if n > 0 {
+		acc = float64(correct) / float64(n)
+	}
+	return Report{
+		Accuracy: acc,
+		DDP:      DDP(pred, s),
+		EOD:      EOD(pred, y, s),
+		MI:       MI(pred, s),
+	}
+}
+
+// FlipRate returns the fraction of samples whose prediction changes between
+// the factual and counterfactual inputs — the empirical counterfactual
+// unfairness of Section IV-H (0 = perfectly counterfactually consistent).
+func FlipRate(pred, predCF []int) float64 {
+	if len(pred) != len(predCF) {
+		panic(fmt.Sprintf("fairness: %d factual but %d counterfactual predictions", len(pred), len(predCF)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	flips := 0
+	for i := range pred {
+		if pred[i] != predCF[i] {
+			flips++
+		}
+	}
+	return float64(flips) / float64(len(pred))
+}
+
+// GroupRates returns P(ŷ=1 | s=+1) and P(ŷ=1 | s=−1) (NaN for empty groups).
+// Exposed for diagnostics and the examples.
+func GroupRates(pred, s []int) (posGroup, negGroup float64) {
+	n := validate(pred, nil, s, false)
+	var pr, nr, np, nn float64
+	for i := 0; i < n; i++ {
+		if s[i] == 1 {
+			np++
+			pr += float64(pred[i])
+		} else {
+			nn++
+			nr += float64(pred[i])
+		}
+	}
+	posGroup, negGroup = math.NaN(), math.NaN()
+	if np > 0 {
+		posGroup = pr / np
+	}
+	if nn > 0 {
+		negGroup = nr / nn
+	}
+	return posGroup, negGroup
+}

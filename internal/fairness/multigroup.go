@@ -1,0 +1,144 @@
+package fairness
+
+import (
+	"math"
+	"sort"
+)
+
+// Multi-group fairness metrics: the Section IV-H extension to sensitive
+// attributes with more than two values. Each metric reduces to its binary
+// counterpart when exactly two groups are present (for DDP/EOD via the
+// max-pairwise-gap formulation; MIMulti is the general discrete mutual
+// information).
+
+// groupIndex maps each distinct sensitive value to a dense index, in sorted
+// value order for determinism.
+func groupIndex(s []int) (map[int]int, []int) {
+	seen := map[int]bool{}
+	for _, v := range s {
+		seen[v] = true
+	}
+	values := make([]int, 0, len(seen))
+	for v := range seen {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	idx := make(map[int]int, len(values))
+	for i, v := range values {
+		idx[v] = i
+	}
+	return idx, values
+}
+
+// DDPMulti returns the worst-case pairwise demographic-parity gap
+// max_{a,b} |P(ŷ=1|s=a) − P(ŷ=1|s=b)| over the observed groups.
+// It returns 0 with fewer than two groups.
+func DDPMulti(pred, s []int) float64 {
+	n := validate(pred, nil, s, false)
+	idx, values := groupIndex(s)
+	if len(values) < 2 {
+		return 0
+	}
+	pos := make([]float64, len(values))
+	cnt := make([]float64, len(values))
+	for i := 0; i < n; i++ {
+		g := idx[s[i]]
+		cnt[g]++
+		pos[g] += float64(pred[i])
+	}
+	return maxRateGap(pos, cnt)
+}
+
+// EODMulti returns the worst-case pairwise equalized-odds difference: the
+// larger of the maximal TPR gap and the maximal FPR gap across group pairs.
+func EODMulti(pred, y, s []int) float64 {
+	n := validate(pred, y, s, true)
+	idx, values := groupIndex(s)
+	if len(values) < 2 {
+		return 0
+	}
+	g := len(values)
+	pos := make([][]float64, 2) // [y][group]
+	cnt := make([][]float64, 2)
+	for yv := 0; yv < 2; yv++ {
+		pos[yv] = make([]float64, g)
+		cnt[yv] = make([]float64, g)
+	}
+	for i := 0; i < n; i++ {
+		yv := y[i]
+		if yv != 0 && yv != 1 {
+			panic("fairness: non-binary label")
+		}
+		gi := idx[s[i]]
+		cnt[yv][gi]++
+		pos[yv][gi] += float64(pred[i])
+	}
+	return math.Max(maxRateGap(pos[1], cnt[1]), maxRateGap(pos[0], cnt[0]))
+}
+
+// maxRateGap returns the largest pairwise difference of pos/cnt rates over
+// groups with nonzero counts.
+func maxRateGap(pos, cnt []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	groups := 0
+	for g := range cnt {
+		if cnt[g] == 0 {
+			continue
+		}
+		groups++
+		r := pos[g] / cnt[g]
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if groups < 2 {
+		return 0
+	}
+	return hi - lo
+}
+
+// MIMulti returns the empirical mutual information I(ŷ; s) in nats for a
+// sensitive attribute with arbitrarily many values.
+func MIMulti(pred, s []int) float64 {
+	n := validate(pred, nil, s, false)
+	if n == 0 {
+		return 0
+	}
+	idx, values := groupIndex(s)
+	g := len(values)
+	joint := make([][]float64, g)
+	for i := range joint {
+		joint[i] = make([]float64, 2)
+	}
+	for i := 0; i < n; i++ {
+		p := pred[i]
+		if p != 0 && p != 1 {
+			panic("fairness: non-binary prediction")
+		}
+		joint[idx[s[i]]][p]++
+	}
+	fn := float64(n)
+	mi := 0.0
+	predMarg := [2]float64{}
+	for gi := range joint {
+		predMarg[0] += joint[gi][0]
+		predMarg[1] += joint[gi][1]
+	}
+	for gi := range joint {
+		pg := (joint[gi][0] + joint[gi][1]) / fn
+		for p := 0; p < 2; p++ {
+			pj := joint[gi][p] / fn
+			pp := predMarg[p] / fn
+			if pj > 0 && pg > 0 && pp > 0 {
+				mi += pj * math.Log(pj/(pg*pp))
+			}
+		}
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}

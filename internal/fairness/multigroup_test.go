@@ -1,0 +1,139 @@
+package fairness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDDPMultiMatchesBinary(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(40)
+		pred := make([]int, n)
+		s := make([]int, n)
+		for i := range pred {
+			pred[i] = r.Intn(2)
+			s[i] = 2*r.Intn(2) - 1
+		}
+		return math.Abs(DDPMulti(pred, s)-DDP(pred, s)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEODMultiMatchesBinary(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(40)
+		pred := make([]int, n)
+		y := make([]int, n)
+		s := make([]int, n)
+		for i := range pred {
+			pred[i] = r.Intn(2)
+			y[i] = r.Intn(2)
+			s[i] = 2*r.Intn(2) - 1
+		}
+		return math.Abs(EODMulti(pred, y, s)-EOD(pred, y, s)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMIMultiMatchesBinary(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(40)
+		pred := make([]int, n)
+		s := make([]int, n)
+		for i := range pred {
+			pred[i] = r.Intn(2)
+			s[i] = 2*r.Intn(2) - 1
+		}
+		return math.Abs(MIMulti(pred, s)-MI(pred, s)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDDPMultiThreeGroupsKnown(t *testing.T) {
+	// Group 0 rate 1.0; group 1 rate 0.5; group 2 rate 0.0 → gap 1.0.
+	pred := []int{1, 1, 1, 0, 0, 0}
+	s := []int{0, 0, 1, 1, 2, 2}
+	if got := DDPMulti(pred, s); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("DDPMulti = %g, want 1", got)
+	}
+}
+
+func TestDDPMultiHidesNothing(t *testing.T) {
+	// A middle group with a distinct rate does not change the max gap, but a
+	// new extreme group widens it.
+	pred := []int{1, 0, 1, 1}
+	s := []int{0, 1, 2, 2}
+	base := DDPMulti(pred[:2], s[:2]) // groups {0:1.0, 1:0.0} → 1.0
+	withMid := DDPMulti(pred, s)
+	if base != 1 || withMid != 1 {
+		t.Fatalf("gap should stay at the extremes: %g, %g", base, withMid)
+	}
+}
+
+func TestEODMultiThreeGroups(t *testing.T) {
+	// Among positives: group TPRs 1, 0, 1 → gap 1. No negatives.
+	pred := []int{1, 0, 1}
+	y := []int{1, 1, 1}
+	s := []int{0, 1, 2}
+	if got := EODMulti(pred, y, s); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("EODMulti = %g, want 1", got)
+	}
+}
+
+func TestMIMultiPerfectThreeWay(t *testing.T) {
+	// Prediction is determined by group membership for groups {0,1} and
+	// uniform within each; MI must be positive but below ln 2.
+	pred := []int{1, 1, 0, 0, 1, 0}
+	s := []int{0, 0, 1, 1, 2, 2}
+	got := MIMulti(pred, s)
+	if got <= 0 || got > math.Ln2+1e-12 {
+		t.Fatalf("MIMulti = %g", got)
+	}
+}
+
+func TestMultiSingleGroupZero(t *testing.T) {
+	pred := []int{1, 0, 1}
+	s := []int{5, 5, 5}
+	if DDPMulti(pred, s) != 0 || EODMulti(pred, []int{1, 0, 1}, s) != 0 {
+		t.Fatal("single group must give zero gaps")
+	}
+	if MIMulti(pred, s) != 0 {
+		t.Fatal("single group MI must be 0")
+	}
+}
+
+// Property: multi-group metrics are bounded and nonnegative for arbitrary
+// group labellings.
+func TestMultiBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		groups := 2 + r.Intn(5)
+		pred := make([]int, n)
+		y := make([]int, n)
+		s := make([]int, n)
+		for i := range pred {
+			pred[i] = r.Intn(2)
+			y[i] = r.Intn(2)
+			s[i] = r.Intn(groups) * 3 // arbitrary non-contiguous values
+		}
+		ddp := DDPMulti(pred, s)
+		eod := EODMulti(pred, y, s)
+		mi := MIMulti(pred, s)
+		return ddp >= 0 && ddp <= 1 && eod >= 0 && eod <= 1 && mi >= 0 && mi <= math.Log(float64(groups))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

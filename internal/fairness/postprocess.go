@@ -1,0 +1,141 @@
+package fairness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GroupThresholds are per-group decision thresholds on P(ŷ=1): a sample from
+// group s is predicted positive when its score exceeds the group's
+// threshold. Post-processing with group thresholds (Hardt et al., NeurIPS
+// 2016) is the third classical fairness mechanism, complementing FACTION's
+// in-processing regularizer and fair selection: it needs no retraining and
+// can be applied to any already-deployed scorer.
+type GroupThresholds struct {
+	Pos float64 // threshold for s = +1
+	Neg float64 // threshold for s = −1
+}
+
+// Apply thresholds the positive-class scores into binary predictions.
+func (g GroupThresholds) Apply(scores []float64, s []int) []int {
+	if len(scores) != len(s) {
+		panic(fmt.Sprintf("fairness: %d scores but %d sensitive values", len(scores), len(s)))
+	}
+	out := make([]int, len(scores))
+	for i, sc := range scores {
+		thr := g.Neg
+		if s[i] == 1 {
+			thr = g.Pos
+		}
+		if sc > thr {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// FitThresholds searches per-group thresholds on a labeled calibration set
+// (positive-class scores, labels, sensitive values) for the pair that
+// minimizes DDP subject to accuracy ≥ (1 − slack) × the best single-threshold
+// accuracy. Candidate thresholds are the observed score midpoints per group
+// (the only places the group's decision function changes), so the search is
+// exact over an O(n²) grid — fine for calibration-set sizes.
+//
+// It returns the fitted thresholds and the calibration report achieved. With
+// a single group present, both thresholds equal the accuracy-optimal one.
+func FitThresholds(scores []float64, y, s []int, slack float64) (GroupThresholds, Report) {
+	n := len(scores)
+	if len(y) != n || len(s) != n {
+		panic(fmt.Sprintf("fairness: %d scores but %d labels / %d sensitive values", n, len(y), len(s)))
+	}
+	if n == 0 {
+		return GroupThresholds{Pos: 0.5, Neg: 0.5}, Report{}
+	}
+	if slack < 0 {
+		slack = 0
+	}
+	posCands := thresholdCandidates(scores, s, 1)
+	negCands := thresholdCandidates(scores, s, -1)
+
+	// Baseline: the best shared threshold by accuracy.
+	shared := append(append([]float64{}, posCands...), negCands...)
+	bestAcc := 0.0
+	for _, t := range shared {
+		acc := accuracyAt(scores, y, s, GroupThresholds{Pos: t, Neg: t})
+		if acc > bestAcc {
+			bestAcc = acc
+		}
+	}
+	floor := bestAcc * (1 - slack)
+
+	best := GroupThresholds{Pos: 0.5, Neg: 0.5}
+	bestReport := Report{}
+	bestScore := math.Inf(1)
+	found := false
+	for _, tp := range posCands {
+		for _, tn := range negCands {
+			g := GroupThresholds{Pos: tp, Neg: tn}
+			pred := g.Apply(scores, s)
+			rep := Evaluate(pred, y, s)
+			if rep.Accuracy < floor {
+				continue
+			}
+			// Lexicographic-ish objective: DDP first, accuracy as tiebreak.
+			score := rep.DDP - 1e-6*rep.Accuracy
+			if score < bestScore {
+				bestScore = score
+				best = g
+				bestReport = rep
+				found = true
+			}
+		}
+	}
+	if !found { // degenerate calibration set: fall back to the shared optimum
+		for _, t := range shared {
+			g := GroupThresholds{Pos: t, Neg: t}
+			pred := g.Apply(scores, s)
+			rep := Evaluate(pred, y, s)
+			if rep.Accuracy >= bestReport.Accuracy {
+				best = g
+				bestReport = rep
+			}
+		}
+	}
+	return best, bestReport
+}
+
+// thresholdCandidates returns decision boundaries for one group: midpoints
+// between consecutive distinct scores, plus sentinels below/above all scores.
+// When the group is absent, the candidates fall back to all scores.
+func thresholdCandidates(scores []float64, s []int, group int) []float64 {
+	var vals []float64
+	for i, sc := range scores {
+		if s[i] == group {
+			vals = append(vals, sc)
+		}
+	}
+	if len(vals) == 0 {
+		vals = append(vals, scores...)
+	}
+	sort.Float64s(vals)
+	cands := []float64{vals[0] - 1}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[i-1] {
+			cands = append(cands, (vals[i]+vals[i-1])/2)
+		}
+	}
+	cands = append(cands, vals[len(vals)-1]+1)
+	return cands
+}
+
+func accuracyAt(scores []float64, y, s []int, g GroupThresholds) float64 {
+	pred := g.Apply(scores, s)
+	correct := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}

@@ -1,0 +1,113 @@
+package fairness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGroupThresholdsApply(t *testing.T) {
+	g := GroupThresholds{Pos: 0.7, Neg: 0.3}
+	scores := []float64{0.5, 0.5, 0.8, 0.2}
+	s := []int{1, -1, 1, -1}
+	pred := g.Apply(scores, s)
+	want := []int{0, 1, 1, 0}
+	for i := range want {
+		if pred[i] != want[i] {
+			t.Fatalf("pred = %v, want %v", pred, want)
+		}
+	}
+}
+
+func TestGroupThresholdsApplyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GroupThresholds{}.Apply([]float64{0.5}, []int{1, -1})
+}
+
+// TestFitThresholdsReducesDDP constructs a biased scorer: group +1 gets a
+// score boost irrelevant to the label. A shared threshold then over-predicts
+// positives for group +1; fitted group thresholds must cancel the boost.
+func TestFitThresholdsReducesDDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 600
+	scores := make([]float64, n)
+	y := make([]int, n)
+	s := make([]int, n)
+	for i := 0; i < n; i++ {
+		y[i] = rng.Intn(2)
+		s[i] = 2*rng.Intn(2) - 1
+		base := 0.25 + 0.5*float64(y[i]) + rng.NormFloat64()*0.08
+		if s[i] == 1 {
+			base += 0.25 // the bias: group +1 scores systematically higher
+		}
+		scores[i] = math.Max(0, math.Min(1, base))
+	}
+	// Shared-threshold baseline at 0.5.
+	sharedPred := GroupThresholds{Pos: 0.5, Neg: 0.5}.Apply(scores, s)
+	sharedRep := Evaluate(sharedPred, y, s)
+	if sharedRep.DDP < 0.2 {
+		t.Fatalf("test setup: shared-threshold DDP %.3f should be large", sharedRep.DDP)
+	}
+
+	g, rep := FitThresholds(scores, y, s, 0.05)
+	if rep.DDP >= sharedRep.DDP/2 {
+		t.Fatalf("fitted DDP %.3f should at least halve the shared %.3f", rep.DDP, sharedRep.DDP)
+	}
+	if g.Pos <= g.Neg {
+		t.Fatalf("boosted group should get the higher threshold: %+v", g)
+	}
+	if rep.Accuracy < 0.75 {
+		t.Fatalf("accuracy %.3f collapsed", rep.Accuracy)
+	}
+}
+
+func TestFitThresholdsRespectsAccuracyFloor(t *testing.T) {
+	// Label fully determined by score; groups identical. The fitted pair must
+	// keep near-perfect accuracy and near-zero DDP.
+	rng := rand.New(rand.NewSource(2))
+	n := 200
+	scores := make([]float64, n)
+	y := make([]int, n)
+	s := make([]int, n)
+	for i := 0; i < n; i++ {
+		y[i] = rng.Intn(2)
+		s[i] = 2*rng.Intn(2) - 1
+		scores[i] = 0.2 + 0.6*float64(y[i])
+	}
+	_, rep := FitThresholds(scores, y, s, 0.02)
+	if rep.Accuracy < 0.99 {
+		t.Fatalf("accuracy = %.3f, want ≈1 on separable scores", rep.Accuracy)
+	}
+	if rep.DDP > 0.1 {
+		t.Fatalf("DDP = %.3f on unbiased data", rep.DDP)
+	}
+}
+
+func TestFitThresholdsDegenerateInputs(t *testing.T) {
+	// Empty input.
+	g, rep := FitThresholds(nil, nil, nil, 0.1)
+	if g.Pos != 0.5 || rep.Accuracy != 0 {
+		t.Fatalf("empty: %+v %+v", g, rep)
+	}
+	// Single group: still returns usable thresholds.
+	scores := []float64{0.1, 0.9, 0.2, 0.8}
+	y := []int{0, 1, 0, 1}
+	s := []int{1, 1, 1, 1}
+	_, rep = FitThresholds(scores, y, s, 0.05)
+	if rep.Accuracy != 1 {
+		t.Fatalf("single-group accuracy = %.3f", rep.Accuracy)
+	}
+}
+
+func TestFitThresholdsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FitThresholds([]float64{0.5}, []int{1, 0}, []int{1}, 0)
+}

@@ -1,0 +1,302 @@
+// Package gda implements the Gaussian Discriminant Analysis density estimator
+// of Section IV-B: a Gaussian mixture with one component per (class label,
+// sensitive attribute) pair, fitted by mean/covariance estimation on feature
+// vectors. The overall density g(z) = Σ_y Σ_s g(z|y,s)·p(y,s) (Eq. 3)
+// measures epistemic uncertainty (low density ⇒ high uncertainty ⇒ likely
+// OOD), and the within-class cross-group density gaps
+// Δg_c(z) = |g(z|c,s=+1) − g(z|c,s=−1)| (Eqs. 4–5) are the paper's fair
+// epistemic uncertainty notion.
+//
+// A class-only variant (components per class, as in Deep Deterministic
+// Uncertainty, Mukhoti et al. 2023) is provided for the DDU baseline.
+package gda
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"faction/internal/mat"
+)
+
+// ErrNoData is returned when fitting is attempted on an empty set.
+var ErrNoData = errors.New("gda: no samples to fit")
+
+// Config controls covariance estimation.
+type Config struct {
+	// Ridge is added to covariance diagonals for conditioning (default 1e-6).
+	Ridge float64
+	// Shrinkage blends each component covariance with the pooled covariance:
+	// Σ_k ← (1−α)Σ_k + αΣ_pool. Negative means automatic (α grows as the
+	// component's sample count shrinks relative to the dimension). Zero keeps
+	// per-component covariances.
+	Shrinkage float64
+	// MinComponentSamples is the minimum sample count for a component to get
+	// its own mean; sparser components fall back to the pooled estimate and
+	// are flagged Degenerate. Default 2.
+	MinComponentSamples int
+}
+
+func (c *Config) setDefaults() {
+	if c.Ridge <= 0 {
+		c.Ridge = 1e-6
+	}
+	if c.MinComponentSamples <= 0 {
+		c.MinComponentSamples = 2
+	}
+}
+
+// Component is one Gaussian of the mixture.
+type Component struct {
+	Y, S       int
+	N          int // samples it was fitted on
+	Mean       []float64
+	Weight     float64 // prior p(y,s)
+	Degenerate bool    // true when the component fell back to pooled stats
+
+	chol        *mat.Cholesky
+	logNormBase float64 // −(d/2)·log(2π) − ½·log|Σ|
+}
+
+// logPDF returns log N(z; mean, Σ).
+func (c *Component) logPDF(z []float64) float64 {
+	return c.logNormBase - 0.5*c.chol.Mahalanobis(z, c.Mean)
+}
+
+// Estimator is the fitted density model G(z).
+type Estimator struct {
+	Dim        int
+	Classes    int
+	SensValues []int // distinct sensitive values, e.g. {-1, +1}; {0} for class-only
+
+	// TrainLogDensities holds log g(z) for every training sample, in input
+	// order — the calibration data for OOD thresholds (e.g. "flag anything
+	// below the 5% training quantile"). Persisted by Save/Load.
+	TrainLogDensities []float64
+
+	comps map[[2]int]*Component
+}
+
+// Fit builds the (class × sensitive) mixture of Section IV-B from feature
+// vectors (one row per sample), labels y ∈ [0, classes) and sensitive values
+// s (each must appear in sensValues). Components that received no samples are
+// absent; callers observe that through Component lookups returning nil.
+func Fit(features *mat.Dense, y, s []int, classes int, sensValues []int, cfg Config) (*Estimator, error) {
+	cfg.setDefaults()
+	n, d := features.Rows, features.Cols
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	if len(y) != n || len(s) != n {
+		panic(fmt.Sprintf("gda: %d rows but %d labels / %d sensitive values", n, len(y), len(s)))
+	}
+	if classes < 1 || len(sensValues) < 1 {
+		panic(fmt.Sprintf("gda: invalid %d classes / %d sensitive values", classes, len(sensValues)))
+	}
+	sensIdx := make(map[int]int, len(sensValues))
+	for i, v := range sensValues {
+		if _, dup := sensIdx[v]; dup {
+			panic(fmt.Sprintf("gda: duplicate sensitive value %d", v))
+		}
+		sensIdx[v] = i
+	}
+
+	// Partition row indices per component.
+	groups := map[[2]int][]int{}
+	for i := 0; i < n; i++ {
+		if y[i] < 0 || y[i] >= classes {
+			panic(fmt.Sprintf("gda: label %d out of range %d", y[i], classes))
+		}
+		if _, ok := sensIdx[s[i]]; !ok {
+			panic(fmt.Sprintf("gda: sensitive value %d not in %v", s[i], sensValues))
+		}
+		k := [2]int{y[i], s[i]}
+		groups[k] = append(groups[k], i)
+	}
+
+	globalMean := mat.MeanCols(features)
+	pooled := mat.Covariance(features, globalMean, cfg.Ridge)
+
+	e := &Estimator{Dim: d, Classes: classes, SensValues: append([]int(nil), sensValues...), comps: map[[2]int]*Component{}}
+	logTwoPi := float64(d) * math.Log(2*math.Pi)
+	for key, idx := range groups {
+		comp := &Component{Y: key[0], S: key[1], N: len(idx), Weight: float64(len(idx)) / float64(n)}
+		sub := mat.NewDense(len(idx), d)
+		for r, i := range idx {
+			copy(sub.Row(r), features.Row(i))
+		}
+		var cov *mat.Dense
+		if len(idx) < cfg.MinComponentSamples {
+			comp.Mean = append([]float64(nil), globalMean...)
+			cov = pooled.Clone()
+			comp.Degenerate = true
+		} else {
+			comp.Mean = mat.MeanCols(sub)
+			cov = mat.Covariance(sub, comp.Mean, cfg.Ridge)
+			alpha := cfg.Shrinkage
+			if alpha < 0 {
+				// Automatic: few samples relative to d ⇒ lean on the pool.
+				alpha = math.Min(1, float64(d)/float64(len(idx)+1))
+			}
+			if alpha > 0 {
+				cov.Scale(1 - alpha)
+				mat.AddScaled(cov, alpha, pooled)
+			}
+		}
+		ch, _, err := mat.NewCholeskyRidge(cov, cfg.Ridge, 14)
+		if err != nil {
+			return nil, fmt.Errorf("gda: component (y=%d,s=%d): %w", key[0], key[1], err)
+		}
+		comp.chol = ch
+		comp.logNormBase = -0.5*logTwoPi - 0.5*ch.LogDet()
+		e.comps[key] = comp
+	}
+	e.TrainLogDensities = make([]float64, n)
+	for i := 0; i < n; i++ {
+		e.TrainLogDensities[i] = e.LogDensity(features.Row(i))
+	}
+	return e, nil
+}
+
+// FitClassOnly builds the class-conditional mixture of the DDU baseline:
+// one component per class, priors p(y). Internally it is the same model with
+// a single pseudo sensitive value 0.
+func FitClassOnly(features *mat.Dense, y []int, classes int, cfg Config) (*Estimator, error) {
+	s := make([]int, features.Rows)
+	return Fit(features, y, s, classes, []int{0}, cfg)
+}
+
+// Component returns the fitted component for (y, s), or nil when no samples
+// with that combination were seen.
+func (e *Estimator) Component(y, s int) *Component {
+	return e.comps[[2]int{y, s}]
+}
+
+// NumComponents returns the number of fitted components.
+func (e *Estimator) NumComponents() int { return len(e.comps) }
+
+// LogDensity returns log g(z) = log Σ_{y,s} p(y,s)·g(z|y,s) (Eq. 3),
+// computed stably in log space.
+func (e *Estimator) LogDensity(z []float64) float64 {
+	e.checkDim(z)
+	terms := make([]float64, 0, len(e.comps))
+	for _, c := range e.comps {
+		terms = append(terms, math.Log(c.Weight)+c.logPDF(z))
+	}
+	return mat.LogSumExp(terms)
+}
+
+// LogCondDensity returns log g(z|y,s), or −Inf when the component is absent.
+func (e *Estimator) LogCondDensity(z []float64, y, s int) float64 {
+	e.checkDim(z)
+	c := e.Component(y, s)
+	if c == nil {
+		return math.Inf(-1)
+	}
+	return c.logPDF(z)
+}
+
+func (e *Estimator) checkDim(z []float64) {
+	if len(z) != e.Dim {
+		panic(fmt.Sprintf("gda: feature dim %d, want %d", len(z), e.Dim))
+	}
+}
+
+// BatchScores holds the relative densities of a batch on a common scale
+// (every value is multiplied by e^{−M}, where M is the batch-wide maximum
+// log density; the subsequent min–max normalization of Eq. 7 is invariant to
+// this shared scale, which is what makes the mixture usable far from the
+// training data where raw densities underflow float64).
+type BatchScores struct {
+	// G[i] is the scaled overall density g(z_i).
+	G []float64
+	// Delta[i][c] is the scaled Δg_c(z_i). For two sensitive values this is
+	// the paper's |g(z_i|c,+1) − g(z_i|c,−1)| (Eqs. 4–5); for more it
+	// generalizes to the worst-case pairwise gap
+	// max_{s,s'} |g(z_i|c,s) − g(z_i|c,s')| (the multi-valued extension of
+	// Section IV-H). Zero when a class has fewer than two fitted group
+	// components.
+	Delta [][]float64
+	// LogScale is M, the subtracted log-scale (exported for diagnostics).
+	LogScale float64
+}
+
+// ScoreBatch evaluates the overall density and the per-class fairness gaps
+// for each feature row, on a shared numeric scale (see BatchScores).
+func (e *Estimator) ScoreBatch(features *mat.Dense) BatchScores {
+	n := features.Rows
+	out := BatchScores{
+		G:     make([]float64, n),
+		Delta: make([][]float64, n),
+	}
+	if n == 0 {
+		return out
+	}
+	multiSens := len(e.SensValues) >= 2
+
+	logG := make([]float64, n)
+	// logCond[i][c][k] = log g(z_i | c, SensValues[k]).
+	logCond := make([][][]float64, n)
+	m := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		z := features.Row(i)
+		logG[i] = e.LogDensity(z)
+		if logG[i] > m {
+			m = logG[i]
+		}
+		if !multiSens {
+			continue
+		}
+		perClass := make([][]float64, e.Classes)
+		for c := 0; c < e.Classes; c++ {
+			row := make([]float64, len(e.SensValues))
+			for k, sv := range e.SensValues {
+				row[k] = e.LogCondDensity(z, c, sv)
+				if row[k] > m {
+					m = row[k]
+				}
+			}
+			perClass[c] = row
+		}
+		logCond[i] = perClass
+	}
+	if math.IsInf(m, -1) {
+		m = 0
+	}
+	out.LogScale = m
+	for i := 0; i < n; i++ {
+		out.G[i] = math.Exp(logG[i] - m)
+		delta := make([]float64, e.Classes)
+		if multiSens {
+			for c := 0; c < e.Classes; c++ {
+				delta[c] = maxPairwiseGap(logCond[i][c], m)
+			}
+		}
+		out.Delta[i] = delta
+	}
+	return out
+}
+
+// maxPairwiseGap returns max_{k,k'} |e^{l_k−m} − e^{l_k'−m}| over the finite
+// entries of logs; 0 when fewer than two components are present. Because the
+// gap is between the extreme values, it equals e^{max−m} − e^{min−m}.
+func maxPairwiseGap(logs []float64, m float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	finite := 0
+	for _, l := range logs {
+		if math.IsInf(l, -1) {
+			continue
+		}
+		finite++
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if finite < 2 {
+		return 0
+	}
+	return math.Exp(hi-m) - math.Exp(lo-m)
+}

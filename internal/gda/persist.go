@@ -1,0 +1,101 @@
+package gda
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"faction/internal/mat"
+)
+
+// estimatorSnapshot is the gob wire format of a fitted Estimator.
+type estimatorSnapshot struct {
+	Version    int
+	Dim        int
+	Classes    int
+	SensValues []int
+	TrainLDs   []float64
+	Comps      []componentSnapshot
+}
+
+type componentSnapshot struct {
+	Y, S        int
+	N           int
+	Mean        []float64
+	Weight      float64
+	Degenerate  bool
+	Factor      []float64 // lower-triangular Cholesky factor, row-major Dim×Dim
+	LogNormBase float64
+}
+
+const snapshotVersion = 1
+
+// Save serializes the fitted estimator to w.
+func (e *Estimator) Save(w io.Writer) error {
+	snap := estimatorSnapshot{
+		Version:    snapshotVersion,
+		Dim:        e.Dim,
+		Classes:    e.Classes,
+		SensValues: append([]int(nil), e.SensValues...),
+		TrainLDs:   append([]float64(nil), e.TrainLogDensities...),
+	}
+	for _, c := range e.comps {
+		snap.Comps = append(snap.Comps, componentSnapshot{
+			Y: c.Y, S: c.S, N: c.N,
+			Mean:        append([]float64(nil), c.Mean...),
+			Weight:      c.Weight,
+			Degenerate:  c.Degenerate,
+			Factor:      append([]float64(nil), c.chol.L().Data...),
+			LogNormBase: c.logNormBase,
+		})
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reconstructs an estimator saved with Save. Densities match the saved
+// model exactly.
+func Load(r io.Reader) (*Estimator, error) {
+	var snap estimatorSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("gda: decoding estimator: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("gda: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.Dim <= 0 || snap.Classes <= 0 || len(snap.SensValues) == 0 {
+		return nil, fmt.Errorf("gda: invalid snapshot header (dim %d, classes %d, %d sensitive values)",
+			snap.Dim, snap.Classes, len(snap.SensValues))
+	}
+	e := &Estimator{
+		Dim:               snap.Dim,
+		Classes:           snap.Classes,
+		SensValues:        append([]int(nil), snap.SensValues...),
+		TrainLogDensities: append([]float64(nil), snap.TrainLDs...),
+		comps:             map[[2]int]*Component{},
+	}
+	for i, cs := range snap.Comps {
+		if len(cs.Mean) != snap.Dim {
+			return nil, fmt.Errorf("gda: component %d mean has %d values, want %d", i, len(cs.Mean), snap.Dim)
+		}
+		if len(cs.Factor) != snap.Dim*snap.Dim {
+			return nil, fmt.Errorf("gda: component %d factor has %d values, want %d", i, len(cs.Factor), snap.Dim*snap.Dim)
+		}
+		ch, err := mat.CholeskyFromFactor(mat.NewDenseData(snap.Dim, snap.Dim, cs.Factor))
+		if err != nil {
+			return nil, fmt.Errorf("gda: component %d: %w", i, err)
+		}
+		key := [2]int{cs.Y, cs.S}
+		if _, dup := e.comps[key]; dup {
+			return nil, fmt.Errorf("gda: duplicate component (y=%d,s=%d)", cs.Y, cs.S)
+		}
+		e.comps[key] = &Component{
+			Y: cs.Y, S: cs.S, N: cs.N,
+			Mean:        append([]float64(nil), cs.Mean...),
+			Weight:      cs.Weight,
+			Degenerate:  cs.Degenerate,
+			chol:        ch,
+			logNormBase: cs.LogNormBase,
+		}
+	}
+	return e, nil
+}

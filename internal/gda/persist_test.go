@@ -1,0 +1,107 @@
+package gda
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"faction/internal/mat"
+)
+
+func TestEstimatorSaveLoadExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f, y, s, _ := clusters(rng, 60, 3)
+	orig, err := Fit(f, y, s, 2, []int{-1, 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dim != orig.Dim || loaded.Classes != orig.Classes || loaded.NumComponents() != orig.NumComponents() {
+		t.Fatal("header mismatch")
+	}
+	// Densities must match exactly on arbitrary probes.
+	probes := mat.FromRows([][]float64{{0, 0}, {3, 3}, {-7, 2}, {100, -100}})
+	for i := 0; i < probes.Rows; i++ {
+		z := probes.Row(i)
+		if orig.LogDensity(z) != loaded.LogDensity(z) {
+			t.Fatalf("probe %d: density mismatch", i)
+		}
+		for c := 0; c < 2; c++ {
+			for _, sv := range []int{-1, 1} {
+				if orig.LogCondDensity(z, c, sv) != loaded.LogCondDensity(z, c, sv) {
+					t.Fatalf("probe %d comp (%d,%d) mismatch", i, c, sv)
+				}
+			}
+		}
+	}
+	// Batch scores must match too.
+	a := orig.ScoreBatch(probes)
+	b := loaded.ScoreBatch(probes)
+	for i := range a.G {
+		if a.G[i] != b.G[i] {
+			t.Fatal("batch score mismatch")
+		}
+		for c := range a.Delta[i] {
+			if a.Delta[i][c] != b.Delta[i][c] {
+				t.Fatal("delta mismatch")
+			}
+		}
+	}
+}
+
+func TestEstimatorLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("junk")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestEstimatorLoadBadSnapshots(t *testing.T) {
+	encode := func(snap estimatorSnapshot) *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	good := func() estimatorSnapshot {
+		return estimatorSnapshot{
+			Version: snapshotVersion, Dim: 2, Classes: 2, SensValues: []int{-1, 1},
+			Comps: []componentSnapshot{{
+				Y: 0, S: 1, N: 3, Mean: []float64{0, 0}, Weight: 1,
+				Factor: []float64{1, 0, 0, 1}, LogNormBase: -1,
+			}},
+		}
+	}
+	cases := map[string]func(*estimatorSnapshot){
+		"bad version":    func(s *estimatorSnapshot) { s.Version = 9 },
+		"bad dim":        func(s *estimatorSnapshot) { s.Dim = 0 },
+		"no sens":        func(s *estimatorSnapshot) { s.SensValues = nil },
+		"short mean":     func(s *estimatorSnapshot) { s.Comps[0].Mean = []float64{1} },
+		"short factor":   func(s *estimatorSnapshot) { s.Comps[0].Factor = []float64{1} },
+		"not triangular": func(s *estimatorSnapshot) { s.Comps[0].Factor = []float64{1, 5, 0, 1} },
+		"bad diagonal":   func(s *estimatorSnapshot) { s.Comps[0].Factor = []float64{-1, 0, 0, 1} },
+		"dup component": func(s *estimatorSnapshot) {
+			s.Comps = append(s.Comps, s.Comps[0])
+		},
+	}
+	for name, corrupt := range cases {
+		snap := good()
+		corrupt(&snap)
+		if _, err := Load(encode(snap)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	// The uncorrupted snapshot loads fine.
+	if _, err := Load(encode(good())); err != nil {
+		t.Fatalf("control snapshot failed: %v", err)
+	}
+}

@@ -1,0 +1,244 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func matricesEqual(t *testing.T, got, want *Dense, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if !almostEqual(got.Data[i], want.Data[i], tol) {
+			t.Fatalf("element %d: got %g, want %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("NewDense not zeroed")
+		}
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("unexpected elements: %v", m.Data)
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	NewDense(2, 2).At(2, 0)
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 4, 4)
+	matricesEqual(t, Mul(a, Identity(4)), a, 1e-12)
+	matricesEqual(t, Mul(Identity(4), a), a, 1e-12)
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	matricesEqual(t, Mul(a, b), want, 1e-12)
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulIntoAliasPanics(t *testing.T) {
+	a := NewDense(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on aliased dst")
+		}
+	}()
+	MulInto(a, a, Identity(2))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomDense(rng, 3, 5)
+	matricesEqual(t, a.T().T(), a, 0)
+}
+
+func TestMulTAMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDense(rng, 6, 4)
+	b := randomDense(rng, 6, 3)
+	matricesEqual(t, MulTA(a, b), Mul(a.T(), b), 1e-10)
+}
+
+func TestMulTBMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomDense(rng, 5, 4)
+	b := randomDense(rng, 7, 4)
+	matricesEqual(t, MulTB(a, b), Mul(a, b.T()), 1e-10)
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	sum := Add(a, b)
+	matricesEqual(t, sum, FromRows([][]float64{{11, 22}, {33, 44}}), 0)
+	diff := Sub(b, a)
+	matricesEqual(t, diff, FromRows([][]float64{{9, 18}, {27, 36}}), 0)
+	c := a.Clone()
+	c.Scale(2)
+	matricesEqual(t, c, FromRows([][]float64{{2, 4}, {6, 8}}), 0)
+	AddScaled(c, -2, a)
+	for _, v := range c.Data {
+		if v != 0 {
+			t.Fatal("AddScaled failed")
+		}
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}})
+	AddInPlace(a, FromRows([][]float64{{2, 3}}))
+	matricesEqual(t, a, FromRows([][]float64{{3, 4}}), 0)
+}
+
+func TestApplyAndMaxAbs(t *testing.T) {
+	a := FromRows([][]float64{{-3, 2}})
+	a.Apply(math.Abs)
+	matricesEqual(t, a, FromRows([][]float64{{3, 2}}), 0)
+	if a.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs = %g", a.MaxAbs())
+	}
+	if NewDense(0, 0).MaxAbs() != 0 {
+		t.Fatal("empty MaxAbs should be 0")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := FromRows([][]float64{{3, 4}})
+	if !almostEqual(a.FrobeniusNorm(), 5, 1e-12) {
+		t.Fatalf("norm = %g", a.FrobeniusNorm())
+	}
+}
+
+func TestRowIsViewColIsCopy(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	a.Row(0)[1] = 99
+	if a.At(0, 1) != 99 {
+		t.Fatal("Row should be a view")
+	}
+	col := a.Col(0)
+	col[0] = -1
+	if a.At(0, 0) != 1 {
+		t.Fatal("Col should be a copy")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+// Property: matrix multiplication is associative (A·B)·C = A·(B·C).
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		k := 1 + r.Intn(6)
+		p := 1 + r.Intn(6)
+		q := 1 + r.Intn(6)
+		a := randomDense(r, n, k)
+		b := randomDense(r, k, p)
+		c := randomDense(r, p, q)
+		left := Mul(Mul(a, b), c)
+		right := Mul(a, Mul(b, c))
+		for i := range left.Data {
+			if !almostEqual(left.Data[i], right.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		k := 1 + r.Intn(5)
+		p := 1 + r.Intn(5)
+		a := randomDense(r, n, k)
+		b := randomDense(r, k, p)
+		left := Mul(a, b).T()
+		right := Mul(b.T(), a.T())
+		for i := range left.Data {
+			if !almostEqual(left.Data[i], right.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

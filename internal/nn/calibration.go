@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+
+	"faction/internal/mat"
+)
+
+// ECE computes the Expected Calibration Error of probabilistic predictions:
+// predictions are bucketed by confidence (the max class probability) into
+// `bins` equal-width bins, and ECE is the sample-weighted mean absolute gap
+// between each bin's average confidence and its empirical accuracy.
+//
+// Calibration matters here because the online protocol trains the same model
+// hundreds of cumulative epochs; an overconfident model keeps its accuracy
+// while its cross-entropy (and hence the regret of Eq. 2) degrades — the
+// failure mode the weight-decay option of the runner exists to prevent.
+func ECE(probs *mat.Dense, y []int, bins int) float64 {
+	n := probs.Rows
+	if len(y) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(y), n))
+	}
+	if bins <= 0 {
+		bins = 10
+	}
+	if n == 0 {
+		return 0
+	}
+	binConf := make([]float64, bins)
+	binAcc := make([]float64, bins)
+	binCnt := make([]float64, bins)
+	for i := 0; i < n; i++ {
+		row := probs.Row(i)
+		pred := mat.ArgMax(row)
+		conf := row[pred]
+		b := int(conf * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		binCnt[b]++
+		binConf[b] += conf
+		if pred == y[i] {
+			binAcc[b]++
+		}
+	}
+	ece := 0.0
+	for b := 0; b < bins; b++ {
+		if binCnt[b] == 0 {
+			continue
+		}
+		gap := binConf[b]/binCnt[b] - binAcc[b]/binCnt[b]
+		if gap < 0 {
+			gap = -gap
+		}
+		ece += gap * binCnt[b] / float64(n)
+	}
+	return ece
+}
+
+// Brier computes the mean Brier score (squared error of the probability
+// vector against the one-hot label), a proper scoring rule complementing ECE.
+func Brier(probs *mat.Dense, y []int) float64 {
+	n := probs.Rows
+	if len(y) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(y), n))
+	}
+	if n == 0 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		row := probs.Row(i)
+		for c, p := range row {
+			target := 0.0
+			if c == y[i] {
+				target = 1
+			}
+			d := p - target
+			total += d * d
+		}
+	}
+	return total / float64(n)
+}

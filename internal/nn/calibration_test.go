@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"faction/internal/mat"
+)
+
+func TestECEPerfectlyCalibrated(t *testing.T) {
+	// Predictions at confidence 1.0 that are always right: ECE = 0.
+	probs := mat.FromRows([][]float64{{1, 0}, {0, 1}, {1, 0}})
+	y := []int{0, 1, 0}
+	if got := ECE(probs, y, 10); got != 0 {
+		t.Fatalf("ECE = %g, want 0", got)
+	}
+}
+
+func TestECEMaximallyOverconfident(t *testing.T) {
+	// Confident and always wrong: ECE = 1.
+	probs := mat.FromRows([][]float64{{1, 0}, {1, 0}})
+	y := []int{1, 1}
+	if got := ECE(probs, y, 10); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ECE = %g, want 1", got)
+	}
+}
+
+func TestECEKnownGap(t *testing.T) {
+	// Four predictions at confidence 0.8, half right: gap = |0.8 − 0.5| = 0.3.
+	probs := mat.FromRows([][]float64{{0.8, 0.2}, {0.8, 0.2}, {0.8, 0.2}, {0.8, 0.2}})
+	y := []int{0, 0, 1, 1}
+	if got := ECE(probs, y, 10); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("ECE = %g, want 0.3", got)
+	}
+}
+
+func TestECEStatisticallyCalibrated(t *testing.T) {
+	// Predictions at confidence p that are right with probability p: ECE ≈ 0.
+	rng := rand.New(rand.NewSource(1))
+	n := 40000
+	probs := mat.NewDense(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		conf := 0.5 + rng.Float64()*0.5
+		probs.Set(i, 0, conf)
+		probs.Set(i, 1, 1-conf)
+		if rng.Float64() < conf {
+			y[i] = 0
+		} else {
+			y[i] = 1
+		}
+	}
+	if got := ECE(probs, y, 10); got > 0.02 {
+		t.Fatalf("ECE = %g, want ≈0 for a calibrated predictor", got)
+	}
+}
+
+func TestECEEdgeCases(t *testing.T) {
+	if ECE(mat.NewDense(0, 2), nil, 10) != 0 {
+		t.Fatal("empty ECE should be 0")
+	}
+	// bins ≤ 0 falls back to 10.
+	probs := mat.FromRows([][]float64{{1, 0}})
+	if ECE(probs, []int{0}, -1) != 0 {
+		t.Fatal("default bins")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	ECE(probs, []int{0, 1}, 10)
+}
+
+func TestBrier(t *testing.T) {
+	// Perfect: 0. Uniform binary: (0.5² + 0.5²) = 0.5. Confidently wrong: 2.
+	perfect := mat.FromRows([][]float64{{1, 0}})
+	if Brier(perfect, []int{0}) != 0 {
+		t.Fatal("perfect brier")
+	}
+	uniform := mat.FromRows([][]float64{{0.5, 0.5}})
+	if math.Abs(Brier(uniform, []int{0})-0.5) > 1e-12 {
+		t.Fatalf("uniform brier = %g", Brier(uniform, []int{0}))
+	}
+	wrong := mat.FromRows([][]float64{{1, 0}})
+	if math.Abs(Brier(wrong, []int{1})-2) > 1e-12 {
+		t.Fatalf("wrong brier = %g", Brier(wrong, []int{1}))
+	}
+	if Brier(mat.NewDense(0, 2), nil) != 0 {
+		t.Fatal("empty brier")
+	}
+}
+
+// TestECEDetectsOvertraining reproduces the miscalibration failure mode the
+// runner's WeightDecay option exists for: a model trained for hundreds of
+// epochs on noisy labels ends up more confident than it is accurate on held-
+// out data, and ECE exposes the gap.
+func TestECEDetectsOvertraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y, _ := separableData(rng, 400, 0.5)
+	// Flip 15% of labels: noise the model can only memorize.
+	for i := 0; i < 60; i++ {
+		y[i] = 1 - y[i]
+	}
+	testX, testY, _ := separableData(rng, 400, 0.5)
+	for i := 0; i < 60; i++ {
+		testY[i] = 1 - testY[i]
+	}
+	c := NewClassifier(Config{InputDim: 2, NumClasses: 2, Hidden: []int{32}, Seed: 3})
+	c.Train(x, y, nil, NewAdam(0.01), TrainOpts{Epochs: 300, BatchSize: 64}, rng)
+	probs := c.Probs(testX)
+	acc := Accuracy(c.Logits(testX), testY)
+	meanConf := 0.0
+	for i := 0; i < probs.Rows; i++ {
+		meanConf += probs.Row(i)[mat.ArgMax(probs.Row(i))]
+	}
+	meanConf /= float64(probs.Rows)
+	if meanConf <= acc {
+		t.Fatalf("overtrained model should be overconfident: conf %.3f vs acc %.3f", meanConf, acc)
+	}
+	if ece := ECE(probs, testY, 10); ece < 0.02 {
+		t.Fatalf("ECE = %.4f should expose the confidence/accuracy gap", ece)
+	}
+}

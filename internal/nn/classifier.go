@@ -1,0 +1,231 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"faction/internal/mat"
+)
+
+// Config describes a classifier architecture. The default experimental model
+// in the paper is a two-layer MLP (one hidden layer of width 512 plus the
+// output head) with features tapped at the first linear layer; the "wide"
+// variant used for the WRN-50 analog (Fig. 6) stacks three wider hidden
+// layers. Hidden = nil yields plain multinomial logistic regression, which is
+// the convex model used in the Theorem 1 validation experiments.
+type Config struct {
+	InputDim   int
+	NumClasses int
+	// Hidden lists hidden-layer widths. Each hidden layer is Linear+ReLU.
+	Hidden []int
+	// SpectralNorm applies power-iteration spectral normalization to every
+	// linear layer (Section IV-B's feature-space regularization).
+	SpectralNorm bool
+	// SpectralCoeff is the Lipschitz cap c (default 1 when zero).
+	SpectralCoeff float64
+	// DropoutRate inserts a Dropout layer after every hidden activation
+	// (0 disables). Required for ProbsMC / the BALD strategy.
+	DropoutRate float64
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+// DefaultHidden is the paper's tabular MLP hidden width.
+const DefaultHidden = 512
+
+// WideHidden returns the hidden widths of the WRN-50 analog used for Fig. 6.
+func WideHidden() []int { return []int{1024, 1024, 1024} }
+
+// Classifier wraps a Network with the training and inference operations the
+// online learners need: logits, probabilities, feature extraction, and
+// fairness-regularized minibatch training.
+type Classifier struct {
+	cfg Config
+	net *Network
+}
+
+// NewClassifier builds a classifier from cfg.
+func NewClassifier(cfg Config) *Classifier {
+	if cfg.InputDim <= 0 || cfg.NumClasses < 2 {
+		panic(fmt.Sprintf("nn: invalid config %d inputs, %d classes", cfg.InputDim, cfg.NumClasses))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	coeff := cfg.SpectralCoeff
+	if coeff <= 0 {
+		coeff = 1
+	}
+	var layers []Layer
+	in := cfg.InputDim
+	for _, h := range cfg.Hidden {
+		layers = append(layers, NewLinear(rng, in, h, cfg.SpectralNorm, coeff), NewReLU())
+		if cfg.DropoutRate > 0 {
+			layers = append(layers, NewDropout(rng, cfg.DropoutRate))
+		}
+		in = h
+	}
+	layers = append(layers, NewLinear(rng, in, cfg.NumClasses, cfg.SpectralNorm, coeff))
+	// Features come from the first linear layer when hidden layers exist
+	// (paper Section V-A3); for a pure linear model the input itself would be
+	// the feature, so we tap the logits instead.
+	tap := 0
+	if len(cfg.Hidden) == 0 {
+		tap = len(layers) - 1
+	}
+	return &Classifier{cfg: cfg, net: &Network{Layers: layers, FeatureTap: tap}}
+}
+
+// Config returns the architecture description.
+func (c *Classifier) Config() Config { return c.cfg }
+
+// FeatureDim returns the dimensionality of the extracted representation z.
+func (c *Classifier) FeatureDim() int {
+	if len(c.cfg.Hidden) == 0 {
+		return c.cfg.NumClasses
+	}
+	return c.cfg.Hidden[0]
+}
+
+// NumParams reports the scalar parameter count.
+func (c *Classifier) NumParams() int { return c.net.NumParams() }
+
+// Logits runs inference (no power-iteration update) and returns raw scores.
+func (c *Classifier) Logits(x *mat.Dense) *mat.Dense {
+	return c.net.Forward(x, false)
+}
+
+// Probs returns softmax class probabilities, one row per sample.
+func (c *Classifier) Probs(x *mat.Dense) *mat.Dense {
+	logits := c.Logits(x)
+	out := mat.NewDense(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		mat.Softmax(out.Row(i), logits.Row(i))
+	}
+	return out
+}
+
+// PredictClasses returns the argmax class per row.
+func (c *Classifier) PredictClasses(x *mat.Dense) []int {
+	logits := c.Logits(x)
+	out := make([]int, logits.Rows)
+	for i := range out {
+		out[i] = mat.ArgMax(logits.Row(i))
+	}
+	return out
+}
+
+// LogitsAndFeatures runs one inference pass returning both the logits and the
+// tapped feature representation (sharing the forward pass).
+func (c *Classifier) LogitsAndFeatures(x *mat.Dense) (logits, features *mat.Dense) {
+	logits = c.net.Forward(x, false)
+	return logits, c.net.LastFeatures()
+}
+
+// Features returns z = r(x, θ) for each row of x.
+func (c *Classifier) Features(x *mat.Dense) *mat.Dense {
+	_, f := c.LogitsAndFeatures(x)
+	return f
+}
+
+// Clone returns a classifier with identical architecture and copied weights.
+func (c *Classifier) Clone() *Classifier {
+	dst := NewClassifier(c.cfg)
+	dst.net.CopyParamsFrom(c.net)
+	return dst
+}
+
+// TrainOpts controls fairness-regularized minibatch training.
+type TrainOpts struct {
+	Epochs    int
+	BatchSize int
+	Fair      FairConfig
+	// MaxGradNorm clips the joint gradient norm when positive.
+	MaxGradNorm float64
+}
+
+// TrainStats summarizes the final epoch of a training call.
+type TrainStats struct {
+	Loss     float64 // mean total loss
+	CE       float64 // mean cross-entropy component
+	FairPen  float64 // mean fairness hinge component
+	Batches  int
+	Accuracy float64 // training accuracy after the final epoch
+}
+
+// Train fits the classifier on (x, y, s) for opts.Epochs passes of shuffled
+// minibatches using opt. s may be nil when Fair.Mu == 0.
+func (c *Classifier) Train(x *mat.Dense, y, s []int, opt Optimizer, opts TrainOpts, rng *rand.Rand) TrainStats {
+	n := x.Rows
+	if len(y) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(y), n))
+	}
+	if opts.Fair.Mu != 0 && len(s) != n {
+		panic(fmt.Sprintf("nn: fairness training needs %d sensitive values, got %d", n, len(s)))
+	}
+	if n == 0 || opts.Epochs <= 0 {
+		return TrainStats{}
+	}
+	bs := opts.BatchSize
+	if bs <= 0 || bs > n {
+		bs = n
+	}
+	var stats TrainStats
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	bx := mat.NewDense(bs, x.Cols)
+	by := make([]int, bs)
+	bsens := make([]int, bs)
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		stats = TrainStats{}
+		for start := 0; start < n; start += bs {
+			end := start + bs
+			if end > n {
+				end = n
+			}
+			m := end - start
+			batchX := bx
+			batchY := by[:m]
+			batchS := bsens[:m]
+			if m != bs {
+				batchX = mat.NewDense(m, x.Cols)
+			}
+			for r := 0; r < m; r++ {
+				copy(batchX.Row(r), x.Row(idx[start+r]))
+				batchY[r] = y[idx[start+r]]
+				if s != nil {
+					batchS[r] = s[idx[start+r]]
+				}
+			}
+			logits := c.net.Forward(batchX, true)
+			res, grad := FairRegularizedCE(logits, batchY, batchS, opts.Fair)
+			if opts.Fair.IndividualMu > 0 {
+				vInd, gInd := IndividualPenalty(logits, batchX, opts.Fair.IndividualSigma)
+				if gInd != nil {
+					res.Total += opts.Fair.IndividualMu * vInd
+					res.Fair += opts.Fair.IndividualMu * vInd
+					mat.AddScaled(grad, opts.Fair.IndividualMu, gInd)
+				}
+			}
+			c.net.ZeroGrad()
+			c.net.Backward(grad)
+			if opts.MaxGradNorm > 0 {
+				ClipGradNorm(c.net.Params(), opts.MaxGradNorm)
+			}
+			opt.Step(c.net.Params())
+			stats.Loss += res.Total
+			stats.CE += res.CE
+			stats.FairPen += res.Fair
+			stats.Batches++
+		}
+	}
+	if stats.Batches > 0 {
+		inv := 1 / float64(stats.Batches)
+		stats.Loss *= inv
+		stats.CE *= inv
+		stats.FairPen *= inv
+	}
+	stats.Accuracy = Accuracy(c.Logits(x), y)
+	return stats
+}

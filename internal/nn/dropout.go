@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"faction/internal/mat"
+)
+
+// Dropout is inverted dropout: during training each activation is zeroed
+// with probability Rate and survivors are scaled by 1/(1−Rate), so eval-mode
+// forward passes are the identity. ForceActive keeps the mask on outside
+// training — the Monte-Carlo dropout mode used for Bayesian uncertainty
+// estimates (Gal et al., ICML 2017; the paper's reference [44]).
+type Dropout struct {
+	Rate float64
+	// ForceActive applies dropout even when Forward is called with
+	// train=false (MC-dropout inference).
+	ForceActive bool
+
+	rng  *rand.Rand
+	mask []bool
+}
+
+// NewDropout creates a dropout layer with the given rate in [0, 1).
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %g outside [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward applies the mask in train (or forced) mode; identity otherwise.
+func (d *Dropout) Forward(x *mat.Dense, train bool) *mat.Dense {
+	if (!train && !d.ForceActive) || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < len(out.Data) {
+		d.mask = make([]bool, len(out.Data))
+	}
+	d.mask = d.mask[:len(out.Data)]
+	scale := 1 / (1 - d.Rate)
+	for i := range out.Data {
+		if d.rng.Float64() < d.Rate {
+			d.mask[i] = false
+			out.Data[i] = 0
+		} else {
+			d.mask[i] = true
+			out.Data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units only.
+func (d *Dropout) Backward(gradOut *mat.Dense) *mat.Dense {
+	if d.mask == nil {
+		return gradOut
+	}
+	if len(d.mask) != len(gradOut.Data) {
+		panic("nn: Dropout Backward shape mismatch with last Forward")
+	}
+	dx := gradOut.Clone()
+	scale := 1 / (1 - d.Rate)
+	for i := range dx.Data {
+		if d.mask[i] {
+			dx.Data[i] *= scale
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil; dropout has no trainable parameters.
+func (d *Dropout) Params() []*Param { return nil }
+
+// dropoutLayers returns the classifier's dropout layers (empty without
+// DropoutRate).
+func (c *Classifier) dropoutLayers() []*Dropout {
+	var out []*Dropout
+	for _, l := range c.net.Layers {
+		if d, ok := l.(*Dropout); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ProbsMC performs Monte-Carlo dropout inference: `samples` stochastic
+// forward passes with dropout forced on. It returns the mean class
+// probabilities and the BALD mutual-information score per row,
+//
+//	BALD(x) = H(E[p]) − E[H(p)]
+//
+// which is high exactly when the stochastic passes disagree — an epistemic-
+// uncertainty signal (Gal et al. 2017). It panics unless the classifier was
+// built with DropoutRate > 0.
+func (c *Classifier) ProbsMC(x *mat.Dense, samples int) (meanProbs *mat.Dense, bald []float64) {
+	drops := c.dropoutLayers()
+	if len(drops) == 0 {
+		panic("nn: ProbsMC requires a classifier built with DropoutRate > 0")
+	}
+	if samples <= 0 {
+		samples = 10
+	}
+	for _, d := range drops {
+		d.ForceActive = true
+	}
+	defer func() {
+		for _, d := range drops {
+			d.ForceActive = false
+		}
+	}()
+
+	n, classes := x.Rows, c.cfg.NumClasses
+	meanProbs = mat.NewDense(n, classes)
+	meanEntropy := make([]float64, n)
+	probs := make([]float64, classes)
+	for s := 0; s < samples; s++ {
+		logits := c.net.Forward(x, false)
+		for i := 0; i < n; i++ {
+			mat.Softmax(probs, logits.Row(i))
+			row := meanProbs.Row(i)
+			h := 0.0
+			for j, p := range probs {
+				row[j] += p
+				if p > 0 {
+					h -= p * logOf(p)
+				}
+			}
+			meanEntropy[i] += h
+		}
+	}
+	inv := 1 / float64(samples)
+	bald = make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := meanProbs.Row(i)
+		hMean := 0.0
+		for j := range row {
+			row[j] *= inv
+			if row[j] > 0 {
+				hMean -= row[j] * logOf(row[j])
+			}
+		}
+		bald[i] = hMean - meanEntropy[i]*inv
+		if bald[i] < 0 { // roundoff guard: MI is nonnegative
+			bald[i] = 0
+		}
+	}
+	return meanProbs, bald
+}
+
+func logOf(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"faction/internal/mat"
+)
+
+// IndividualPenalty implements the individual-fairness extension sketched in
+// Section IV-H ("with an appropriate similarity metric, FACTION could
+// enforce individual fairness by penalizing inconsistent treatment of
+// similar samples"): a similarity-weighted consistency penalty
+//
+//	v = Σ_{i<j} w_ij · (h_i − h_j)²  /  Σ_{i<j} w_ij,
+//	w_ij = exp(−‖x_i − x_j‖² / (2σ²)),  h = P(ŷ = 1)
+//
+// v is 0 exactly when similar samples receive identical positive-class
+// probabilities, and at most 1. The returned gradient is with respect to the
+// logits (h's softmax dependency included). When the batch has fewer than two
+// samples, or all pairwise weights underflow, (0, nil) is returned.
+//
+// The penalty is O(n²) in the batch size — intended for minibatch use.
+func IndividualPenalty(logits, x *mat.Dense, sigma float64) (v float64, grad *mat.Dense) {
+	n := logits.Rows
+	if x.Rows != n {
+		panic(fmt.Sprintf("nn: %d logit rows but %d feature rows", n, x.Rows))
+	}
+	if logits.Cols != 2 {
+		panic(fmt.Sprintf("nn: individual penalty needs binary logits, got %d classes", logits.Cols))
+	}
+	if sigma <= 0 {
+		sigma = 1
+	}
+	if n < 2 {
+		return 0, nil
+	}
+	h := make([]float64, n)
+	dh := make([]float64, n) // h·(1−h)
+	probs := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		mat.Softmax(probs, logits.Row(i))
+		h[i] = probs[1]
+		dh[i] = probs[1] * (1 - probs[1])
+	}
+	inv2s2 := 1 / (2 * sigma * sigma)
+	var num, den float64
+	gradH := make([]float64, n)
+	type pair struct {
+		i, j int
+		w    float64
+	}
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		for j := i + 1; j < n; j++ {
+			d2 := 0.0
+			xj := x.Row(j)
+			for k := range xi {
+				diff := xi[k] - xj[k]
+				d2 += diff * diff
+			}
+			w := math.Exp(-d2 * inv2s2)
+			if w < 1e-12 {
+				continue
+			}
+			diff := h[i] - h[j]
+			num += w * diff * diff
+			den += w
+			pairs = append(pairs, pair{i, j, w})
+		}
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	v = num / den
+	for _, p := range pairs {
+		g := 2 * p.w * (h[p.i] - h[p.j]) / den
+		gradH[p.i] += g
+		gradH[p.j] -= g
+	}
+	grad = mat.NewDense(n, 2)
+	for i := 0; i < n; i++ {
+		grad.Set(i, 1, gradH[i]*dh[i])
+		grad.Set(i, 0, -gradH[i]*dh[i])
+	}
+	return v, grad
+}

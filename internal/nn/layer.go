@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"faction/internal/mat"
+)
+
+// Layer is one differentiable stage of a network. Forward caches whatever it
+// needs for the subsequent Backward; Backward accumulates parameter gradients
+// and returns the gradient with respect to its input.
+type Layer interface {
+	Forward(x *mat.Dense, train bool) *mat.Dense
+	Backward(gradOut *mat.Dense) *mat.Dense
+	Params() []*Param
+}
+
+// Linear is a fully connected layer y = x·W + b with optional spectral
+// normalization of W (see spectral.go).
+type Linear struct {
+	In, Out int
+	W, B    *Param
+
+	// Spectral normalization state; nil when disabled.
+	sn *spectralState
+
+	lastInput *mat.Dense // cached for Backward
+	lastScale float64    // effective-weight scale used in the last Forward
+}
+
+// NewLinear creates a linear layer with He initialization.
+func NewLinear(rng *rand.Rand, in, out int, spectralNorm bool, spectralCoeff float64) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   newParam(fmt.Sprintf("linear(%d,%d).W", in, out), in, out),
+		B:   newParam(fmt.Sprintf("linear(%d,%d).b", in, out), 1, out),
+	}
+	heInit(rng, l.W.Value, in)
+	if spectralNorm {
+		l.sn = newSpectralState(rng, in, out, spectralCoeff)
+	}
+	l.lastScale = 1
+	return l
+}
+
+// Forward computes x·Ŵ + b where Ŵ = scale·W with scale determined by
+// spectral normalization (1 when disabled). In train mode the spectral-norm
+// power iteration is advanced one step.
+func (l *Linear) Forward(x *mat.Dense, train bool) *mat.Dense {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: linear input %d cols, want %d", x.Cols, l.In))
+	}
+	l.lastInput = x
+	l.lastScale = 1
+	if l.sn != nil {
+		l.lastScale = l.sn.scale(l.W.Value, train)
+	}
+	out := mat.Mul(x, l.W.Value)
+	if l.lastScale != 1 {
+		out.Scale(l.lastScale)
+	}
+	b := l.B.Value.Row(0)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = scale·xᵀg and db = Σ_rows g, and returns
+// dx = scale·g·Wᵀ. The spectral scale is treated as a constant (standard
+// stop-gradient approximation for power-iteration spectral norm).
+func (l *Linear) Backward(gradOut *mat.Dense) *mat.Dense {
+	if l.lastInput == nil {
+		panic("nn: Backward before Forward")
+	}
+	if gradOut.Rows != l.lastInput.Rows || gradOut.Cols != l.Out {
+		panic(fmt.Sprintf("nn: linear grad %dx%d, want %dx%d", gradOut.Rows, gradOut.Cols, l.lastInput.Rows, l.Out))
+	}
+	dW := mat.MulTA(l.lastInput, gradOut)
+	mat.AddScaled(l.W.Grad, l.lastScale, dW)
+	db := l.B.Grad.Row(0)
+	for i := 0; i < gradOut.Rows; i++ {
+		row := gradOut.Row(i)
+		for j := range row {
+			db[j] += row[j]
+		}
+	}
+	dx := mat.MulTB(gradOut, l.W.Value)
+	if l.lastScale != 1 {
+		dx.Scale(l.lastScale)
+	}
+	return dx
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// EffectiveWeight returns scale·W as used in the most recent Forward.
+func (l *Linear) EffectiveWeight() *mat.Dense {
+	w := l.W.Value.Clone()
+	if l.lastScale != 1 {
+		w.Scale(l.lastScale)
+	}
+	return w
+}
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies the rectifier and records the activation mask.
+func (r *ReLU) Forward(x *mat.Dense, train bool) *mat.Dense {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward zeroes gradients where the input was non-positive.
+func (r *ReLU) Backward(gradOut *mat.Dense) *mat.Dense {
+	if len(r.mask) != len(gradOut.Data) {
+		panic("nn: ReLU Backward shape mismatch with last Forward")
+	}
+	dx := gradOut.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil; ReLU has no trainable parameters.
+func (r *ReLU) Params() []*Param { return nil }

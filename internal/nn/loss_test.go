@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"faction/internal/mat"
+)
+
+func TestCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 2 classes: loss = ln 2.
+	logits := mat.FromRows([][]float64{{0, 0}})
+	loss, grad := CrossEntropy(logits, []int{0})
+	if math.Abs(loss-math.Ln2) > 1e-12 {
+		t.Fatalf("loss = %g, want ln2", loss)
+	}
+	// grad = (softmax − onehot)/n = (0.5−1, 0.5−0) = (−0.5, 0.5)
+	if math.Abs(grad.At(0, 0)+0.5) > 1e-12 || math.Abs(grad.At(0, 1)-0.5) > 1e-12 {
+		t.Fatalf("grad = %v", grad)
+	}
+}
+
+func TestCrossEntropyPerfectPrediction(t *testing.T) {
+	logits := mat.FromRows([][]float64{{100, 0}})
+	loss, _ := CrossEntropy(logits, []int{0})
+	if loss > 1e-10 {
+		t.Fatalf("loss = %g, want ≈0", loss)
+	}
+}
+
+func TestCrossEntropyEmptyBatch(t *testing.T) {
+	loss, grad := CrossEntropy(mat.NewDense(0, 2), nil)
+	if loss != 0 || grad.Rows != 0 {
+		t.Fatal("empty batch should be zero loss")
+	}
+}
+
+func TestCrossEntropyBadLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CrossEntropy(mat.NewDense(1, 2), []int{5})
+}
+
+// Property: CE gradient rows sum to zero (softmax minus onehot both sum to 1).
+func TestCrossEntropyGradRowsSumZeroProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		c := 2 + r.Intn(4)
+		logits := mat.NewDense(n, c)
+		y := make([]int, n)
+		for i := range logits.Data {
+			logits.Data[i] = r.NormFloat64() * 3
+		}
+		for i := range y {
+			y[i] = r.Intn(c)
+		}
+		loss, grad := CrossEntropy(logits, y)
+		if loss < 0 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(mat.SumVec(grad.Row(i))) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFairPenaltySingleGroupUndefined(t *testing.T) {
+	logits := mat.FromRows([][]float64{{1, 2}, {0, 1}})
+	v, grad := FairPenalty(logits, []int{0, 1}, []int{1, 1}, ModeDDP)
+	if v != 0 || grad != nil {
+		t.Fatal("single-group batch should yield undefined (zero) penalty")
+	}
+}
+
+func TestFairPenaltyBalancedKnown(t *testing.T) {
+	// Two samples, one per group, with h = P(ŷ=1) = σ(±1).
+	// v collapses to the soft-DDP: mean_{s=+1} h − mean_{s=−1} h
+	//   = σ(1) − σ(−1) = 2σ(1) − 1.
+	logits := mat.FromRows([][]float64{{0, 1}, {1, 0}})
+	s := []int{1, -1}
+	v, grad := FairPenalty(logits, nil, s, ModeDDP)
+	sig := 1 / (1 + math.Exp(-1))
+	want := 2*sig - 1
+	if math.Abs(v-want) > 1e-12 {
+		t.Fatalf("v = %g, want %g", v, want)
+	}
+	// dv/dlogit[0][1] = c₀·h(1−h)/n = 2·σ(1)(1−σ(1))·0.5.
+	wantGrad := sig * (1 - sig)
+	if math.Abs(grad.At(0, 1)-wantGrad) > 1e-12 || math.Abs(grad.At(0, 0)+wantGrad) > 1e-12 {
+		t.Fatalf("grad = %v, want ±%g", grad, wantGrad)
+	}
+}
+
+// Property: v equals the group-mean gap of P(ŷ=1) — the soft-DDP identity.
+func TestFairPenaltySoftDDPIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(20)
+		logits := mat.NewDense(n, 2)
+		s := make([]int, n)
+		for i := range s {
+			s[i] = 2*rng.Intn(2) - 1
+			logits.Set(i, 0, rng.NormFloat64()*3)
+			logits.Set(i, 1, rng.NormFloat64()*3)
+		}
+		v, grad := FairPenalty(logits, nil, s, ModeDDP)
+		if grad == nil {
+			continue // single group
+		}
+		var pos, neg, np, nn float64
+		probs := make([]float64, 2)
+		for i := 0; i < n; i++ {
+			mat.Softmax(probs, logits.Row(i))
+			if s[i] == 1 {
+				np++
+				pos += probs[1]
+			} else {
+				nn++
+				neg += probs[1]
+			}
+		}
+		want := pos/np - neg/nn
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("v = %g, soft DDP = %g", v, want)
+		}
+		if v < -1-1e-9 || v > 1+1e-9 {
+			t.Fatalf("v = %g out of [-1,1]", v)
+		}
+	}
+}
+
+func TestFairPenaltyZeroWhenGroupsIndistinguishable(t *testing.T) {
+	// Same scores in both groups ⇒ v = 0.
+	logits := mat.FromRows([][]float64{{0, 1}, {0, 1}, {0, 1}, {0, 1}})
+	s := []int{1, -1, 1, -1}
+	v, _ := FairPenalty(logits, nil, s, ModeDDP)
+	if math.Abs(v) > 1e-12 {
+		t.Fatalf("v = %g, want 0", v)
+	}
+}
+
+func TestFairPenaltyDEORestrictsToPositives(t *testing.T) {
+	// Group difference exists only among y=0 samples; DEO must ignore it.
+	logits := mat.FromRows([][]float64{{0, 5}, {5, 0}, {0, 1}, {0, 1}})
+	y := []int{0, 0, 1, 1}
+	s := []int{1, -1, 1, -1}
+	v, _ := FairPenalty(logits, y, s, ModeDEO)
+	if math.Abs(v) > 1e-12 {
+		t.Fatalf("DEO v = %g, want 0", v)
+	}
+	// And DDP sees it.
+	vddp, _ := FairPenalty(logits, y, s, ModeDDP)
+	if math.Abs(vddp) < 0.3 {
+		t.Fatalf("DDP v = %g, want large", vddp)
+	}
+}
+
+func TestFairRegularizedCEMuZeroMatchesCE(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	logits := mat.NewDense(4, 2)
+	for i := range logits.Data {
+		logits.Data[i] = rng.NormFloat64()
+	}
+	y := []int{0, 1, 0, 1}
+	res, grad := FairRegularizedCE(logits, y, nil, FairConfig{})
+	ce, ceGrad := CrossEntropy(logits, y)
+	if res.Total != ce || res.Fair != 0 {
+		t.Fatal("Mu=0 must reduce to CE")
+	}
+	for i := range grad.Data {
+		if grad.Data[i] != ceGrad.Data[i] {
+			t.Fatal("grad mismatch")
+		}
+	}
+}
+
+func TestFairRegularizedCEHingeInactiveWithinEps(t *testing.T) {
+	logits := mat.FromRows([][]float64{{0, 1}, {1, 0}})
+	y := []int{1, 0}
+	s := []int{1, -1}
+	// v = 2 here; with eps = 10 the hinge must stay inactive.
+	res, grad := FairRegularizedCE(logits, y, s, FairConfig{Mu: 1, Eps: 10})
+	if res.Fair != 0 || res.Total != res.CE {
+		t.Fatalf("hinge active: %+v", res)
+	}
+	_, ceGrad := CrossEntropy(logits, y)
+	for i := range grad.Data {
+		if grad.Data[i] != ceGrad.Data[i] {
+			t.Fatal("grad should equal CE grad when hinge inactive")
+		}
+	}
+}
+
+func TestFairRegularizedCESymmetricHinge(t *testing.T) {
+	// Negative v must also be penalized by default (symmetric hinge).
+	logits := mat.FromRows([][]float64{{1, 0}, {0, 1}}) // group +1 scores lower
+	y := []int{0, 1}
+	s := []int{1, -1}
+	v, _ := FairPenalty(logits, y, s, ModeDDP)
+	if v >= 0 {
+		t.Fatalf("test setup: v = %g, want negative", v)
+	}
+	res, _ := FairRegularizedCE(logits, y, s, FairConfig{Mu: 1, Eps: 0})
+	if res.Fair <= 0 {
+		t.Fatal("symmetric hinge should be active for negative v")
+	}
+	// One-sided mode ignores negative v.
+	resOne, _ := FairRegularizedCE(logits, y, s, FairConfig{Mu: 1, Eps: 0, OneSided: true})
+	if resOne.Fair != 0 {
+		t.Fatal("one-sided hinge should ignore negative v")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := mat.FromRows([][]float64{{2, 1}, {0, 3}, {5, 4}})
+	if acc := Accuracy(logits, []int{0, 1, 1}); math.Abs(acc-2.0/3) > 1e-12 {
+		t.Fatalf("acc = %g", acc)
+	}
+	if Accuracy(mat.NewDense(0, 2), nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}

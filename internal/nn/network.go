@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+
+	"faction/internal/mat"
+)
+
+// Network is an ordered stack of layers with a designated feature tap: the
+// output of layer FeatureTap (0-based, inclusive) is the representation
+// z = r(x, θ) consumed by the density estimator (Section IV-B).
+type Network struct {
+	Layers     []Layer
+	FeatureTap int // index of the layer whose output is the feature vector
+
+	lastFeatures *mat.Dense
+}
+
+// Forward runs the full stack and returns the final output (logits).
+func (n *Network) Forward(x *mat.Dense, train bool) *mat.Dense {
+	if len(n.Layers) == 0 {
+		panic("nn: empty network")
+	}
+	h := x
+	for i, l := range n.Layers {
+		h = l.Forward(h, train)
+		if i == n.FeatureTap {
+			n.lastFeatures = h
+		}
+	}
+	return h
+}
+
+// LastFeatures returns the feature activations recorded at the tap during the
+// most recent Forward. The returned matrix is shared with the layer cache.
+func (n *Network) LastFeatures() *mat.Dense {
+	if n.lastFeatures == nil {
+		panic("nn: LastFeatures before Forward")
+	}
+	return n.lastFeatures
+}
+
+// Backward propagates the loss gradient (with respect to the final output)
+// through every layer, accumulating parameter gradients.
+func (n *Network) Backward(gradOut *mat.Dense) {
+	g := gradOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Value.Data)
+	}
+	return total
+}
+
+// CopyParamsFrom copies parameter values (not gradients) from src. The two
+// networks must have identical architectures.
+func (n *Network) CopyParamsFrom(src *Network) {
+	a, b := n.Params(), src.Params()
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("nn: copy params across architectures: %d vs %d tensors", len(a), len(b)))
+	}
+	for i := range a {
+		a[i].Value.CopyFrom(b[i].Value)
+	}
+}

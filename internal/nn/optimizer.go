@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"math"
+
+	"faction/internal/mat"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter. Gradients are not cleared;
+	// callers zero them per batch.
+	Step(params []*Param)
+	// SetLR changes the learning rate (γ_t in Algorithm 1).
+	SetLR(lr float64)
+	// LR reports the current learning rate.
+	LR() float64
+}
+
+// SGD is stochastic gradient descent with optional momentum and decoupled
+// weight decay.
+type SGD struct {
+	lr          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param]*mat.Dense
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{lr: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: map[*Param]*mat.Dense{}}
+}
+
+// Step applies v ← m·v − lr·g; w ← w + v − lr·wd·w.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if o.WeightDecay != 0 {
+			mat.AddScaled(p.Value, -o.lr*o.WeightDecay, p.Value)
+		}
+		if o.Momentum == 0 {
+			mat.AddScaled(p.Value, -o.lr, p.Grad)
+			continue
+		}
+		v, ok := o.velocity[p]
+		if !ok {
+			v = mat.NewDense(p.Value.Rows, p.Value.Cols)
+			o.velocity[p] = v
+		}
+		v.Scale(o.Momentum)
+		mat.AddScaled(v, -o.lr, p.Grad)
+		mat.AddInPlace(p.Value, v)
+	}
+}
+
+// SetLR changes the learning rate.
+func (o *SGD) SetLR(lr float64) { o.lr = lr }
+
+// LR reports the current learning rate.
+func (o *SGD) LR() float64 { return o.lr }
+
+// Adam implements Kingma & Ba's Adam with bias correction and decoupled
+// weight decay (AdamW-style).
+type Adam struct {
+	lr           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+
+	t int
+	m map[*Param]*mat.Dense
+	v map[*Param]*mat.Dense
+}
+
+// NewAdam returns an Adam optimizer with the conventional defaults
+// β₁=0.9, β₂=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{lr: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, m: map[*Param]*mat.Dense{}, v: map[*Param]*mat.Dense{}}
+}
+
+// Step applies one Adam update.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = mat.NewDense(p.Value.Rows, p.Value.Cols)
+			o.m[p] = m
+			o.v[p] = mat.NewDense(p.Value.Rows, p.Value.Cols)
+		}
+		v := o.v[p]
+		if o.WeightDecay != 0 {
+			mat.AddScaled(p.Value, -o.lr*o.WeightDecay, p.Value)
+		}
+		for i, g := range p.Grad.Data {
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			p.Value.Data[i] -= o.lr * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+	}
+}
+
+// SetLR changes the learning rate.
+func (o *Adam) SetLR(lr float64) { o.lr = lr }
+
+// LR reports the current learning rate.
+func (o *Adam) LR() float64 { return o.lr }
+
+// ClipGradNorm rescales all gradients so their joint L2 norm is at most
+// maxNorm. It returns the pre-clip norm. A non-positive maxNorm is a no-op.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}

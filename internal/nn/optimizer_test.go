@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"faction/internal/mat"
+)
+
+func quadParam(init float64) *Param {
+	p := newParam("x", 1, 1)
+	p.Value.Set(0, 0, init)
+	return p
+}
+
+// minimizeQuadratic runs steps of the given optimizer on f(x) = (x−3)²
+// and returns the final x.
+func minimizeQuadratic(opt Optimizer, steps int) float64 {
+	p := quadParam(10)
+	for i := 0; i < steps; i++ {
+		p.ZeroGrad()
+		p.Grad.Set(0, 0, 2*(p.Value.At(0, 0)-3))
+		opt.Step([]*Param{p})
+	}
+	return p.Value.At(0, 0)
+}
+
+func TestSGDStepKnown(t *testing.T) {
+	p := quadParam(1)
+	p.Grad.Set(0, 0, 2)
+	opt := NewSGD(0.1, 0, 0)
+	opt.Step([]*Param{p})
+	if math.Abs(p.Value.At(0, 0)-0.8) > 1e-12 {
+		t.Fatalf("x = %g, want 0.8", p.Value.At(0, 0))
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	if x := minimizeQuadratic(NewSGD(0.1, 0, 0), 200); math.Abs(x-3) > 1e-6 {
+		t.Fatalf("SGD converged to %g, want 3", x)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	if x := minimizeQuadratic(NewSGD(0.05, 0.9, 0), 300); math.Abs(x-3) > 1e-6 {
+		t.Fatalf("SGD+momentum converged to %g, want 3", x)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	if x := minimizeQuadratic(NewAdam(0.3), 400); math.Abs(x-3) > 1e-4 {
+		t.Fatalf("Adam converged to %g, want 3", x)
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := quadParam(1)
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*Param{p}) // zero grad, only decay: x ← x − lr·wd·x
+	if math.Abs(p.Value.At(0, 0)-0.95) > 1e-12 {
+		t.Fatalf("x = %g, want 0.95", p.Value.At(0, 0))
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	opt := NewSGD(0.1, 0, 0)
+	opt.SetLR(0.01)
+	if opt.LR() != 0.01 {
+		t.Fatal("SetLR")
+	}
+	a := NewAdam(0.1)
+	a.SetLR(0.5)
+	if a.LR() != 0.5 {
+		t.Fatal("Adam SetLR")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := newParam("w", 1, 2)
+	p.Grad.CopyFrom(mat.FromRows([][]float64{{3, 4}})) // norm 5
+	pre := ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(pre-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %g", pre)
+	}
+	if math.Abs(p.Grad.At(0, 0)-0.6) > 1e-12 || math.Abs(p.Grad.At(0, 1)-0.8) > 1e-12 {
+		t.Fatalf("clipped grad = %v", p.Grad)
+	}
+	// Below threshold: untouched.
+	p.Grad.CopyFrom(mat.FromRows([][]float64{{0.3, 0.4}}))
+	ClipGradNorm([]*Param{p}, 1)
+	if p.Grad.At(0, 0) != 0.3 {
+		t.Fatal("grad below threshold should be untouched")
+	}
+	// maxNorm ≤ 0 is a no-op.
+	p.Grad.CopyFrom(mat.FromRows([][]float64{{30, 40}}))
+	ClipGradNorm([]*Param{p}, 0)
+	if p.Grad.At(0, 0) != 30 {
+		t.Fatal("maxNorm=0 should be a no-op")
+	}
+}
+
+func BenchmarkTrainEpochMLP(b *testing.B) {
+	rng := randSource(1)
+	x, y, s := separableData(rng, 256, 0.8)
+	c := NewClassifier(Config{InputDim: 2, NumClasses: 2, Hidden: []int{64}, Seed: 1})
+	opt := NewSGD(0.05, 0.9, 0)
+	opts := TrainOpts{Epochs: 1, BatchSize: 32, Fair: FairConfig{Mu: 0.7}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Train(x, y, s, opt, opts, rng)
+	}
+}
+
+func BenchmarkForward512(b *testing.B) {
+	rng := randSource(2)
+	x := mat.NewDense(128, 32)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	c := NewClassifier(Config{InputDim: 32, NumClasses: 2, Hidden: []int{512}, Seed: 3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Logits(x)
+	}
+}
+
+// randSource is a tiny helper so benchmarks read cleanly.
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

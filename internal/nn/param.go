@@ -1,0 +1,43 @@
+// Package nn implements the trainable neural-network stack the paper's
+// learners are built on: linear and ReLU layers with backpropagation,
+// spectral normalization of weight matrices (the feature-space regularizer
+// FACTION and DDU rely on, Miyato et al. 2018 / Mukhoti et al. 2023),
+// SGD-with-momentum and Adam optimizers, cross-entropy loss, and the
+// fairness-regularized total loss of Eq. 9.
+//
+// Matrices follow the convention: a batch is n×d (one row per sample),
+// weights are in×out, so a forward pass is y = x·W + b.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"faction/internal/mat"
+)
+
+// Param is a trainable tensor with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *mat.Dense
+	Grad  *mat.Dense
+}
+
+func newParam(name string, r, c int) *Param {
+	return &Param{Name: name, Value: mat.NewDense(r, c), Grad: mat.NewDense(r, c)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// heInit fills w with He-normal initialization (std = sqrt(2/fanIn)),
+// appropriate for ReLU networks.
+func heInit(rng *rand.Rand, w *mat.Dense, fanIn int) {
+	std := 1.0
+	if fanIn > 0 {
+		std = math.Sqrt(2 / float64(fanIn))
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * std
+	}
+}

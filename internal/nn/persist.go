@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"faction/internal/mat"
+)
+
+// classifierSnapshot is the gob wire format of a Classifier: architecture
+// plus flattened parameter tensors, in layer order.
+type classifierSnapshot struct {
+	Version  int
+	Cfg      Config
+	Params   []paramSnapshot
+	Spectral []spectralSnapshot // one per spectral-normalized linear layer
+}
+
+type spectralSnapshot struct {
+	U, V  []float64
+	Sigma float64
+}
+
+type paramSnapshot struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+const snapshotVersion = 1
+
+// Save serializes the classifier — architecture, weights and spectral-norm
+// power-iteration state — to w.
+func (c *Classifier) Save(w io.Writer) error {
+	snap := classifierSnapshot{Version: snapshotVersion, Cfg: c.cfg}
+	for _, p := range c.net.Params() {
+		snap.Params = append(snap.Params, paramSnapshot{
+			Name: p.Name,
+			Rows: p.Value.Rows,
+			Cols: p.Value.Cols,
+			Data: append([]float64(nil), p.Value.Data...),
+		})
+	}
+	for _, layer := range c.net.Layers {
+		if l, ok := layer.(*Linear); ok && l.sn != nil {
+			snap.Spectral = append(snap.Spectral, spectralSnapshot{
+				U:     append([]float64(nil), l.sn.u...),
+				V:     append([]float64(nil), l.sn.v...),
+				Sigma: l.sn.sigma,
+			})
+		}
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadClassifier reconstructs a classifier saved with Save. Predictions
+// match the saved model exactly (including spectral normalization, whose
+// power-iteration state is restored verbatim).
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	var snap classifierSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("nn: decoding classifier: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("nn: unsupported snapshot version %d", snap.Version)
+	}
+	c := NewClassifier(snap.Cfg)
+	params := c.net.Params()
+	if len(params) != len(snap.Params) {
+		return nil, fmt.Errorf("nn: snapshot has %d tensors, architecture needs %d", len(snap.Params), len(params))
+	}
+	for i, ps := range snap.Params {
+		p := params[i]
+		if p.Value.Rows != ps.Rows || p.Value.Cols != ps.Cols {
+			return nil, fmt.Errorf("nn: tensor %d is %dx%d, want %dx%d", i, ps.Rows, ps.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		if len(ps.Data) != ps.Rows*ps.Cols {
+			return nil, fmt.Errorf("nn: tensor %d has %d values, want %d", i, len(ps.Data), ps.Rows*ps.Cols)
+		}
+		p.Value.CopyFrom(mat.NewDenseData(ps.Rows, ps.Cols, ps.Data))
+	}
+	if snap.Cfg.SpectralNorm {
+		si := 0
+		for _, layer := range c.net.Layers {
+			l, ok := layer.(*Linear)
+			if !ok || l.sn == nil {
+				continue
+			}
+			if si >= len(snap.Spectral) {
+				return nil, fmt.Errorf("nn: snapshot missing spectral state for layer %d", si)
+			}
+			st := snap.Spectral[si]
+			if len(st.U) != len(l.sn.u) || len(st.V) != len(l.sn.v) {
+				return nil, fmt.Errorf("nn: spectral state %d has u/v lengths %d/%d, want %d/%d",
+					si, len(st.U), len(st.V), len(l.sn.u), len(l.sn.v))
+			}
+			copy(l.sn.u, st.U)
+			copy(l.sn.v, st.V)
+			l.sn.sigma = st.Sigma
+			si++
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestClassifierSaveLoadExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y, _ := separableData(rng, 120, 0.5)
+	c := NewClassifier(Config{InputDim: 2, NumClasses: 2, Hidden: []int{12, 6}, Seed: 2})
+	c.Train(x, y, nil, NewAdam(0.01), TrainOpts{Epochs: 10, BatchSize: 32}, rng)
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Logits(x)
+	got := loaded.Logits(x)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("logit %d: %g != %g", i, got.Data[i], want.Data[i])
+		}
+	}
+	if loaded.Config().Hidden[0] != 12 {
+		t.Fatal("config not restored")
+	}
+}
+
+func TestClassifierSaveLoadSpectral(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y, _ := separableData(rng, 120, 0.5)
+	c := NewClassifier(Config{
+		InputDim: 2, NumClasses: 2, Hidden: []int{16},
+		SpectralNorm: true, SpectralCoeff: 1.5, Seed: 4,
+	})
+	c.Train(x, y, nil, NewAdam(0.01), TrainOpts{Epochs: 20, BatchSize: 32}, rng)
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Logits(x)
+	got := loaded.Logits(x)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("spectral logit %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestLoadClassifierGarbage(t *testing.T) {
+	if _, err := LoadClassifier(strings.NewReader("not gob")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadClassifierTamperedShape(t *testing.T) {
+	c := NewClassifier(Config{InputDim: 2, NumClasses: 2, Hidden: []int{4}, Seed: 5})
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Decode, tamper, re-encode via the exported path is not possible from a
+	// test of the same package — directly exercise the shape check instead.
+	snap := classifierSnapshot{Version: snapshotVersion, Cfg: c.cfg}
+	for _, p := range c.net.Params() {
+		snap.Params = append(snap.Params, paramSnapshot{
+			Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols,
+			Data: append([]float64(nil), p.Value.Data...),
+		})
+	}
+	snap.Params[0].Data = snap.Params[0].Data[:1] // corrupt
+	var buf2 bytes.Buffer
+	if err := encodeSnap(&buf2, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadClassifier(&buf2); err == nil {
+		t.Fatal("expected error on corrupted tensor")
+	}
+}
+
+func TestLoadClassifierBadVersion(t *testing.T) {
+	c := NewClassifier(Config{InputDim: 2, NumClasses: 2, Seed: 6})
+	snap := classifierSnapshot{Version: 99, Cfg: c.cfg}
+	var buf bytes.Buffer
+	if err := encodeSnap(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadClassifier(&buf); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func encodeSnap(buf *bytes.Buffer, snap classifierSnapshot) error {
+	return gob.NewEncoder(buf).Encode(snap)
+}
+
+func TestMatrixAliasSafetyOnLoad(t *testing.T) {
+	// The snapshot copies data; mutating the loaded model must not affect a
+	// second load from the same bytes.
+	c := NewClassifier(Config{InputDim: 2, NumClasses: 2, Seed: 7})
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	a, err := LoadClassifier(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.net.Params()[0].Value.Set(0, 0, 999)
+	b, err := LoadClassifier(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.net.Params()[0].Value.At(0, 0) == 999 {
+		t.Fatal("loads share storage")
+	}
+}

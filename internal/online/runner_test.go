@@ -1,0 +1,356 @@
+package online
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"faction/internal/active"
+	"faction/internal/data"
+	"faction/internal/faction"
+	"faction/internal/fairness"
+	"faction/internal/nn"
+)
+
+// tinyConfig keeps protocol runs fast in tests.
+func tinyConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Budget = 20
+	cfg.AcqSize = 10
+	cfg.WarmStart = 30
+	cfg.Epochs = 3
+	cfg.Hidden = []int{16}
+	return cfg
+}
+
+func tinyStream(seed int64) *data.Stream {
+	return data.Stationary(data.StreamConfig{Seed: seed, SamplesPerTask: 80}, 3)
+}
+
+func TestRunProtocolAccounting(t *testing.T) {
+	stream := tinyStream(1)
+	spec := MethodSpec{Name: "Random", Strategy: active.Random{}}
+	cfg := tinyConfig(2)
+	res := Run(stream, spec, cfg)
+
+	if len(res.Records) != 3 {
+		t.Fatalf("records = %d, want one per task", len(res.Records))
+	}
+	// Warm start (30) + 3 tasks × budget 20 = 90 queries.
+	if res.TotalQueries != 30+3*20 {
+		t.Fatalf("total queries = %d, want 90", res.TotalQueries)
+	}
+	// First task's record includes warm start + budget.
+	if res.Records[0].Queries != 30+20 {
+		t.Fatalf("task0 queries = %d, want 50", res.Records[0].Queries)
+	}
+	for _, rec := range res.Records[1:] {
+		if rec.Queries != 20 {
+			t.Fatalf("task queries = %d, want 20", rec.Queries)
+		}
+	}
+	for _, rec := range res.Records {
+		r := rec.Report
+		if r.Accuracy < 0 || r.Accuracy > 1 || r.DDP < 0 || r.EOD < 0 || r.MI < 0 {
+			t.Fatalf("invalid report %+v", r)
+		}
+		if rec.Elapsed <= 0 {
+			t.Fatal("elapsed not recorded")
+		}
+		if rec.InstLoss < 0 {
+			t.Fatal("negative instantaneous loss")
+		}
+	}
+}
+
+func TestRunDoesNotMutateStream(t *testing.T) {
+	stream := tinyStream(3)
+	before := make([]int, len(stream.Tasks))
+	for i, task := range stream.Tasks {
+		before[i] = task.Pool.Len()
+	}
+	Run(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, tinyConfig(4))
+	for i, task := range stream.Tasks {
+		if task.Pool.Len() != before[i] {
+			t.Fatalf("task %d pool shrank from %d to %d", i, before[i], task.Pool.Len())
+		}
+	}
+}
+
+func TestRunDeterministicGivenSeed(t *testing.T) {
+	spec := FactionSpec(faction.Defaults())
+	a := Run(tinyStream(5), spec, tinyConfig(6))
+	b := Run(tinyStream(5), spec, tinyConfig(6))
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("record count differs")
+	}
+	for i := range a.Records {
+		if a.Records[i].Report != b.Records[i].Report || a.Records[i].Queries != b.Records[i].Queries {
+			t.Fatalf("task %d differs: %+v vs %+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestRunLearnsOverTasks(t *testing.T) {
+	// On a stationary separable stream, accuracy on later tasks must beat the
+	// warm-started first-task accuracy floor.
+	stream := data.Stationary(data.StreamConfig{Seed: 7, SamplesPerTask: 120}, 5)
+	cfg := tinyConfig(8)
+	cfg.Epochs = 8
+	res := Run(stream, MethodSpec{Name: "Entropy-AL", Strategy: active.EntropyAL{}}, cfg)
+	last := res.Records[len(res.Records)-1].Report.Accuracy
+	if last < 0.7 {
+		t.Fatalf("final-task accuracy %.3f, expected the learner to learn (≥ 0.7)", last)
+	}
+}
+
+func TestFairRegReducesUnfairness(t *testing.T) {
+	// Same stream and selection; adding the Eq. 9 regularizer must reduce the
+	// mean DDP. This is the "w/o fair reg" ablation in miniature.
+	stream := data.NYSF(data.StreamConfig{Seed: 9, SamplesPerTask: 100})
+	stream.Tasks = stream.Tasks[:6]
+	cfg := tinyConfig(10)
+	cfg.Epochs = 6
+
+	noReg := Run(stream, MethodSpec{Name: "plain", Strategy: active.EntropyAL{}}, cfg)
+	withReg := Run(stream, MethodSpec{
+		Name:     "regularized",
+		Strategy: active.EntropyAL{},
+		Fair:     nn.FairConfig{Mu: 2.0, Eps: 0},
+	}, cfg)
+
+	if withReg.MeanReport().DDP >= noReg.MeanReport().DDP {
+		t.Fatalf("fair reg DDP %.4f should beat plain %.4f",
+			withReg.MeanReport().DDP, noReg.MeanReport().DDP)
+	}
+}
+
+func TestTrackRegret(t *testing.T) {
+	cfg := tinyConfig(11)
+	cfg.TrackRegret = true
+	cfg.OracleEpochs = 10
+	res := Run(tinyStream(12), MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	for _, rec := range res.Records {
+		if rec.Regret < 0 {
+			t.Fatal("regret must be nonnegative")
+		}
+	}
+	if res.CumulativeRegret() < 0 {
+		t.Fatal("cumulative regret must be nonnegative")
+	}
+}
+
+func TestMeanReportAndCumulatives(t *testing.T) {
+	r := RunResult{Records: []TaskRecord{
+		{Report: mkReport(0.8, 0.2), FairViolation: 1, Regret: 0.5},
+		{Report: mkReport(0.6, 0.4), FairViolation: 2, Regret: 0.25},
+	}}
+	mean := r.MeanReport()
+	if math.Abs(mean.Accuracy-0.7) > 1e-12 || math.Abs(mean.DDP-0.3) > 1e-12 {
+		t.Fatalf("mean = %+v", mean)
+	}
+	if r.CumulativeViolation() != 3 || r.CumulativeRegret() != 0.75 {
+		t.Fatal("cumulative sums wrong")
+	}
+	var empty RunResult
+	if empty.MeanReport().Accuracy != 0 {
+		t.Fatal("empty mean should be zero")
+	}
+}
+
+func TestBudgetExceedsPool(t *testing.T) {
+	stream := data.Stationary(data.StreamConfig{Seed: 13, SamplesPerTask: 25}, 2)
+	cfg := tinyConfig(14)
+	cfg.Budget = 100 // larger than the pool after warm start
+	cfg.WarmStart = 10
+	res := Run(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	// Task 0: warm 10 + all remaining 15; task 1: min(100, 25) = 25.
+	if res.TotalQueries != 25+25 {
+		t.Fatalf("total queries = %d, want 50 (pool-limited)", res.TotalQueries)
+	}
+}
+
+func TestMethodsRegistry(t *testing.T) {
+	ms := Methods(1)
+	if len(ms) != 8 {
+		t.Fatalf("methods = %d, want 8", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Name] = true
+		if m.Strategy == nil {
+			t.Fatalf("%s has nil strategy", m.Name)
+		}
+	}
+	for _, want := range MethodNames() {
+		if !names[want] {
+			t.Fatalf("missing method %q", want)
+		}
+	}
+	// Only FACTION trains with fairness regularization.
+	for _, m := range ms {
+		if m.Name == "FACTION" && m.Fair.Mu == 0 {
+			t.Fatal("FACTION must train with Mu > 0")
+		}
+		if m.Name != "FACTION" && m.Fair.Mu != 0 {
+			t.Fatalf("%s should not be fairness-regularized", m.Name)
+		}
+	}
+}
+
+func TestMethodByName(t *testing.T) {
+	for _, name := range append(MethodNames(),
+		"FACTION w/o fair select", "FACTION w/o fair reg",
+		"FACTION w/o fair select & fair reg", "Margin", "Coreset", "BALD") {
+		m, err := MethodByName(name, 1)
+		if err != nil || m.Name != name {
+			t.Fatalf("MethodByName(%q) = %+v, %v", name, m, err)
+		}
+	}
+	if _, err := MethodByName("nope", 1); err == nil {
+		t.Fatal("expected error")
+	}
+	// Ablations' training config matches their names.
+	noReg, _ := MethodByName("FACTION w/o fair reg", 1)
+	if noReg.Fair.Mu != 0 {
+		t.Fatal("w/o fair reg must train plain")
+	}
+	noSel, _ := MethodByName("FACTION w/o fair select", 1)
+	if noSel.Fair.Mu == 0 {
+		t.Fatal("w/o fair select must still regularize")
+	}
+}
+
+func mkReport(acc, ddp float64) fairness.Report {
+	return fairness.Report{Accuracy: acc, DDP: ddp}
+}
+
+// TestCounterfactualConsistency trains with and without the Eq. 9 fairness
+// regularizer on the color-biased RC-MNIST analog and compares counterfactual
+// flip rates (fraction of predictions that change when a sample's color — the
+// sensitive attribute's causal footprint — is flipped). The fair model must
+// rely less on color.
+func TestCounterfactualConsistency(t *testing.T) {
+	stream := data.RotatedColoredMNIST(data.StreamConfig{Seed: 21, SamplesPerTask: 150})
+	union := data.NewDataset("union", stream.Dim, stream.Classes)
+	for _, task := range stream.Tasks[:6] {
+		union.Samples = append(union.Samples, task.Pool.Samples...)
+	}
+	last := stream.Tasks[5].Pool
+	cf := data.NewDataset("cf", stream.Dim, stream.Classes)
+	for _, smp := range last.Samples {
+		cf.Append(stream.Counterfactual(smp))
+	}
+
+	flipRate := func(fair nn.FairConfig, seed int64) float64 {
+		model := nn.NewClassifier(nn.Config{InputDim: stream.Dim, NumClasses: 2, Hidden: []int{32}, Seed: seed})
+		rng := rand.New(rand.NewSource(seed))
+		model.Train(union.Matrix(), union.Labels(), union.Sensitive(), nn.NewAdam(0.01), nn.TrainOpts{
+			Epochs: 12, BatchSize: 32, Fair: fair,
+		}, rng)
+		pred := model.PredictClasses(last.Matrix())
+		predCF := model.PredictClasses(cf.Matrix())
+		return fairness.FlipRate(pred, predCF)
+	}
+	unfair := flipRate(nn.FairConfig{}, 23)
+	fair := flipRate(nn.FairConfig{Mu: 2, Eps: 0}, 23)
+	if fair >= unfair {
+		t.Fatalf("fair model flip rate %.3f should be below unfair %.3f", fair, unfair)
+	}
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	stream := &data.Stream{Name: "empty", Dim: 2, Classes: 2}
+	res := Run(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, tinyConfig(50))
+	if len(res.Records) != 0 || res.TotalQueries != 0 {
+		t.Fatalf("empty stream: %+v", res)
+	}
+}
+
+func TestRunZeroWarmStart(t *testing.T) {
+	stream := tinyStream(51)
+	cfg := tinyConfig(52)
+	cfg.WarmStart = 0
+	res := Run(stream, MethodSpec{Name: "Entropy-AL", Strategy: active.EntropyAL{}}, cfg)
+	// Budget only: 3 tasks × 20.
+	if res.TotalQueries != 60 {
+		t.Fatalf("queries = %d, want 60", res.TotalQueries)
+	}
+}
+
+func TestRunLinearModel(t *testing.T) {
+	stream := tinyStream(53)
+	cfg := tinyConfig(54)
+	cfg.Linear = true
+	cfg.SpectralNorm = false
+	res := Run(stream, FactionSpec(faction.Defaults()), cfg)
+	if len(res.Records) != 3 {
+		t.Fatal("linear-model run incomplete")
+	}
+}
+
+func TestRunSGDOptimizer(t *testing.T) {
+	stream := tinyStream(55)
+	cfg := tinyConfig(56)
+	cfg.Optimizer = "sgd"
+	res := Run(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	if len(res.Records) != 3 {
+		t.Fatal("sgd run incomplete")
+	}
+}
+
+func TestRunUnknownOptimizerPanics(t *testing.T) {
+	stream := tinyStream(57)
+	cfg := tinyConfig(58)
+	cfg.Optimizer = "rmsprop"
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+}
+
+// TestRunWithDropoutModelAndBALD exercises the full protocol with a
+// stochastic model and the BALD strategy.
+func TestRunWithDropoutModelAndBALD(t *testing.T) {
+	stream := tinyStream(59)
+	cfg := tinyConfig(60)
+	cfg.Hidden = []int{16}
+	spec := MethodSpec{Name: "BALD", Strategy: active.BALD{Samples: 5}}
+	// The runner builds the model; dropout must come from its config.
+	cfg.DropoutRate = 0.2
+	res := Run(stream, spec, cfg)
+	if len(res.Records) != 3 {
+		t.Fatal("BALD run incomplete")
+	}
+}
+
+func TestTraceEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(61)
+	cfg.Trace = &buf
+	Run(tinyStream(62), MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("trace lines = %d, want one per task", len(lines))
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if rec["method"] != "Random" || rec["stream"] != "stationary" {
+			t.Fatalf("line %d metadata: %v", i, rec)
+		}
+		if _, ok := rec["accuracy"].(float64); !ok {
+			t.Fatalf("line %d missing accuracy", i)
+		}
+		if int(rec["task"].(float64)) != i {
+			t.Fatalf("line %d task order", i)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eight block glyphs of a unicode sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line unicode block chart, scaled to the
+// series' own min–max range. Non-finite values render as spaces; a constant
+// series renders at mid height.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			b.WriteByte(' ')
+		case hi == lo:
+			b.WriteRune(sparkLevels[len(sparkLevels)/2])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkLevels) {
+				idx = len(sparkLevels) - 1
+			}
+			b.WriteRune(sparkLevels[idx])
+		}
+	}
+	return b.String()
+}
+
+// chartSymbols mark the successive series of a Chart.
+var chartSymbols = []byte("*o+x#@%&")
+
+// Chart renders a multi-series line chart in ASCII: `height` rows spanning
+// the joint min–max of all series, one column per x index, with a legend
+// mapping symbols to series names. Later series overdraw earlier ones where
+// they collide — matching the paper figures' habit of drawing the headline
+// method on top.
+func Chart(w io.Writer, title string, series []Series, height int) {
+	if len(series) == 0 {
+		return
+	}
+	if height < 2 {
+		height = 8
+	}
+	width := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Mean) > width {
+			width = len(s.Mean)
+		}
+		for _, v := range s.Mean {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if width == 0 || math.IsInf(lo, 1) {
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+	for si, s := range series {
+		sym := chartSymbols[si%len(chartSymbols)]
+		for x, v := range s.Mean {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			grid[rowOf(v)][x] = sym
+		}
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.3f ", lo)
+		}
+		fmt.Fprintf(w, "%s|%s|\n", label, string(row))
+	}
+	fmt.Fprintf(w, "        %s\n", strings.Repeat("-", width+2))
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", chartSymbols[si%len(chartSymbols)], s.Name))
+	}
+	fmt.Fprintf(w, "        task 1..%d   %s\n", width, strings.Join(legend, "  "))
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineShape(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if utf8.RuneCountInString(s) != 4 {
+		t.Fatalf("length %d", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("sparkline = %q", s)
+	}
+	// Monotone input → monotone glyphs.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("non-monotone sparkline %q", s)
+		}
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input")
+	}
+	// Constant series: mid-height glyphs.
+	s := Sparkline([]float64{5, 5, 5})
+	for _, r := range s {
+		if r != sparkLevels[len(sparkLevels)/2] {
+			t.Fatalf("constant sparkline = %q", s)
+		}
+	}
+	// NaN renders as space.
+	s = Sparkline([]float64{0, math.NaN(), 1})
+	if []rune(s)[1] != ' ' {
+		t.Fatalf("nan sparkline = %q", s)
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, "demo", []Series{
+		{Name: "up", Mean: []float64{0, 1, 2, 3, 4}},
+		{Name: "down", Mean: []float64{4, 3, 2, 1, 0}},
+	}, 5)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Fatalf("chart:\n%s", out)
+	}
+	// Both extremes labeled.
+	if !strings.Contains(out, "4.000") || !strings.Contains(out, "0.000") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	// The rising series occupies the top-right corner, the falling the top-left.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") || !strings.Contains(top, "o") {
+		t.Fatalf("top row missing extremes: %q", top)
+	}
+}
+
+func TestChartEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, "x", nil, 5)
+	if buf.Len() != 0 {
+		t.Fatal("empty series should render nothing")
+	}
+	Chart(&buf, "x", []Series{{Name: "e"}}, 5)
+	if buf.Len() != 0 {
+		t.Fatal("zero-width series should render nothing")
+	}
+	// Constant series must not divide by zero.
+	Chart(&buf, "c", []Series{{Name: "c", Mean: []float64{2, 2}}}, 4)
+	if buf.Len() == 0 {
+		t.Fatal("constant series should still render")
+	}
+}

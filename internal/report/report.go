@@ -1,0 +1,166 @@
+// Package report renders experiment results as aligned ASCII tables, task
+// series, and CSV — the textual analog of the paper's figures and tables.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; it must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = utf8.RuneCountInString(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if n := utf8.RuneCountInString(cell); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(t.Columns)
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as CSV (header + rows).
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// F formats a float with the given precision, rendering NaN as "-".
+func F(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// MeanStd formats "mean ± std".
+func MeanStd(mean, std float64, prec int) string {
+	return fmt.Sprintf("%s ± %s", F(mean, prec), F(std, prec))
+}
+
+// Series is one named line of a task-indexed curve (a figure line).
+type Series struct {
+	Name string
+	Mean []float64
+	Std  []float64 // optional; same length as Mean when present
+}
+
+// RenderSeries prints a per-task curve set: one column per series, one row
+// per task — the textual rendering of one panel of Fig. 2/4/6.
+func RenderSeries(w io.Writer, title string, series []Series, prec int) {
+	if len(series) == 0 {
+		return
+	}
+	nTasks := 0
+	for _, s := range series {
+		if len(s.Mean) > nTasks {
+			nTasks = len(s.Mean)
+		}
+	}
+	cols := make([]string, 0, len(series)+1)
+	cols = append(cols, "task")
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	t := Table{Title: title, Columns: cols}
+	for i := 0; i < nTasks; i++ {
+		row := make([]string, 0, len(cols))
+		row = append(row, fmt.Sprintf("%d", i+1))
+		for _, s := range series {
+			switch {
+			case i >= len(s.Mean):
+				row = append(row, "-")
+			case len(s.Std) == len(s.Mean):
+				row = append(row, MeanStd(s.Mean[i], s.Std[i], prec))
+			default:
+				row = append(row, F(s.Mean[i], prec))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation of xs (0 for n < 2).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}

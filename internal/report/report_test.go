@@ -1,0 +1,99 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "| alpha | 1     |") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	width := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != width {
+			t.Fatalf("misaligned line %q", l)
+		}
+	}
+}
+
+func TestAddRowMismatchPanics(t *testing.T) {
+	tb := Table{Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Columns: []string{"a", "b"}}
+	tb.AddRow("1", "x,y")
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatal("F")
+	}
+	if F(math.NaN(), 2) != "-" {
+		t.Fatal("F NaN")
+	}
+	if MeanStd(1, 0.5, 1) != "1.0 ± 0.5" {
+		t.Fatalf("MeanStd = %q", MeanStd(1, 0.5, 1))
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	var buf bytes.Buffer
+	RenderSeries(&buf, "panel", []Series{
+		{Name: "FACTION", Mean: []float64{0.8, 0.9}, Std: []float64{0.01, 0.02}},
+		{Name: "Random", Mean: []float64{0.7}},
+	}, 2)
+	out := buf.String()
+	if !strings.Contains(out, "FACTION") || !strings.Contains(out, "0.80 ± 0.01") {
+		t.Fatalf("series:\n%s", out)
+	}
+	// Shorter series padded with "-".
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing padding for shorter series")
+	}
+	// Empty input renders nothing.
+	var empty bytes.Buffer
+	RenderSeries(&empty, "x", nil, 2)
+	if empty.Len() != 0 {
+		t.Fatal("empty series should render nothing")
+	}
+}
+
+func TestMeanStdStats(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+	if got := Std([]float64{2, 4}); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Fatalf("std = %g", got)
+	}
+	if Std([]float64{5}) != 0 {
+		t.Fatal("single-sample std should be 0")
+	}
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"faction/internal/data"
+	"faction/internal/gda"
+	"faction/internal/nn"
+	"faction/internal/rngutil"
+)
+
+// OnlineConfig enables serving-time adaptation: labeled feedback accumulates
+// in a buffer and /refit continues training the live model on it (with the
+// fairness-regularized loss) and refits the density estimator — the
+// deployment analog of Algorithm 1's train-then-acquire loop, with the
+// /score endpoint supplying the acquire half.
+type OnlineConfig struct {
+	// Enabled turns on POST /feedback and POST /refit.
+	Enabled bool
+	// Fair is the training-time fairness regularization (Eq. 9).
+	Fair nn.FairConfig
+	// Epochs per refit (default 10).
+	Epochs int
+	// BatchSize for refit minibatches (default 32).
+	BatchSize int
+	// LR is the refit learning rate (default 0.01).
+	LR float64
+	// MaxBuffer caps the feedback buffer; oldest samples are dropped beyond
+	// it (0 = unbounded).
+	MaxBuffer int
+	// Seed derives the refit shuffling stream.
+	Seed int64
+	// SensValues for refitting the density estimator (default {-1, +1}).
+	SensValues []int
+}
+
+func (c *OnlineConfig) setDefaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	if len(c.SensValues) == 0 {
+		c.SensValues = []int{-1, 1}
+	}
+}
+
+// feedbackRequest is the body of POST /feedback.
+type feedbackRequest struct {
+	Instances [][]float64 `json:"instances"`
+	Labels    []int       `json:"labels"`
+	Sensitive []int       `json:"sensitive"`
+}
+
+type feedbackResponse struct {
+	Buffered int `json:"buffered"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req feedbackRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	n := len(req.Instances)
+	if n == 0 {
+		httpError(w, http.StatusBadRequest, "no instances")
+		return
+	}
+	if len(req.Labels) != n || len(req.Sensitive) != n {
+		httpError(w, http.StatusBadRequest, "%d instances but %d labels / %d sensitive values",
+			n, len(req.Labels), len(req.Sensitive))
+		return
+	}
+	dim := s.cfg.Model.Config().InputDim
+	classes := s.cfg.Model.Config().NumClasses
+	samples := make([]data.Sample, n)
+	for i, inst := range req.Instances {
+		if len(inst) != dim {
+			httpError(w, http.StatusBadRequest, "instance %d has %d features, model expects %d", i, len(inst), dim)
+			return
+		}
+		if req.Labels[i] < 0 || req.Labels[i] >= classes {
+			httpError(w, http.StatusBadRequest, "label %d out of range %d", req.Labels[i], classes)
+			return
+		}
+		x := make([]float64, dim)
+		copy(x, inst)
+		samples[i] = data.Sample{X: x, Y: req.Labels[i], S: req.Sensitive[i]}
+	}
+	s.mu.Lock()
+	s.buffer.Append(samples...)
+	if max := s.cfg.Online.MaxBuffer; max > 0 && s.buffer.Len() > max {
+		// Drop oldest (buffer is append-ordered).
+		excess := s.buffer.Len() - max
+		s.buffer.Samples = append([]data.Sample(nil), s.buffer.Samples[excess:]...)
+	}
+	buffered := s.buffer.Len()
+	s.mu.Unlock()
+	writeJSON(w, feedbackResponse{Buffered: buffered})
+}
+
+type refitResponse struct {
+	Samples       int     `json:"samples"`
+	TrainLoss     float64 `json:"trainLoss"`
+	TrainAccuracy float64 `json:"trainAccuracy"`
+	DensityRefit  bool    `json:"densityRefit"`
+	Refits        int     `json:"refits"`
+}
+
+func (s *Server) handleRefit(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.buffer.Len() == 0 {
+		httpError(w, http.StatusConflict, "no feedback buffered")
+		return
+	}
+	oc := s.cfg.Online
+	s.refits++
+	rng := rngutil.Derive(oc.Seed, "server-refit", fmt.Sprint(s.refits))
+	opt := nn.NewAdam(oc.LR)
+	stats := s.cfg.Model.Train(
+		s.buffer.Matrix(), s.buffer.Labels(), s.buffer.Sensitive(),
+		opt, nn.TrainOpts{Epochs: oc.Epochs, BatchSize: oc.BatchSize, Fair: oc.Fair}, rng)
+
+	resp := refitResponse{
+		Samples:       s.buffer.Len(),
+		TrainLoss:     stats.Loss,
+		TrainAccuracy: stats.Accuracy,
+		Refits:        s.refits,
+	}
+	// Refit the density estimator on the refreshed representation.
+	if s.cfg.Density != nil {
+		feats := s.cfg.Model.Features(s.buffer.Matrix())
+		est, err := gda.Fit(feats, s.buffer.Labels(), s.buffer.Sensitive(),
+			s.cfg.Model.Config().NumClasses, oc.SensValues, gda.Config{})
+		if err == nil {
+			s.cfg.Density = est
+			s.cfg.TrainLogDensities = est.TrainLogDensities
+			if len(est.TrainLogDensities) > 0 {
+				s.oodThreshold = quantile(est.TrainLogDensities, s.cfg.OODQuantile)
+				s.hasOOD = true
+			}
+			resp.DensityRefit = true
+		}
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,333 @@
+// Package server exposes a trained FACTION deployment over HTTP: prediction
+// with fairness-aware diagnostics, epistemic-uncertainty scoring (the u(x)
+// signal of Eq. 6 as a service, so an external annotation pipeline can decide
+// what to label), and drift monitoring. Handlers are stdlib net/http and are
+// constructed from in-memory models, so the same code serves tests
+// (httptest), the faction-serve binary, and embedding into other processes.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+
+	"faction/internal/data"
+	"faction/internal/drift"
+	"faction/internal/gda"
+	"faction/internal/mat"
+	"faction/internal/nn"
+)
+
+// Config assembles a server from its fitted components.
+type Config struct {
+	Model *nn.Classifier
+	// Density is optional; without it /score and /drift are disabled (404).
+	Density *gda.Estimator
+	// Lambda is the fairness trade-off λ of Eq. 6 used by /score.
+	Lambda float64
+	// OODQuantile marks an instance OOD when its log-density falls below the
+	// (empirical) training log-density quantile. Default 0.05.
+	OODQuantile float64
+	// TrainLogDensities are the training-set log-densities used to calibrate
+	// the OOD threshold. Optional; without them the ood flags are omitted.
+	TrainLogDensities []float64
+	// Drift, when non-nil, receives the mean log-density of every /predict
+	// and /score batch and reports shifts on /drift.
+	Drift *drift.Detector
+	// Online enables the serving-time adaptation endpoints /feedback and
+	// /refit (see OnlineConfig).
+	Online OnlineConfig
+}
+
+// Server is the HTTP facade. It is safe for concurrent use: model and
+// density reads take a read lock; /refit takes the write lock while it
+// continues training.
+type Server struct {
+	mu           sync.RWMutex // guards cfg.Model, cfg.Density, thresholds, buffer
+	cfg          Config
+	oodThreshold float64
+	hasOOD       bool
+	buffer       *data.Dataset
+	refits       int
+
+	driftMu sync.Mutex // guards the drift detector independently
+}
+
+// New validates the configuration and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("server: nil model")
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 1
+	}
+	if cfg.OODQuantile <= 0 || cfg.OODQuantile >= 1 {
+		cfg.OODQuantile = 0.05
+	}
+	cfg.Online.setDefaults()
+	s := &Server{cfg: cfg}
+	if cfg.Density != nil && len(cfg.TrainLogDensities) > 0 {
+		s.oodThreshold = quantile(cfg.TrainLogDensities, cfg.OODQuantile)
+		s.hasOOD = true
+	}
+	s.buffer = data.NewDataset("feedback", cfg.Model.Config().InputDim, cfg.Model.Config().NumClasses)
+	return s, nil
+}
+
+// Handler returns the HTTP mux with all routes registered.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /info", s.handleInfo)
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	if s.cfg.Density != nil {
+		mux.HandleFunc("POST /score", s.handleScore)
+		mux.HandleFunc("GET /drift", s.handleDrift)
+	}
+	if s.cfg.Online.Enabled {
+		mux.HandleFunc("POST /feedback", s.handleFeedback)
+		mux.HandleFunc("POST /refit", s.handleRefit)
+	}
+	return mux
+}
+
+// instancesRequest is the shared request body of /predict and /score.
+type instancesRequest struct {
+	Instances [][]float64 `json:"instances"`
+}
+
+// decodeInstances parses and validates the request body into a matrix.
+func (s *Server) decodeInstances(w http.ResponseWriter, r *http.Request) (*mat.Dense, bool) {
+	var req instancesRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return nil, false
+	}
+	if len(req.Instances) == 0 {
+		httpError(w, http.StatusBadRequest, "no instances")
+		return nil, false
+	}
+	dim := s.cfg.Model.Config().InputDim
+	x := mat.NewDense(len(req.Instances), dim)
+	for i, inst := range req.Instances {
+		if len(inst) != dim {
+			httpError(w, http.StatusBadRequest, "instance %d has %d features, model expects %d", i, len(inst), dim)
+			return nil, false
+		}
+		for _, v := range inst {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				httpError(w, http.StatusBadRequest, "instance %d has a non-finite feature", i)
+				return nil, false
+			}
+		}
+		copy(x.Row(i), inst)
+	}
+	return x, true
+}
+
+type predictResponse struct {
+	Classes      []int       `json:"classes"`
+	Probs        [][]float64 `json:"probs"`
+	LogDensities []float64   `json:"logDensities,omitempty"`
+	OOD          []bool      `json:"ood,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	x, ok := s.decodeInstances(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	logits, feats := s.cfg.Model.LogitsAndFeatures(x)
+	resp := predictResponse{
+		Classes: make([]int, logits.Rows),
+		Probs:   make([][]float64, logits.Rows),
+	}
+	for i := 0; i < logits.Rows; i++ {
+		probs := make([]float64, logits.Cols)
+		mat.Softmax(probs, logits.Row(i))
+		resp.Probs[i] = probs
+		resp.Classes[i] = mat.ArgMax(probs)
+	}
+	if s.cfg.Density != nil {
+		resp.LogDensities = make([]float64, feats.Rows)
+		for i := 0; i < feats.Rows; i++ {
+			resp.LogDensities[i] = s.cfg.Density.LogDensity(feats.Row(i))
+		}
+		if s.hasOOD {
+			resp.OOD = make([]bool, feats.Rows)
+			for i, ld := range resp.LogDensities {
+				resp.OOD[i] = ld < s.oodThreshold
+			}
+		}
+	}
+	s.mu.RUnlock()
+	if resp.LogDensities != nil {
+		s.feedDrift(resp.LogDensities)
+	}
+	writeJSON(w, resp)
+}
+
+type scoreResponse struct {
+	// U holds the raw u(x) scores of Eq. 6 (lower = more worth labeling).
+	U []float64 `json:"u"`
+	// QueryProb holds ω(x) = 1 − Normalize(u) (Eq. 7).
+	QueryProb []float64 `json:"queryProb"`
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	x, ok := s.decodeInstances(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	logits, feats := s.cfg.Model.LogitsAndFeatures(x)
+	batch := s.cfg.Density.ScoreBatch(feats)
+	u := make([]float64, len(batch.G))
+	probs := make([]float64, logits.Cols)
+	for i := range u {
+		mat.Softmax(probs, logits.Row(i))
+		u[i] = batch.G[i]
+		for c := 0; c < logits.Cols && c < len(batch.Delta[i]); c++ {
+			u[i] -= s.cfg.Lambda * probs[c] * batch.Delta[i][c]
+		}
+	}
+	omega := normalizeFlip(u)
+	logDensities := make([]float64, feats.Rows)
+	for i := 0; i < feats.Rows; i++ {
+		logDensities[i] = s.cfg.Density.LogDensity(feats.Row(i))
+	}
+	s.mu.RUnlock()
+	s.feedDrift(logDensities)
+	writeJSON(w, scoreResponse{U: u, QueryProb: omega})
+}
+
+type driftResponse struct {
+	Observations int     `json:"observations"`
+	Shifts       int     `json:"shifts"`
+	BaselineMean float64 `json:"baselineMean"`
+	BaselineStd  float64 `json:"baselineStd"`
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request) {
+	s.driftMu.Lock()
+	defer s.driftMu.Unlock()
+	var resp driftResponse
+	if s.cfg.Drift != nil {
+		resp.Observations = len(s.cfg.Drift.History())
+		resp.BaselineMean, resp.BaselineStd = s.cfg.Drift.Baseline()
+		resp.Shifts = s.cfg.Drift.Shifts()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+type infoResponse struct {
+	InputDim     int   `json:"inputDim"`
+	NumClasses   int   `json:"numClasses"`
+	Hidden       []int `json:"hidden"`
+	SpectralNorm bool  `json:"spectralNorm"`
+	NumParams    int   `json:"numParams"`
+	HasDensity   bool  `json:"hasDensity"`
+	Components   int   `json:"densityComponents,omitempty"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cfg := s.cfg.Model.Config()
+	resp := infoResponse{
+		InputDim:     cfg.InputDim,
+		NumClasses:   cfg.NumClasses,
+		Hidden:       cfg.Hidden,
+		SpectralNorm: cfg.SpectralNorm,
+		NumParams:    s.cfg.Model.NumParams(),
+		HasDensity:   s.cfg.Density != nil,
+	}
+	if s.cfg.Density != nil {
+		resp.Components = s.cfg.Density.NumComponents()
+	}
+	writeJSON(w, resp)
+}
+
+// feedDrift folds a batch's mean log-density into the drift detector.
+func (s *Server) feedDrift(logDensities []float64) {
+	if s.cfg.Drift == nil || len(logDensities) == 0 {
+		return
+	}
+	mean := 0.0
+	for _, v := range logDensities {
+		mean += v
+	}
+	mean /= float64(len(logDensities))
+	s.driftMu.Lock()
+	s.cfg.Drift.Observe(mean)
+	s.driftMu.Unlock()
+}
+
+// normalizeFlip maps scores to ω = 1 − minmax(u); constant batches get 0.5
+// (no preference).
+func normalizeFlip(u []float64) []float64 {
+	out := make([]float64, len(u))
+	if len(u) == 0 {
+		return out
+	}
+	lo, hi := mat.MinMax(u)
+	if hi == lo {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	span := hi - lo
+	for i, v := range u {
+		out[i] = 1 - (v-lo)/span
+	}
+	return out
+}
+
+// quantile returns the q-quantile of xs (copied and sorted).
+func quantile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	// Insertion sort is fine for calibration-set sizes; keep stdlib-sort free
+	// of float NaN pitfalls by filtering first.
+	n := 0
+	for _, v := range sorted {
+		if !math.IsNaN(v) {
+			sorted[n] = v
+			n++
+		}
+	}
+	sorted = sorted[:n]
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(q * float64(n-1))
+	return sorted[idx]
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing else to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
