@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with real concurrency: the HTTP serving layer, the
+# online protocol runner, the snapshot/drain helpers, and the network whose
+# inference path must stay read-only.
+race:
+	$(GO) test -race ./internal/server/... ./internal/online/... ./internal/resilience/... ./internal/nn/...
+
+vet:
+	$(GO) vet ./...
+
+check: vet build test race

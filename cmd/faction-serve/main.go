@@ -11,22 +11,34 @@
 //	# serve previously saved artifacts
 //	faction-serve -model model.gob -density density.gob -addr :8080
 //
-// Endpoints: GET /healthz, GET /info, POST /predict, POST /score, GET /drift,
+// Endpoints: GET /healthz (liveness), GET /readyz (readiness: 503 while
+// draining or mid-refit), GET /info, POST /predict, POST /score, GET /drift,
 // and with -online also POST /feedback and POST /refit.
+//
+// The process runs production-shaped: SIGINT/SIGTERM drain in-flight
+// requests (bounded by -shutdown-timeout) and exit 0; panics, oversized
+// bodies and overload are absorbed by the server's middleware stack; and
+// with -checkpoint the live model is periodically snapshotted crash-safely
+// (temp file + rename, checksummed, rotated) after refits change it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"faction/internal/data"
 	"faction/internal/drift"
 	"faction/internal/gda"
 	"faction/internal/nn"
+	"faction/internal/resilience"
 	"faction/internal/rngutil"
 	"faction/internal/server"
 )
@@ -42,18 +54,28 @@ func main() {
 		lambda    = flag.Float64("lambda", 1, "fairness trade-off λ for /score")
 		mu        = flag.Float64("mu", 0.7, "fairness regularization μ when training")
 		online    = flag.Bool("online", false, "enable POST /feedback and POST /refit (serving-time adaptation)")
+
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "max wait for in-flight requests on SIGINT/SIGTERM")
+		requestTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (503 beyond it)")
+		maxInflight     = flag.Int("max-inflight", 64, "concurrent requests before shedding with 429")
+		maxBody         = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+		checkpoint      = flag.Duration("checkpoint", 0, "snapshot the live model at this interval when refits changed it (0 disables)")
+		checkpointKeep  = flag.Int("checkpoint-keep", 2, "rotated checkpoint generations to keep alongside each snapshot")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *train != "" {
-		if err := trainAndSave(*train, *modelPath, *densPath, *seed, *samples, *mu); err != nil {
+		if err := trainAndSave(*train, *modelPath, *densPath, *seed, *samples, *mu, *checkpointKeep); err != nil {
 			fatal(err)
 		}
 	}
 
-	model, err := loadModel(*modelPath)
+	model, err := nn.LoadClassifierFile(*modelPath)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("loading model: %w", err))
 	}
 	cfg := server.Config{
 		Model:  model,
@@ -64,34 +86,91 @@ func main() {
 			Fair:    nn.FairConfig{Mu: *mu, Eps: 0.01},
 			Seed:    *seed,
 		},
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *requestTimeout,
+		MaxBodyBytes:   *maxBody,
 	}
 	if *densPath != "" {
-		est, lds, err := loadDensity(*densPath)
+		est, err := gda.LoadFile(*densPath)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("loading density: %w", err))
 		}
 		cfg.Density = est
-		cfg.TrainLogDensities = lds
+		cfg.TrainLogDensities = est.TrainLogDensities
 	}
 	s, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("faction-serve listening on %s (model %s, density %q)", *addr, *modelPath, *densPath)
-	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+
+	if *checkpoint > 0 {
+		go checkpointLoop(ctx, s, *modelPath, *densPath, *checkpoint, *checkpointKeep)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	log.Printf("faction-serve listening on %s (model %s, density %q)", ln.Addr(), *modelPath, *densPath)
+	err = resilience.Serve(ctx, srv, ln, *shutdownTimeout, func() {
+		s.SetReady(false)
+		log.Printf("faction-serve draining (up to %s)", *shutdownTimeout)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("faction-serve drained cleanly")
+}
+
+// checkpointLoop snapshots the live model (and density) whenever a refit has
+// advanced the generation since the last checkpoint. Writes are crash-safe
+// and retried with backoff; a persistently failing disk is logged, never
+// fatal — serving always outranks checkpointing.
+func checkpointLoop(ctx context.Context, s *server.Server, modelPath, densPath string, every time.Duration, keep int) {
+	var lastSaved uint64
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		gen := s.Generation()
+		if gen == lastSaved {
+			continue
+		}
+		err := resilience.Retry(ctx, resilience.RetryPolicy{}, func() error {
+			return resilience.SaveSnapshot(modelPath, keep, s.SaveModel)
+		})
+		if err == nil && densPath != "" && s.HasDensity() {
+			err = resilience.Retry(ctx, resilience.RetryPolicy{}, func() error {
+				return resilience.SaveSnapshot(densPath, keep, s.SaveDensity)
+			})
+		}
+		if err != nil {
+			log.Printf("checkpoint of generation %d failed: %v", gen, err)
+			continue
+		}
+		lastSaved = gen
+		log.Printf("checkpointed model generation %d to %s", gen, modelPath)
 	}
 }
 
 // trainAndSave fits a fairness-regularized model + density estimator on the
 // named benchmark stream's first tasks and writes the snapshots.
-func trainAndSave(streamName, modelPath, densPath string, seed int64, samples int, mu float64) error {
+func trainAndSave(streamName, modelPath, densPath string, seed int64, samples int, mu float64, keep int) error {
 	stream, err := data.ByName(streamName, data.StreamConfig{Seed: seed, SamplesPerTask: samples})
 	if err != nil {
 		return err
 	}
 	pool := data.NewDataset("train", stream.Dim, stream.Classes)
-	for _, task := range stream.Tasks[:minInt(3, len(stream.Tasks))] {
+	for _, task := range stream.Tasks[:min(3, len(stream.Tasks))] {
 		pool.Samples = append(pool.Samples, task.Pool.Samples...)
 	}
 	model := nn.NewClassifier(nn.Config{
@@ -104,7 +183,7 @@ func trainAndSave(streamName, modelPath, densPath string, seed int64, samples in
 	log.Printf("trained on %d samples from %s: accuracy %.3f, loss %.3f",
 		pool.Len(), streamName, stats.Accuracy, stats.Loss)
 
-	if err := saveTo(modelPath, model.Save); err != nil {
+	if err := nn.SaveClassifierFile(modelPath, model, keep); err != nil {
 		return fmt.Errorf("saving model: %w", err)
 	}
 	if densPath != "" {
@@ -113,54 +192,11 @@ func trainAndSave(streamName, modelPath, densPath string, seed int64, samples in
 		if err != nil {
 			return fmt.Errorf("fitting density: %w", err)
 		}
-		if err := saveTo(densPath, est.Save); err != nil {
+		if err := est.SaveFile(densPath, keep); err != nil {
 			return fmt.Errorf("saving density: %w", err)
 		}
 	}
 	return nil
-}
-
-func saveTo(path string, save func(w io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func loadModel(path string) (*nn.Classifier, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return nn.LoadClassifier(f)
-}
-
-// loadDensity loads the estimator; its snapshot carries the training-set
-// log-densities used to calibrate the OOD threshold.
-func loadDensity(path string) (*gda.Estimator, []float64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer f.Close()
-	est, err := gda.Load(f)
-	if err != nil {
-		return nil, nil, err
-	}
-	return est, est.TrainLogDensities, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func fatal(err error) {

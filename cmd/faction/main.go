@@ -64,7 +64,10 @@ func main() {
 
 	fmt.Printf("%s on %s (%d tasks, budget %d, acquisition %d, warm start %d)\n\n",
 		spec.Name, stream.Name, stream.NumTasks(), cfg.Budget, cfg.AcqSize, cfg.WarmStart)
-	res := online.Run(stream, spec, cfg)
+	res, err := online.Run(stream, spec, cfg)
+	if err != nil {
+		fatal(err)
+	}
 
 	t := report.Table{
 		Columns: []string{"task", "env", "name", "Acc(↑)", "DDP(↓)", "EOD(↓)", "MI(↓)", "queries", "time"},

@@ -33,7 +33,10 @@ func ExampleRun() {
 	cfg.WarmStart = 20
 	cfg.Epochs = 3
 	cfg.Hidden = []int{16}
-	res := faction.Run(stream, faction.FactionMethod(faction.DefaultOptions()), cfg)
+	res, err := faction.Run(stream, faction.FactionMethod(faction.DefaultOptions()), cfg)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("tasks evaluated: %d\n", len(res.Records))
 	fmt.Printf("labels bought: %d\n", res.TotalQueries)
 	// Output:

@@ -100,8 +100,14 @@ func main() {
 	}
 
 	fmt.Printf("pedestrian stream: %d tasks across %d hour-of-day environments\n\n", stream.NumTasks(), 4)
-	fRes := faction.Run(stream, factionSpec, cfg)
-	eRes := faction.Run(stream, entropySpec, cfg)
+	fRes, err := faction.Run(stream, factionSpec, cfg)
+	if err != nil {
+		panic(err)
+	}
+	eRes, err := faction.Run(stream, entropySpec, cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("task  scene               FACTION acc/DDP    Entropy-AL acc/DDP")
 	for i := range fRes.Records {

@@ -30,7 +30,10 @@ func main() {
 
 	fmt.Printf("running %s on %s: %d tasks, budget %d/task\n\n",
 		spec.Name, stream.Name, stream.NumTasks(), cfg.Budget)
-	result := faction.Run(stream, spec, cfg)
+	result, err := faction.Run(stream, spec, cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("task  env  accuracy   DDP     EOD     MI")
 	for _, rec := range result.Records {

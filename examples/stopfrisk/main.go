@@ -30,8 +30,14 @@ func main() {
 	noFair := faction.FactionMethod(bare)
 
 	fmt.Printf("NYSF analog: %d tasks (4 areas × 4 quarters), race as sensitive attribute\n\n", stream.NumTasks())
-	fullRes := faction.Run(stream, full, cfg)
-	bareRes := faction.Run(stream, noFair, cfg)
+	fullRes, err := faction.Run(stream, full, cfg)
+	if err != nil {
+		panic(err)
+	}
+	bareRes, err := faction.Run(stream, noFair, cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	fm, bm := fullRes.MeanReport(), bareRes.MeanReport()
 	fmt.Println("                                   Acc(↑)   DDP(↓)   EOD(↓)   MI(↓)")

@@ -117,8 +117,9 @@ func MethodByName(name string, seed int64) (MethodSpec, error) {
 func DefaultRunConfig(seed int64) RunConfig { return online.DefaultConfig(seed) }
 
 // Run executes the Fair Active Online Learning protocol (Algorithm 1) for
-// one method over a stream.
-func Run(stream *Stream, spec MethodSpec, cfg RunConfig) RunResult {
+// one method over a stream. An invalid configuration (e.g. an unknown
+// optimizer name) returns an error before any work happens.
+func Run(stream *Stream, spec MethodSpec, cfg RunConfig) (RunResult, error) {
 	return online.Run(stream, spec, cfg)
 }
 

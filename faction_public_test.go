@@ -21,7 +21,10 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	cfg.Epochs = 3
 	cfg.Hidden = []int{16}
 	spec := faction.FactionMethod(faction.DefaultOptions())
-	res := faction.Run(stream, spec, cfg)
+	res, err := faction.Run(stream, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Records) != stream.NumTasks() {
 		t.Fatalf("records = %d, want %d", len(res.Records), stream.NumTasks())
 	}

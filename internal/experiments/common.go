@@ -111,7 +111,7 @@ func runGrid(opt Options, datasets []string, mkMethods func(runSeed int64) []onl
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cfg := opt.Scale.RunConfig(rngutil.DeriveSeed(opt.Seed, "run", j.key.Dataset, j.key.Method, fmt.Sprint(j.key.Run)))
-			res := online.Run(j.stream, j.spec, cfg)
+			res := online.MustRun(j.stream, j.spec, cfg)
 			mu.Lock()
 			results[j.key] = res
 			mu.Unlock()

@@ -103,7 +103,7 @@ func RunDesign(opt Options) *DesignResult {
 			}
 			spec := online.FactionSpec(dc.Opts())
 			spec.Name = dc.Name
-			run := online.Run(stream, spec, cfg)
+			run := online.MustRun(stream, spec, cfg)
 			mean := run.MeanReport()
 			accs = append(accs, mean.Accuracy)
 			ddps = append(ddps, mean.DDP)

@@ -52,7 +52,7 @@ func RunFig6(opt Options) *Fig6Result {
 				defer func() { <-sem }()
 				cfg := opt.Scale.RunConfig(rngutil.DeriveSeed(opt.Seed, "fig6run", spec.Name, fmt.Sprint(r)))
 				cfg.Hidden = hidden
-				res := online.Run(stream, spec, cfg)
+				res := online.MustRun(stream, spec, cfg)
 				mu.Lock()
 				cells = append(cells, cell{method: spec.Name, run: r, res: res})
 				mu.Unlock()

@@ -68,7 +68,7 @@ func RunTheory(opt Options) *TheoryResult {
 			stream := data.StationaryFair(opt.Scale.StreamConfig(seed), T)
 			cfg := baseCfg
 			cfg.Seed = seed
-			run := online.Run(stream, online.FactionSpec(faction.Defaults()), cfg)
+			run := online.MustRun(stream, online.FactionSpec(faction.Defaults()), cfg)
 			regrets = append(regrets, run.CumulativeRegret())
 			violations = append(violations, run.CumulativeViolation())
 			opt.progressf("done theory T=%d run %d\n", T, r)
@@ -92,7 +92,7 @@ func RunTheory(opt Options) *TheoryResult {
 			cfg := baseCfg
 			cfg.TrackRegret = false
 			cfg.Seed = rngutil.DeriveSeed(opt.Seed, "theory-alpha", fmt.Sprint(alpha), fmt.Sprint(r))
-			online.Run(trialStream, spec, cfg)
+			online.MustRun(trialStream, spec, cfg)
 			totals = append(totals, float64(strat.Trials()))
 		}
 		res.Trials = append(res.Trials, report.Mean(totals))

@@ -60,7 +60,7 @@ func RunTune(opt Options) *TuneResult {
 			o := faction.Defaults()
 			o.Mu = mu
 			cfg := opt.Scale.RunConfig(seed)
-			run := online.Run(stream, online.FactionSpec(o), cfg)
+			run := online.MustRun(stream, online.FactionSpec(o), cfg)
 			mean := run.MeanReport()
 			accs = append(accs, mean.Accuracy)
 			ddps = append(ddps, mean.DDP)

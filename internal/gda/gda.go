@@ -175,6 +175,20 @@ func (e *Estimator) Component(y, s int) *Component {
 // NumComponents returns the number of fitted components.
 func (e *Estimator) NumComponents() int { return len(e.comps) }
 
+// DegenerateComponents counts components that fell back to pooled statistics
+// for lack of samples. A fit where every component is degenerate carries no
+// per-group structure and should not be trusted for the fairness gaps of
+// Eqs. 4–5.
+func (e *Estimator) DegenerateComponents() int {
+	n := 0
+	for _, c := range e.comps {
+		if c.Degenerate {
+			n++
+		}
+	}
+	return n
+}
+
 // LogDensity returns log g(z) = log Σ_{y,s} p(y,s)·g(z|y,s) (Eq. 3),
 // computed stably in log space.
 func (e *Estimator) LogDensity(z []float64) float64 {

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"faction/internal/mat"
+	"faction/internal/resilience"
 )
 
 // estimatorSnapshot is the gob wire format of a fitted Estimator.
@@ -50,6 +51,29 @@ func (e *Estimator) Save(w io.Writer) error {
 		})
 	}
 	return gob.NewEncoder(w).Encode(snap)
+}
+
+// SaveFile writes a crash-safe estimator snapshot: checksummed, written to a
+// temp file and renamed into place, with up to keep rotated predecessors
+// (path.1 … path.keep) kept as fallbacks.
+func (e *Estimator) SaveFile(path string, keep int) error {
+	return resilience.SaveSnapshot(path, keep, e.Save)
+}
+
+// LoadFile loads a snapshot written by SaveFile (or a legacy raw .gob file).
+// Truncated or corrupted files are rejected with an error wrapping
+// resilience.ErrCorrupt — never half-loaded.
+func LoadFile(path string) (*Estimator, error) {
+	var e *Estimator
+	err := resilience.LoadSnapshot(path, func(r io.Reader) error {
+		var lerr error
+		e, lerr = Load(r)
+		return lerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // Load reconstructs an estimator saved with Save. Densities match the saved

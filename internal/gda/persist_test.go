@@ -3,11 +3,15 @@ package gda
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"faction/internal/mat"
+	"faction/internal/resilience"
 )
 
 func TestEstimatorSaveLoadExact(t *testing.T) {
@@ -103,5 +107,50 @@ func TestEstimatorLoadBadSnapshots(t *testing.T) {
 	// The uncorrupted snapshot loads fine.
 	if _, err := Load(encode(good())); err != nil {
 		t.Fatalf("control snapshot failed: %v", err)
+	}
+}
+
+func TestEstimatorFileSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f, y, s, _ := clusters(rng, 60, 3)
+	orig, err := Fit(f, y, s, 2, []int{-1, 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "density.gob")
+	if err := orig.SaveFile(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := []float64{1, -2}
+	if orig.LogDensity(z) != loaded.LogDensity(z) {
+		t.Fatal("density mismatch after file round trip")
+	}
+}
+
+func TestEstimatorFileSnapshotCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f, y, s, _ := clusters(rng, 60, 3)
+	orig, err := Fit(f, y, s, 2, []int{-1, 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "density.gob")
+	if err := orig.SaveFile(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x55 // corrupt a payload byte
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); !errors.Is(err, resilience.ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: err = %v, want resilience.ErrCorrupt", err)
 	}
 }

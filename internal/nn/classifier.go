@@ -115,9 +115,12 @@ func (c *Classifier) PredictClasses(x *mat.Dense) []int {
 
 // LogitsAndFeatures runs one inference pass returning both the logits and the
 // tapped feature representation (sharing the forward pass).
+//
+// Inference methods (Logits, Probs, PredictClasses, LogitsAndFeatures,
+// Features) are read-only and safe for concurrent use; Train and ProbsMC
+// mutate layer state and require external synchronization.
 func (c *Classifier) LogitsAndFeatures(x *mat.Dense) (logits, features *mat.Dense) {
-	logits = c.net.Forward(x, false)
-	return logits, c.net.LastFeatures()
+	return c.net.ForwardTapped(x, false)
 }
 
 // Features returns z = r(x, θ) for each row of x.

@@ -32,8 +32,14 @@ func NewDropout(rng *rand.Rand, rate float64) *Dropout {
 }
 
 // Forward applies the mask in train (or forced) mode; identity otherwise.
+// Pure inference (train=false, ForceActive off) leaves the layer unmodified
+// and is safe for concurrent callers; masked modes record state for Backward
+// and are not.
 func (d *Dropout) Forward(x *mat.Dense, train bool) *mat.Dense {
-	if (!train && !d.ForceActive) || d.Rate == 0 {
+	if !train && !d.ForceActive {
+		return x
+	}
+	if d.Rate == 0 {
 		d.mask = nil
 		return x
 	}

@@ -47,19 +47,24 @@ func NewLinear(rng *rand.Rand, in, out int, spectralNorm bool, spectralCoeff flo
 
 // Forward computes x·Ŵ + b where Ŵ = scale·W with scale determined by
 // spectral normalization (1 when disabled). In train mode the spectral-norm
-// power iteration is advanced one step.
+// power iteration is advanced one step and the input is cached for Backward;
+// inference passes (train=false) leave the layer unmodified, so one layer can
+// serve concurrent read-only forward passes.
 func (l *Linear) Forward(x *mat.Dense, train bool) *mat.Dense {
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("nn: linear input %d cols, want %d", x.Cols, l.In))
 	}
-	l.lastInput = x
-	l.lastScale = 1
+	scale := 1.0
 	if l.sn != nil {
-		l.lastScale = l.sn.scale(l.W.Value, train)
+		scale = l.sn.scale(l.W.Value, train)
+	}
+	if train {
+		l.lastInput = x
+		l.lastScale = scale
 	}
 	out := mat.Mul(x, l.W.Value)
-	if l.lastScale != 1 {
-		out.Scale(l.lastScale)
+	if scale != 1 {
+		out.Scale(scale)
 	}
 	b := l.B.Value.Row(0)
 	for i := 0; i < out.Rows; i++ {
@@ -100,7 +105,8 @@ func (l *Linear) Backward(gradOut *mat.Dense) *mat.Dense {
 // Params returns the layer's trainable parameters.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
-// EffectiveWeight returns scale·W as used in the most recent Forward.
+// EffectiveWeight returns scale·W as used in the most recent training
+// Forward (scale 1 before any training pass).
 func (l *Linear) EffectiveWeight() *mat.Dense {
 	w := l.W.Value.Clone()
 	if l.lastScale != 1 {
@@ -117,9 +123,18 @@ type ReLU struct {
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward applies the rectifier and records the activation mask.
+// Forward applies the rectifier. In train mode the activation mask is
+// recorded for Backward; inference passes keep the layer read-only.
 func (r *ReLU) Forward(x *mat.Dense, train bool) *mat.Dense {
 	out := x.Clone()
+	if !train {
+		for i, v := range out.Data {
+			if v <= 0 {
+				out.Data[i] = 0
+			}
+		}
+		return out
+	}
 	if cap(r.mask) < len(out.Data) {
 		r.mask = make([]bool, len(out.Data))
 	}

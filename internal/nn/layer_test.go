@@ -168,10 +168,14 @@ func TestNetworkFeatureTap(t *testing.T) {
 		NewLinear(rng, 3, 2, false, 0),
 	}, FeatureTap: 0}
 	x := mat.FromRows([][]float64{{1, 2}})
-	net.Forward(x, false)
-	f := net.LastFeatures()
+	_, f := net.ForwardTapped(x, false)
 	if f.Rows != 1 || f.Cols != 3 {
 		t.Fatalf("feature shape %dx%d", f.Rows, f.Cols)
+	}
+	// Training passes additionally record the tap for LastFeatures.
+	net.Forward(x, true)
+	if lf := net.LastFeatures(); lf.Rows != 1 || lf.Cols != 3 {
+		t.Fatalf("last-feature shape %dx%d", lf.Rows, lf.Cols)
 	}
 }
 

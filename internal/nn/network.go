@@ -16,8 +16,23 @@ type Network struct {
 	lastFeatures *mat.Dense
 }
 
-// Forward runs the full stack and returns the final output (logits).
+// Forward runs the full stack and returns the final output (logits). In
+// train mode the feature tap is recorded for LastFeatures; inference passes
+// (train=false) leave the network unmodified, so one network can serve
+// concurrent read-only forward passes (see ForwardTapped to retrieve the
+// features of an inference pass).
 func (n *Network) Forward(x *mat.Dense, train bool) *mat.Dense {
+	out, features := n.ForwardTapped(x, train)
+	if train {
+		n.lastFeatures = features
+	}
+	return out
+}
+
+// ForwardTapped runs the full stack and returns both the final output and
+// the activations at the feature tap without writing any shared caches. It
+// is the inference entry point for concurrent callers.
+func (n *Network) ForwardTapped(x *mat.Dense, train bool) (out, features *mat.Dense) {
 	if len(n.Layers) == 0 {
 		panic("nn: empty network")
 	}
@@ -25,14 +40,15 @@ func (n *Network) Forward(x *mat.Dense, train bool) *mat.Dense {
 	for i, l := range n.Layers {
 		h = l.Forward(h, train)
 		if i == n.FeatureTap {
-			n.lastFeatures = h
+			features = h
 		}
 	}
-	return h
+	return h, features
 }
 
 // LastFeatures returns the feature activations recorded at the tap during the
-// most recent Forward. The returned matrix is shared with the layer cache.
+// most recent training Forward. The returned matrix is shared with the layer
+// cache. Inference passes do not update it; use ForwardTapped instead.
 func (n *Network) LastFeatures() *mat.Dense {
 	if n.lastFeatures == nil {
 		panic("nn: LastFeatures before Forward")

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"faction/internal/mat"
+	"faction/internal/resilience"
 )
 
 // classifierSnapshot is the gob wire format of a Classifier: architecture
@@ -52,6 +53,30 @@ func (c *Classifier) Save(w io.Writer) error {
 		}
 	}
 	return gob.NewEncoder(w).Encode(snap)
+}
+
+// SaveClassifierFile writes a crash-safe classifier snapshot: the bytes are
+// checksummed, written to a temp file, and renamed into place, with up to
+// keep rotated predecessors (path.1 … path.keep) preserved as fallbacks. A
+// crash mid-write leaves the previous snapshot intact.
+func SaveClassifierFile(path string, c *Classifier, keep int) error {
+	return resilience.SaveSnapshot(path, keep, c.Save)
+}
+
+// LoadClassifierFile loads a snapshot written by SaveClassifierFile (or a
+// legacy raw .gob file). Truncated or corrupted files are rejected with an
+// error wrapping resilience.ErrCorrupt — never half-loaded.
+func LoadClassifierFile(path string) (*Classifier, error) {
+	var c *Classifier
+	err := resilience.LoadSnapshot(path, func(r io.Reader) error {
+		var lerr error
+		c, lerr = LoadClassifier(r)
+		return lerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // LoadClassifier reconstructs a classifier saved with Save. Predictions

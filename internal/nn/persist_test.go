@@ -3,9 +3,14 @@ package nn
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"faction/internal/resilience"
 )
 
 func TestClassifierSaveLoadExact(t *testing.T) {
@@ -127,5 +132,70 @@ func TestMatrixAliasSafetyOnLoad(t *testing.T) {
 	}
 	if b.net.Params()[0].Value.At(0, 0) == 999 {
 		t.Fatal("loads share storage")
+	}
+}
+
+func TestClassifierFileSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, y, _ := separableData(rng, 80, 0.5)
+	c := NewClassifier(Config{InputDim: 2, NumClasses: 2, Hidden: []int{8}, Seed: 9})
+	c.Train(x, y, nil, NewAdam(0.01), TrainOpts{Epochs: 5, BatchSize: 32}, rng)
+
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := SaveClassifierFile(path, c, 2); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClassifierFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := c.Logits(x), loaded.Logits(x)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("logit %d: %g != %g", i, got.Data[i], want.Data[i])
+		}
+	}
+	// A second save rotates the first snapshot to path.1.
+	if err := SaveClassifierFile(path, loaded, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadClassifierFile(path + ".1"); err != nil {
+		t.Fatalf("rotated checkpoint unreadable: %v", err)
+	}
+}
+
+func TestClassifierFileSnapshotTruncated(t *testing.T) {
+	c := NewClassifier(Config{InputDim: 2, NumClasses: 2, Hidden: []int{8}, Seed: 10})
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := SaveClassifierFile(path, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadClassifierFile(path); !errors.Is(err, resilience.ErrCorrupt) {
+		t.Fatalf("truncated snapshot: err = %v, want resilience.ErrCorrupt", err)
+	}
+}
+
+func TestClassifierFileSnapshotLegacyGob(t *testing.T) {
+	c := NewClassifier(Config{InputDim: 2, NumClasses: 2, Hidden: []int{8}, Seed: 11})
+	path := filepath.Join(t.TempDir(), "legacy.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(f); err != nil { // raw pre-envelope format
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadClassifierFile(path); err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
 	}
 }

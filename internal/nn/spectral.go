@@ -38,9 +38,11 @@ func newSpectralState(rng *rand.Rand, in, out int, coeff float64) *spectralState
 }
 
 // scale advances one power-iteration step in train mode and returns the
-// multiplier applied to W: 1/max(1, σ/coeff).
+// multiplier applied to W: 1/max(1, σ/coeff). Inference calls reuse the last
+// σ estimate without touching the iteration state, keeping them safe for
+// concurrent use.
 func (s *spectralState) scale(w *mat.Dense, train bool) float64 {
-	if train || s.sigma <= 0 {
+	if train {
 		s.powerIteration(w)
 	}
 	if s.sigma <= s.coeff || s.sigma == 0 {

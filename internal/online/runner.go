@@ -132,17 +132,27 @@ func (c *Config) setDefaults() {
 	}
 }
 
-func (c *Config) newOptimizer() nn.Optimizer {
+// Validate reports configuration errors that would otherwise surface
+// mid-run. Run calls it after defaulting; callers constructing configs from
+// untrusted input (CLI flags, request bodies) can call it directly.
+func (c *Config) Validate() error {
 	switch c.Optimizer {
-	case "adam":
-		opt := nn.NewAdam(c.LR)
-		opt.WeightDecay = c.WeightDecay
-		return opt
-	case "sgd":
-		return nn.NewSGD(c.LR, 0.9, c.WeightDecay)
+	case "", "adam", "sgd":
+		return nil
 	default:
-		panic(fmt.Sprintf("online: unknown optimizer %q", c.Optimizer))
+		return fmt.Errorf("online: unknown optimizer %q (want %q or %q)", c.Optimizer, "adam", "sgd")
 	}
+}
+
+// newOptimizer assumes a validated config; "sgd" selects SGD with momentum,
+// anything else (the default "adam") selects Adam.
+func (c *Config) newOptimizer() nn.Optimizer {
+	if c.Optimizer == "sgd" {
+		return nn.NewSGD(c.LR, 0.9, c.WeightDecay)
+	}
+	opt := nn.NewAdam(c.LR)
+	opt.WeightDecay = c.WeightDecay
+	return opt
 }
 
 // TaskRecord is the evaluation of one incoming task, taken with the
@@ -218,8 +228,13 @@ func (r *RunResult) CumulativeViolation() float64 {
 }
 
 // Run executes the full protocol of Algorithm 1 for one method on a stream.
-func Run(stream *data.Stream, spec MethodSpec, cfg Config) RunResult {
+// An invalid configuration (see Config.Validate) returns an error before any
+// work happens.
+func Run(stream *data.Stream, spec MethodSpec, cfg Config) (RunResult, error) {
 	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return RunResult{}, err
+	}
 	start := time.Now()
 	runRng := rngutil.Derive(cfg.Seed, "run", stream.Name, spec.Name)
 	modelSeed := rngutil.DeriveSeed(cfg.Seed, "model", stream.Name, spec.Name)
@@ -326,7 +341,17 @@ func Run(stream *data.Stream, spec MethodSpec, cfg Config) RunResult {
 	}
 	result.TotalQueries = oracle.Queries()
 	result.Elapsed = time.Since(start)
-	return result
+	return result, nil
+}
+
+// MustRun is Run for code-constructed configurations known to be valid (the
+// experiment drivers); it panics on a configuration error.
+func MustRun(stream *data.Stream, spec MethodSpec, cfg Config) RunResult {
+	res, err := Run(stream, spec, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // traceLine is the JSONL schema of Config.Trace.

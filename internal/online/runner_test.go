@@ -34,7 +34,7 @@ func TestRunProtocolAccounting(t *testing.T) {
 	stream := tinyStream(1)
 	spec := MethodSpec{Name: "Random", Strategy: active.Random{}}
 	cfg := tinyConfig(2)
-	res := Run(stream, spec, cfg)
+	res := MustRun(stream, spec, cfg)
 
 	if len(res.Records) != 3 {
 		t.Fatalf("records = %d, want one per task", len(res.Records))
@@ -72,7 +72,7 @@ func TestRunDoesNotMutateStream(t *testing.T) {
 	for i, task := range stream.Tasks {
 		before[i] = task.Pool.Len()
 	}
-	Run(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, tinyConfig(4))
+	MustRun(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, tinyConfig(4))
 	for i, task := range stream.Tasks {
 		if task.Pool.Len() != before[i] {
 			t.Fatalf("task %d pool shrank from %d to %d", i, before[i], task.Pool.Len())
@@ -82,8 +82,8 @@ func TestRunDoesNotMutateStream(t *testing.T) {
 
 func TestRunDeterministicGivenSeed(t *testing.T) {
 	spec := FactionSpec(faction.Defaults())
-	a := Run(tinyStream(5), spec, tinyConfig(6))
-	b := Run(tinyStream(5), spec, tinyConfig(6))
+	a := MustRun(tinyStream(5), spec, tinyConfig(6))
+	b := MustRun(tinyStream(5), spec, tinyConfig(6))
 	if len(a.Records) != len(b.Records) {
 		t.Fatal("record count differs")
 	}
@@ -100,7 +100,7 @@ func TestRunLearnsOverTasks(t *testing.T) {
 	stream := data.Stationary(data.StreamConfig{Seed: 7, SamplesPerTask: 120}, 5)
 	cfg := tinyConfig(8)
 	cfg.Epochs = 8
-	res := Run(stream, MethodSpec{Name: "Entropy-AL", Strategy: active.EntropyAL{}}, cfg)
+	res := MustRun(stream, MethodSpec{Name: "Entropy-AL", Strategy: active.EntropyAL{}}, cfg)
 	last := res.Records[len(res.Records)-1].Report.Accuracy
 	if last < 0.7 {
 		t.Fatalf("final-task accuracy %.3f, expected the learner to learn (≥ 0.7)", last)
@@ -115,8 +115,8 @@ func TestFairRegReducesUnfairness(t *testing.T) {
 	cfg := tinyConfig(10)
 	cfg.Epochs = 6
 
-	noReg := Run(stream, MethodSpec{Name: "plain", Strategy: active.EntropyAL{}}, cfg)
-	withReg := Run(stream, MethodSpec{
+	noReg := MustRun(stream, MethodSpec{Name: "plain", Strategy: active.EntropyAL{}}, cfg)
+	withReg := MustRun(stream, MethodSpec{
 		Name:     "regularized",
 		Strategy: active.EntropyAL{},
 		Fair:     nn.FairConfig{Mu: 2.0, Eps: 0},
@@ -132,7 +132,7 @@ func TestTrackRegret(t *testing.T) {
 	cfg := tinyConfig(11)
 	cfg.TrackRegret = true
 	cfg.OracleEpochs = 10
-	res := Run(tinyStream(12), MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	res := MustRun(tinyStream(12), MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
 	for _, rec := range res.Records {
 		if rec.Regret < 0 {
 			t.Fatal("regret must be nonnegative")
@@ -166,7 +166,7 @@ func TestBudgetExceedsPool(t *testing.T) {
 	cfg := tinyConfig(14)
 	cfg.Budget = 100 // larger than the pool after warm start
 	cfg.WarmStart = 10
-	res := Run(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	res := MustRun(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
 	// Task 0: warm 10 + all remaining 15; task 1: min(100, 25) = 25.
 	if res.TotalQueries != 25+25 {
 		t.Fatalf("total queries = %d, want 50 (pool-limited)", res.TotalQueries)
@@ -264,7 +264,7 @@ func TestCounterfactualConsistency(t *testing.T) {
 
 func TestRunEmptyStream(t *testing.T) {
 	stream := &data.Stream{Name: "empty", Dim: 2, Classes: 2}
-	res := Run(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, tinyConfig(50))
+	res := MustRun(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, tinyConfig(50))
 	if len(res.Records) != 0 || res.TotalQueries != 0 {
 		t.Fatalf("empty stream: %+v", res)
 	}
@@ -274,7 +274,7 @@ func TestRunZeroWarmStart(t *testing.T) {
 	stream := tinyStream(51)
 	cfg := tinyConfig(52)
 	cfg.WarmStart = 0
-	res := Run(stream, MethodSpec{Name: "Entropy-AL", Strategy: active.EntropyAL{}}, cfg)
+	res := MustRun(stream, MethodSpec{Name: "Entropy-AL", Strategy: active.EntropyAL{}}, cfg)
 	// Budget only: 3 tasks × 20.
 	if res.TotalQueries != 60 {
 		t.Fatalf("queries = %d, want 60", res.TotalQueries)
@@ -286,7 +286,7 @@ func TestRunLinearModel(t *testing.T) {
 	cfg := tinyConfig(54)
 	cfg.Linear = true
 	cfg.SpectralNorm = false
-	res := Run(stream, FactionSpec(faction.Defaults()), cfg)
+	res := MustRun(stream, FactionSpec(faction.Defaults()), cfg)
 	if len(res.Records) != 3 {
 		t.Fatal("linear-model run incomplete")
 	}
@@ -296,22 +296,31 @@ func TestRunSGDOptimizer(t *testing.T) {
 	stream := tinyStream(55)
 	cfg := tinyConfig(56)
 	cfg.Optimizer = "sgd"
-	res := Run(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	res := MustRun(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
 	if len(res.Records) != 3 {
 		t.Fatal("sgd run incomplete")
 	}
 }
 
-func TestRunUnknownOptimizerPanics(t *testing.T) {
+func TestRunUnknownOptimizerError(t *testing.T) {
 	stream := tinyStream(57)
 	cfg := tinyConfig(58)
 	cfg.Optimizer = "rmsprop"
+	res, err := Run(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	if err == nil || !strings.Contains(err.Error(), `unknown optimizer "rmsprop"`) {
+		t.Fatalf("err = %v, want unknown-optimizer validation error", err)
+	}
+	if len(res.Records) != 0 {
+		t.Fatal("an invalid config must not produce records")
+	}
+	// MustRun surfaces the same failure as a panic for the experiment
+	// drivers, whose configs are code-constructed.
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic")
+			t.Fatal("MustRun should panic on an invalid config")
 		}
 	}()
-	Run(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	MustRun(stream, MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
 }
 
 // TestRunWithDropoutModelAndBALD exercises the full protocol with a
@@ -323,7 +332,7 @@ func TestRunWithDropoutModelAndBALD(t *testing.T) {
 	spec := MethodSpec{Name: "BALD", Strategy: active.BALD{Samples: 5}}
 	// The runner builds the model; dropout must come from its config.
 	cfg.DropoutRate = 0.2
-	res := Run(stream, spec, cfg)
+	res := MustRun(stream, spec, cfg)
 	if len(res.Records) != 3 {
 		t.Fatal("BALD run incomplete")
 	}
@@ -333,7 +342,7 @@ func TestTraceEmitsJSONL(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig(61)
 	cfg.Trace = &buf
-	Run(tinyStream(62), MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	MustRun(tinyStream(62), MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 3 {
 		t.Fatalf("trace lines = %d, want one per task", len(lines))

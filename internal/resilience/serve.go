@@ -1,0 +1,45 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs srv on ln until ctx is cancelled (typically by
+// signal.NotifyContext on SIGINT/SIGTERM), then drains: onDrain runs first —
+// the hook for flipping /readyz unready so load balancers stop routing — and
+// Shutdown waits up to drainTimeout for in-flight requests before
+// force-closing the remainder. A clean drain returns nil; an incomplete one
+// returns an error after closing every remaining connection, so the process
+// never hangs on a stuck client.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout time.Duration, onDrain func()) error {
+	if drainTimeout <= 0 {
+		drainTimeout = 10 * time.Second
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return fmt.Errorf("resilience: serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	if onDrain != nil {
+		onDrain()
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("resilience: drain incomplete after %s: %w", drainTimeout, err)
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package resilience
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+)
+
+// contextWithSigterm registers a SIGTERM-cancelled context. While the
+// registration is active the default terminate-on-SIGTERM disposition is
+// suppressed, so the test can signal its own process safely.
+func contextWithSigterm(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

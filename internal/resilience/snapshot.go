@@ -1,0 +1,129 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Snapshot files are wrapped in a checksummed envelope so a crash mid-write
+// or a corrupted disk block is detected at load time instead of producing a
+// half-decoded model:
+//
+//	magic (8 bytes) | payload length (uint64 BE) | CRC-32C of payload | payload
+//
+// Files without the magic header are treated as legacy raw payloads (the
+// pre-envelope .gob format) and passed through unchanged, so old artifacts
+// keep loading.
+const snapshotMagic = "FACSNAP1"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a snapshot that failed envelope validation (truncated or
+// checksum mismatch). errors.Is(err, ErrCorrupt) distinguishes it from I/O
+// failures.
+var ErrCorrupt = errors.New("snapshot corrupt")
+
+// WriteFileAtomic writes the output of write to path atomically: the bytes
+// land in a temp file in the same directory, are fsynced, and the temp file
+// is renamed over path, so readers never observe a partial file and a crash
+// leaves the previous version intact.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resilience: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return fmt.Errorf("resilience: writing %s: %w", path, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("resilience: syncing %s: %w", path, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("resilience: closing %s: %w", path, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("resilience: publishing %s: %w", path, err)
+	}
+	return nil
+}
+
+// SaveSnapshot atomically writes a checksummed snapshot to path. When keep >
+// 0 the previous snapshot is rotated to path.1 (and path.1 to path.2, up to
+// path.<keep>) before the new one is published, so a bad deploy can always
+// fall back to an earlier checkpoint.
+func SaveSnapshot(path string, keep int, save func(w io.Writer) error) error {
+	var payload bytes.Buffer
+	if err := save(&payload); err != nil {
+		return fmt.Errorf("resilience: serializing snapshot: %w", err)
+	}
+	if keep > 0 {
+		rotate(path, keep)
+	}
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		header := make([]byte, len(snapshotMagic)+12)
+		copy(header, snapshotMagic)
+		binary.BigEndian.PutUint64(header[8:], uint64(payload.Len()))
+		binary.BigEndian.PutUint32(header[16:], crc32.Checksum(payload.Bytes(), crcTable))
+		if _, err := w.Write(header); err != nil {
+			return err
+		}
+		_, err := w.Write(payload.Bytes())
+		return err
+	})
+}
+
+// rotate shifts existing checkpoints one slot back: path.<keep-1> → .<keep>,
+// …, path → path.1. Rotation is best-effort — a missing slot is skipped and
+// rename errors are ignored, since the fallback chain is an optimization,
+// not a correctness requirement.
+func rotate(path string, keep int) {
+	os.Remove(path + "." + strconv.Itoa(keep))
+	for i := keep - 1; i >= 1; i-- {
+		_ = os.Rename(path+"."+strconv.Itoa(i), path+"."+strconv.Itoa(i+1))
+	}
+	_ = os.Rename(path, path+".1")
+}
+
+// LoadSnapshot opens path, validates the envelope, and hands the payload to
+// load. Truncated or checksum-mismatched files return an error wrapping
+// ErrCorrupt and load is never called on them, so a partial model can never
+// be half-loaded. Legacy files without the envelope are passed to load
+// whole.
+func LoadSnapshot(path string, load func(r io.Reader) error) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) < len(snapshotMagic) || string(raw[:len(snapshotMagic)]) != snapshotMagic {
+		// Legacy raw payload (pre-envelope format).
+		return load(bytes.NewReader(raw))
+	}
+	if len(raw) < len(snapshotMagic)+12 {
+		return fmt.Errorf("resilience: %s: truncated header (%d bytes): %w", path, len(raw), ErrCorrupt)
+	}
+	wantLen := binary.BigEndian.Uint64(raw[8:])
+	wantCRC := binary.BigEndian.Uint32(raw[16:])
+	payload := raw[len(snapshotMagic)+12:]
+	if uint64(len(payload)) != wantLen {
+		return fmt.Errorf("resilience: %s: truncated payload (%d of %d bytes): %w", path, len(payload), wantLen, ErrCorrupt)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+		return fmt.Errorf("resilience: %s: checksum mismatch (%08x != %08x): %w", path, got, wantCRC, ErrCorrupt)
+	}
+	return load(bytes.NewReader(payload))
+}

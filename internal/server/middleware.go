@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// The middleware stack keeps one bad request — a panic, a slow client, an
+// oversized body, a traffic spike — from taking the whole deployment down.
+// Handler() wraps the route mux as
+//
+//	requestID → recoverer → limitConcurrency → timeout → maxBytes → mux
+//
+// with /healthz and /readyz bypassing the limiter and timeout so probes keep
+// answering while the service sheds load.
+
+type middleware func(http.Handler) http.Handler
+
+// chain wraps h with mws, outermost first.
+func chain(h http.Handler, mws ...middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+var (
+	reqCounter atomic.Uint64
+	reqPrefix  = func() string {
+		var b [3]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "req"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+// requestIDFrom returns the request's ID, or "" outside the middleware.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// requestID assigns every request a unique ID, echoed in the X-Request-ID
+// response header and embedded in JSON error bodies so a client-reported
+// failure can be matched to the server log line.
+func requestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("%s-%d", reqPrefix, reqCounter.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+	})
+}
+
+// recoverer converts a handler panic into a 500 response and a logged stack
+// trace; the process keeps serving. http.ErrAbortHandler (the sanctioned
+// "hang up on this client" panic) is re-raised for net/http to handle.
+func recoverer(logger *log.Logger) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				logger.Printf("panic serving %s %s (request %s): %v\n%s",
+					r.Method, r.URL.Path, requestIDFrom(r.Context()), p, debug.Stack())
+				httpError(w, r, http.StatusInternalServerError, "internal error")
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// limitConcurrency admits at most n requests at once and sheds the rest
+// immediately with 429 + Retry-After — bounded memory under a spike, instead
+// of an unbounded goroutine queue that melts the process.
+func limitConcurrency(n int) middleware {
+	sem := make(chan struct{}, n)
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+				next.ServeHTTP(w, r)
+			default:
+				w.Header().Set("Retry-After", "1")
+				httpError(w, r, http.StatusTooManyRequests, "server at capacity (%d in-flight requests)", n)
+			}
+		})
+	}
+}
+
+// maxBytes caps request bodies; a client streaming an oversized body gets a
+// 400 from the JSON decoder when the cap trips mid-read.
+func maxBytes(n int64) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(w, r.Body, n)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// timeout bounds each request to d. The handler runs on its own goroutine
+// against a buffered response; if the deadline passes first the client gets
+// 503 and the (context-cancelled) handler's late output is discarded, so
+// even CPU-bound handlers cannot wedge a connection slot forever.
+func timeout(d time.Duration) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			r = r.WithContext(ctx)
+			buf := &bufferedResponse{header: make(http.Header)}
+			done := make(chan struct{})
+			panicc := make(chan any, 1)
+			go func() {
+				defer func() {
+					if p := recover(); p != nil {
+						panicc <- p
+						return
+					}
+					close(done)
+				}()
+				next.ServeHTTP(buf, r)
+			}()
+			select {
+			case <-done:
+				buf.flushTo(w)
+			case p := <-panicc:
+				panic(p) // surface on the serving goroutine for recoverer
+			case <-ctx.Done():
+				httpError(w, r, http.StatusServiceUnavailable, "request timed out after %s", d)
+			}
+		})
+	}
+}
+
+// bufferedResponse captures a handler's response so the timeout middleware
+// can atomically either flush it or replace it with a 503. Only the handler
+// goroutine touches it until done is signalled, so no locking is needed.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.WriteHeader(http.StatusOK)
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) flushTo(w http.ResponseWriter) {
+	h := w.Header()
+	for k, vs := range b.header {
+		h[k] = vs
+	}
+	if b.code != 0 {
+		w.WriteHeader(b.code)
+	}
+	_, _ = w.Write(b.body.Bytes())
+}

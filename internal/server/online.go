@@ -3,7 +3,9 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"time"
 
 	"faction/internal/data"
 	"faction/internal/gda"
@@ -16,6 +18,12 @@ import (
 // fairness-regularized loss) and refits the density estimator — the
 // deployment analog of Algorithm 1's train-then-acquire loop, with the
 // /score endpoint supplying the acquire half.
+//
+// A refit never endangers the serving path: training runs on a clone of the
+// live model with the read lock released, the candidate must pass validation
+// (finite loss, non-degenerate density fit), and only then is it swapped in
+// under the write lock. A rejected candidate leaves the previous model
+// serving and surfaces the failure on /info.
 type OnlineConfig struct {
 	// Enabled turns on POST /feedback and POST /refit.
 	Enabled bool
@@ -27,6 +35,8 @@ type OnlineConfig struct {
 	BatchSize int
 	// LR is the refit learning rate (default 0.01).
 	LR float64
+	// Optimizer selects the refit optimizer: "adam" (default) or "sgd".
+	Optimizer string
 	// MaxBuffer caps the feedback buffer; oldest samples are dropped beyond
 	// it (0 = unbounded).
 	MaxBuffer int
@@ -51,6 +61,24 @@ func (c *OnlineConfig) setDefaults() {
 	}
 }
 
+// validate rejects configurations the refit loop cannot honor.
+func (c *OnlineConfig) validate() error {
+	switch c.Optimizer {
+	case "", "adam", "sgd":
+		return nil
+	default:
+		return fmt.Errorf("unknown optimizer %q (want \"adam\" or \"sgd\")", c.Optimizer)
+	}
+}
+
+// newOptimizer builds the configured refit optimizer (validate first).
+func (c *OnlineConfig) newOptimizer() nn.Optimizer {
+	if c.Optimizer == "sgd" {
+		return nn.NewSGD(c.LR, 0, 0)
+	}
+	return nn.NewAdam(c.LR)
+}
+
 // feedbackRequest is the body of POST /feedback.
 type feedbackRequest struct {
 	Instances [][]float64 `json:"instances"`
@@ -67,29 +95,35 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		badBody(w, r, err)
 		return
 	}
 	n := len(req.Instances)
 	if n == 0 {
-		httpError(w, http.StatusBadRequest, "no instances")
+		httpError(w, r, http.StatusBadRequest, "no instances")
 		return
 	}
 	if len(req.Labels) != n || len(req.Sensitive) != n {
-		httpError(w, http.StatusBadRequest, "%d instances but %d labels / %d sensitive values",
+		httpError(w, r, http.StatusBadRequest, "%d instances but %d labels / %d sensitive values",
 			n, len(req.Labels), len(req.Sensitive))
 		return
 	}
-	dim := s.cfg.Model.Config().InputDim
-	classes := s.cfg.Model.Config().NumClasses
+	dim := s.inputDim
+	classes := s.numClasses
 	samples := make([]data.Sample, n)
 	for i, inst := range req.Instances {
 		if len(inst) != dim {
-			httpError(w, http.StatusBadRequest, "instance %d has %d features, model expects %d", i, len(inst), dim)
+			httpError(w, r, http.StatusBadRequest, "instance %d has %d features, model expects %d", i, len(inst), dim)
 			return
 		}
+		for _, v := range inst {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				httpError(w, r, http.StatusBadRequest, "instance %d has a non-finite feature", i)
+				return
+			}
+		}
 		if req.Labels[i] < 0 || req.Labels[i] >= classes {
-			httpError(w, http.StatusBadRequest, "label %d out of range %d", req.Labels[i], classes)
+			httpError(w, r, http.StatusBadRequest, "label %d out of range %d", req.Labels[i], classes)
 			return
 		}
 		x := make([]float64, dim)
@@ -114,43 +148,113 @@ type refitResponse struct {
 	TrainAccuracy float64 `json:"trainAccuracy"`
 	DensityRefit  bool    `json:"densityRefit"`
 	Refits        int     `json:"refits"`
+	Generation    uint64  `json:"generation"`
 }
 
-func (s *Server) handleRefit(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.buffer.Len() == 0 {
-		httpError(w, http.StatusConflict, "no feedback buffered")
+// handleRefit trains a candidate model on the feedback buffer and swaps it
+// in only if it validates. The expensive training happens with no server
+// lock held, so /predict and /score keep answering (from the previous
+// model) for the whole refit.
+func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
+	if !s.refitMu.TryLock() {
+		httpError(w, r, http.StatusConflict, "refit already in progress")
 		return
 	}
+	defer s.refitMu.Unlock()
+
+	// Snapshot the inputs under the read lock: a clone of the live model and
+	// the buffered feedback (feedback arriving mid-refit joins the next one).
+	s.mu.RLock()
+	if s.buffer.Len() == 0 {
+		s.mu.RUnlock()
+		httpError(w, r, http.StatusConflict, "no feedback buffered")
+		return
+	}
+	cand := s.cfg.Model.Clone()
+	buf := data.NewDataset(s.buffer.Name, s.inputDim, s.numClasses)
+	buf.Samples = append([]data.Sample(nil), s.buffer.Samples...)
 	oc := s.cfg.Online
-	s.refits++
-	rng := rngutil.Derive(oc.Seed, "server-refit", fmt.Sprint(s.refits))
-	opt := nn.NewAdam(oc.LR)
-	stats := s.cfg.Model.Train(
-		s.buffer.Matrix(), s.buffer.Labels(), s.buffer.Sensitive(),
+	attempt := s.refits + s.failedRefits + 1
+	hadDensity := s.cfg.Density != nil
+	s.mu.RUnlock()
+
+	s.refitStart.Store(time.Now().UnixNano())
+	defer s.refitStart.Store(0)
+
+	rng := rngutil.Derive(oc.Seed, "server-refit", fmt.Sprint(attempt))
+	opt := oc.newOptimizer()
+	stats := cand.Train(
+		buf.Matrix(), buf.Labels(), buf.Sensitive(),
 		opt, nn.TrainOpts{Epochs: oc.Epochs, BatchSize: oc.BatchSize, Fair: oc.Fair}, rng)
 
-	resp := refitResponse{
-		Samples:       s.buffer.Len(),
-		TrainLoss:     stats.Loss,
-		TrainAccuracy: stats.Accuracy,
-		Refits:        s.refits,
+	if err := s.validateCandidate(cand, stats); err != nil {
+		s.rejectRefit(w, r, fmt.Errorf("candidate rejected: %w", err))
+		return
 	}
-	// Refit the density estimator on the refreshed representation.
-	if s.cfg.Density != nil {
-		feats := s.cfg.Model.Features(s.buffer.Matrix())
-		est, err := gda.Fit(feats, s.buffer.Labels(), s.buffer.Sensitive(),
-			s.cfg.Model.Config().NumClasses, oc.SensValues, gda.Config{})
-		if err == nil {
-			s.cfg.Density = est
-			s.cfg.TrainLogDensities = est.TrainLogDensities
-			if len(est.TrainLogDensities) > 0 {
-				s.oodThreshold = quantile(est.TrainLogDensities, s.cfg.OODQuantile)
-				s.hasOOD = true
-			}
-			resp.DensityRefit = true
+
+	// Refit the density estimator on the candidate's representation; a
+	// degenerate fit rejects the whole refit so /score never runs against a
+	// density the paper's Eq. 3–5 machinery cannot trust.
+	var est *gda.Estimator
+	if hadDensity {
+		feats := cand.Features(buf.Matrix())
+		var err error
+		est, err = gda.Fit(feats, buf.Labels(), buf.Sensitive(),
+			cand.Config().NumClasses, oc.SensValues, gda.Config{})
+		if err != nil {
+			s.rejectRefit(w, r, fmt.Errorf("density refit failed: %w", err))
+			return
+		}
+		if est.NumComponents() > 0 && est.DegenerateComponents() == est.NumComponents() {
+			s.rejectRefit(w, r, fmt.Errorf(
+				"density refit degenerate: all %d components fell back to pooled statistics", est.NumComponents()))
+			return
 		}
 	}
+
+	// Candidate validated: swap under the write lock (cheap pointer swaps).
+	s.mu.Lock()
+	s.cfg.Model = cand
+	if est != nil {
+		s.cfg.Density = est
+		s.cfg.TrainLogDensities = est.TrainLogDensities
+		if len(est.TrainLogDensities) > 0 {
+			s.oodThreshold = quantile(est.TrainLogDensities, s.cfg.OODQuantile)
+			s.hasOOD = true
+		}
+	}
+	s.refits++
+	s.lastRefitErr = ""
+	resp := refitResponse{
+		Samples:       buf.Len(),
+		TrainLoss:     stats.Loss,
+		TrainAccuracy: stats.Accuracy,
+		DensityRefit:  est != nil,
+		Refits:        s.refits,
+		Generation:    s.generation.Add(1),
+	}
+	s.mu.Unlock()
 	writeJSON(w, resp)
+}
+
+// rejectRefit records a refit failure (visible on /info) and answers 422.
+// The live model and density are untouched — the server keeps serving the
+// last-good generation.
+func (s *Server) rejectRefit(w http.ResponseWriter, r *http.Request, err error) {
+	s.mu.Lock()
+	s.failedRefits++
+	s.lastRefitErr = err.Error()
+	s.mu.Unlock()
+	s.cfg.Logger.Printf("refit rejected, keeping generation %d: %v", s.generation.Load(), err)
+	httpError(w, r, http.StatusUnprocessableEntity, "refit failed, previous model still serving: %v", err)
+}
+
+// defaultValidateCandidate is the acceptance gate for refit candidates: the
+// final training loss must be finite — a diverged or overflowed fit produces
+// NaN/Inf, and swapping such a model in would poison every /predict.
+func (s *Server) defaultValidateCandidate(_ *nn.Classifier, stats nn.TrainStats) error {
+	if math.IsNaN(stats.Loss) || math.IsInf(stats.Loss, 0) {
+		return fmt.Errorf("non-finite training loss %v", stats.Loss)
+	}
+	return nil
 }

@@ -4,14 +4,25 @@
 // what to label), and drift monitoring. Handlers are stdlib net/http and are
 // constructed from in-memory models, so the same code serves tests
 // (httptest), the faction-serve binary, and embedding into other processes.
+//
+// The server degrades gracefully instead of failing hard: panics become 500s,
+// overload sheds with 429, slow requests are cut at a deadline, a failed
+// /refit rolls back to the last-good model, and /readyz reports when the
+// process should be taken out of rotation (see middleware.go and online.go).
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"math"
 	"net/http"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"faction/internal/data"
 	"faction/internal/drift"
@@ -39,20 +50,67 @@ type Config struct {
 	// Online enables the serving-time adaptation endpoints /feedback and
 	// /refit (see OnlineConfig).
 	Online OnlineConfig
+
+	// MaxInflight bounds concurrent requests; excess load is shed with
+	// 429 + Retry-After instead of queuing. Default 64; negative disables.
+	MaxInflight int
+	// RequestTimeout cuts a request off with 503 when it exceeds the
+	// deadline. Default 30s; negative disables.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies. Default 8 MiB; negative disables.
+	MaxBodyBytes int64
+	// RefitUnreadyAfter flips /readyz unready while a refit has been running
+	// longer than this, signalling rotation out under a heavy model swap.
+	// Default 2s.
+	RefitUnreadyAfter time.Duration
+	// Logger receives panic stacks and refit failures. Default log.Default().
+	Logger *log.Logger
+}
+
+func (c *Config) setResilienceDefaults() {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RefitUnreadyAfter == 0 {
+		c.RefitUnreadyAfter = 2 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
 }
 
 // Server is the HTTP facade. It is safe for concurrent use: model and
-// density reads take a read lock; /refit takes the write lock while it
-// continues training.
+// density reads take a read lock; /refit trains on a clone off-lock and
+// takes the write lock only for the swap, so prediction keeps serving the
+// previous model throughout a refit.
 type Server struct {
-	mu           sync.RWMutex // guards cfg.Model, cfg.Density, thresholds, buffer
+	mu           sync.RWMutex // guards cfg.Model, cfg.Density, thresholds, buffer, refit stats
 	cfg          Config
+	inputDim     int // immutable across refits (candidates are clones); safe to read lock-free
+	numClasses   int
 	oodThreshold float64
 	hasOOD       bool
 	buffer       *data.Dataset
 	refits       int
+	failedRefits int
+	lastRefitErr string
+
+	refitMu    sync.Mutex   // serializes refits (TryLock → 409 on overlap)
+	refitStart atomic.Int64 // unix nanos of the running refit; 0 when idle
+	generation atomic.Uint64
+	ready      atomic.Bool
 
 	driftMu sync.Mutex // guards the drift detector independently
+
+	// validateCandidate is the refit acceptance gate; tests override it to
+	// inject validation failures.
+	validateCandidate func(cand *nn.Classifier, stats nn.TrainStats) error
 }
 
 // New validates the configuration and builds a Server.
@@ -67,19 +125,59 @@ func New(cfg Config) (*Server, error) {
 		cfg.OODQuantile = 0.05
 	}
 	cfg.Online.setDefaults()
-	s := &Server{cfg: cfg}
+	if err := cfg.Online.validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	cfg.setResilienceDefaults()
+	s := &Server{cfg: cfg, inputDim: cfg.Model.Config().InputDim, numClasses: cfg.Model.Config().NumClasses}
+	s.validateCandidate = s.defaultValidateCandidate
 	if cfg.Density != nil && len(cfg.TrainLogDensities) > 0 {
 		s.oodThreshold = quantile(cfg.TrainLogDensities, cfg.OODQuantile)
 		s.hasOOD = true
 	}
 	s.buffer = data.NewDataset("feedback", cfg.Model.Config().InputDim, cfg.Model.Config().NumClasses)
+	s.ready.Store(true)
 	return s, nil
 }
 
-// Handler returns the HTTP mux with all routes registered.
+// SetReady flips the /readyz readiness gate. The shutdown path calls
+// SetReady(false) before draining so load balancers stop routing new work.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Generation returns the model generation: 0 at startup, +1 per successful
+// refit. Checkpointing loops use it to snapshot only when the model changed.
+func (s *Server) Generation() uint64 { return s.generation.Load() }
+
+// SaveModel snapshots the live classifier to w under the read lock.
+func (s *Server) SaveModel(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg.Model.Save(w)
+}
+
+// SaveDensity snapshots the live density estimator to w under the read
+// lock; it fails when the server has no density.
+func (s *Server) SaveDensity(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cfg.Density == nil {
+		return fmt.Errorf("server: no density estimator to save")
+	}
+	return s.cfg.Density.Save(w)
+}
+
+// HasDensity reports whether the server carries a density estimator.
+func (s *Server) HasDensity() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg.Density != nil
+}
+
+// Handler returns the HTTP mux wrapped in the resilience middleware stack.
+// Liveness and readiness probes bypass the concurrency limiter and timeout
+// so they keep answering while the service sheds or drains.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /info", s.handleInfo)
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	if s.cfg.Density != nil {
@@ -90,7 +188,24 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /feedback", s.handleFeedback)
 		mux.HandleFunc("POST /refit", s.handleRefit)
 	}
-	return mux
+
+	var inner []middleware
+	if n := s.cfg.MaxInflight; n > 0 {
+		inner = append(inner, limitConcurrency(n))
+	}
+	if d := s.cfg.RequestTimeout; d > 0 {
+		inner = append(inner, timeout(d))
+	}
+	if n := s.cfg.MaxBodyBytes; n > 0 {
+		inner = append(inner, maxBytes(n))
+	}
+	wrapped := chain(mux, inner...)
+
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /healthz", s.handleHealth)
+	outer.HandleFunc("GET /readyz", s.handleReady)
+	outer.Handle("/", wrapped)
+	return chain(outer, requestID, recoverer(s.cfg.Logger))
 }
 
 // instancesRequest is the shared request body of /predict and /score.
@@ -104,23 +219,23 @@ func (s *Server) decodeInstances(w http.ResponseWriter, r *http.Request) (*mat.D
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		badBody(w, r, err)
 		return nil, false
 	}
 	if len(req.Instances) == 0 {
-		httpError(w, http.StatusBadRequest, "no instances")
+		httpError(w, r, http.StatusBadRequest, "no instances")
 		return nil, false
 	}
-	dim := s.cfg.Model.Config().InputDim
+	dim := s.inputDim
 	x := mat.NewDense(len(req.Instances), dim)
 	for i, inst := range req.Instances {
 		if len(inst) != dim {
-			httpError(w, http.StatusBadRequest, "instance %d has %d features, model expects %d", i, len(inst), dim)
+			httpError(w, r, http.StatusBadRequest, "instance %d has %d features, model expects %d", i, len(inst), dim)
 			return nil, false
 		}
 		for _, v := range inst {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				httpError(w, http.StatusBadRequest, "instance %d has a non-finite feature", i)
+				httpError(w, r, http.StatusBadRequest, "instance %d has a non-finite feature", i)
 				return nil, false
 			}
 		}
@@ -225,8 +340,29 @@ func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleHealth is the liveness probe: 200 whenever the process can answer.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe: 503 while draining, and 503 while a
+// refit has been running longer than RefitUnreadyAfter (the model swap is
+// imminent and latency may spike).
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSONStatus(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if start := s.refitStart.Load(); start != 0 {
+		if elapsed := time.Since(time.Unix(0, start)); elapsed > s.cfg.RefitUnreadyAfter {
+			writeJSONStatus(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "refitting",
+				"for":    elapsed.Round(time.Millisecond).String(),
+			})
+			return
+		}
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
 }
 
 type infoResponse struct {
@@ -237,6 +373,15 @@ type infoResponse struct {
 	NumParams    int   `json:"numParams"`
 	HasDensity   bool  `json:"hasDensity"`
 	Components   int   `json:"densityComponents,omitempty"`
+
+	// Serving-time adaptation state: how often the model was swapped, how
+	// often a candidate was rejected, and why the last rejection happened —
+	// the operator-visible trace of refit degradation.
+	Generation     uint64 `json:"generation"`
+	Refits         int    `json:"refits"`
+	FailedRefits   int    `json:"failedRefits"`
+	LastRefitError string `json:"lastRefitError,omitempty"`
+	Ready          bool   `json:"ready"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
@@ -244,12 +389,17 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	defer s.mu.RUnlock()
 	cfg := s.cfg.Model.Config()
 	resp := infoResponse{
-		InputDim:     cfg.InputDim,
-		NumClasses:   cfg.NumClasses,
-		Hidden:       cfg.Hidden,
-		SpectralNorm: cfg.SpectralNorm,
-		NumParams:    s.cfg.Model.NumParams(),
-		HasDensity:   s.cfg.Density != nil,
+		InputDim:       cfg.InputDim,
+		NumClasses:     cfg.NumClasses,
+		Hidden:         cfg.Hidden,
+		SpectralNorm:   cfg.SpectralNorm,
+		NumParams:      s.cfg.Model.NumParams(),
+		HasDensity:     s.cfg.Density != nil,
+		Generation:     s.generation.Load(),
+		Refits:         s.refits,
+		FailedRefits:   s.failedRefits,
+		LastRefitError: s.lastRefitErr,
+		Ready:          s.ready.Load(),
 	}
 	if s.cfg.Density != nil {
 		resp.Components = s.cfg.Density.NumComponents()
@@ -293,28 +443,20 @@ func normalizeFlip(u []float64) []float64 {
 	return out
 }
 
-// quantile returns the q-quantile of xs (copied and sorted).
+// quantile returns the q-quantile of xs. NaNs are dropped first so the
+// stdlib sort's NaN ordering pitfalls never apply.
 func quantile(xs []float64, q float64) float64 {
-	sorted := append([]float64(nil), xs...)
-	// Insertion sort is fine for calibration-set sizes; keep stdlib-sort free
-	// of float NaN pitfalls by filtering first.
-	n := 0
-	for _, v := range sorted {
+	sorted := make([]float64, 0, len(xs))
+	for _, v := range xs {
 		if !math.IsNaN(v) {
-			sorted[n] = v
-			n++
+			sorted = append(sorted, v)
 		}
 	}
-	sorted = sorted[:n]
-	if n == 0 {
+	if len(sorted) == 0 {
 		return math.Inf(-1)
 	}
-	for i := 1; i < n; i++ {
-		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-		}
-	}
-	idx := int(q * float64(n-1))
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
 	return sorted[idx]
 }
 
@@ -326,8 +468,34 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// badBody answers a request-body decode failure: 413 when the MaxBytesReader
+// cap was hit (the decoder surfaces it as a wrapped *http.MaxBytesError),
+// 400 for everything else.
+func badBody(w http.ResponseWriter, r *http.Request, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		httpError(w, r, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		return
+	}
+	httpError(w, r, http.StatusBadRequest, "invalid JSON: %v", err)
+}
+
+// httpError writes a JSON error body carrying the request ID, so clients can
+// quote an ID the server log can be grepped for.
+func httpError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if r != nil {
+		if id := requestIDFrom(r.Context()); id != "" {
+			body["requestId"] = id
+		}
+	}
+	_ = json.NewEncoder(w).Encode(body)
 }

@@ -185,6 +185,7 @@ func TestBadRequests(t *testing.T) {
 		{"empty", `{"instances": []}`},
 		{"wrong dim", `{"instances": [[1, 2]]}`},
 		{"nan", `{"instances": [[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,"x"]]}`},
+		{"inf overflow", `{"instances": [[1e999,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]]}`},
 		{"unknown field", fmt.Sprintf(`{"instances": [%s], "extra": 1}`, mustJSON(inDist))},
 	}
 	for _, c := range cases {
