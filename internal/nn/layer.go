@@ -40,6 +40,10 @@ func NewLinear(rng *rand.Rand, in, out int, spectralNorm bool, spectralCoeff flo
 	heInit(rng, l.W.Value, in)
 	if spectralNorm {
 		l.sn = newSpectralState(rng, in, out, spectralCoeff)
+		// Seed σ from the freshly initialized weights so a never-trained
+		// model already serves spectrally normalized; inference-time scale()
+		// stays read-only (it never runs the iteration itself).
+		l.sn.powerIteration(l.W.Value)
 	}
 	l.lastScale = 1
 	return l

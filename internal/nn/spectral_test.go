@@ -97,6 +97,34 @@ func TestSpectralLipschitzProperty(t *testing.T) {
 	}
 }
 
+// TestFreshLinearSpectralNormalizesAtInference: a never-trained spectral
+// layer must already serve normalized — σ is seeded by one power iteration
+// at construction, so inference-before-train does not silently run with
+// scale 1.
+func TestFreshLinearSpectralNormalizesAtInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	coeff := 0.05 // far below any He-initialized σ, forcing scale < 1
+	l := NewLinear(rng, 16, 16, true, coeff)
+	sigma := l.sn.Sigma()
+	if sigma <= coeff {
+		t.Fatalf("construction σ = %g, want a real estimate above the %g cap", sigma, coeff)
+	}
+	x := mat.NewDense(1, 16)
+	for j := range x.Row(0) {
+		x.Row(0)[j] = rng.NormFloat64()
+	}
+	out := l.Forward(x, false)
+	raw := mat.Mul(x, l.W.Value)
+	scale := coeff / sigma
+	b := l.B.Value.Row(0)
+	for j, v := range out.Row(0) {
+		want := raw.Row(0)[j]*scale + b[j]
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("inference output %d = %g, want normalized %g", j, v, want)
+		}
+	}
+}
+
 func TestSpectralLinearLayerBoundsOutputs(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	l := NewLinear(rng, 4, 4, true, 1)

@@ -218,6 +218,71 @@ func TestSaveSnapshotFailingWriter(t *testing.T) {
 	}
 }
 
+// TestRotateKeepsLiveSnapshot pins the rotation invariant SaveSnapshot's
+// crash-safety rests on: rotating must leave the live snapshot in place (it
+// is hard-linked into the chain, not renamed away), so a crash or failed
+// publish between rotation and rename can never lose it. The pre-fix
+// rename-based rotation left path missing here.
+func TestRotateKeepsLiveSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := os.WriteFile(path, []byte("live"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rotate(path, 2)
+	for _, p := range []string{path, path + ".1"} {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("%s gone after rotation: %v", p, err)
+		}
+		if string(raw) != "live" {
+			t.Fatalf("%s = %q, want the live snapshot", p, raw)
+		}
+	}
+}
+
+// TestSaveSnapshotRetryPreservesCheckpoints re-invokes a persistently
+// failing SaveSnapshot through Retry — the exact checkpointLoop pattern —
+// and checks no attempt disturbs the last good snapshot or its fallback
+// chain. (The pre-fix rotate-before-write ordering shifted the good
+// snapshot down one slot per attempt until the keep cap deleted it.)
+func TestSaveSnapshotRetryPreservesCheckpoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.gob")
+	for _, gen := range []string{"gen1", "gen2"} {
+		gen := gen
+		if err := SaveSnapshot(path, 2, func(w io.Writer) error {
+			_, err := io.WriteString(w, gen)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("disk full")
+	err := Retry(context.Background(), RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond}, func() error {
+		return SaveSnapshot(path, 2, func(io.Writer) error { return boom })
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure after exhausted retries", err)
+	}
+	read := func(p string) string {
+		t.Helper()
+		var got []byte
+		if err := LoadSnapshot(p, func(r io.Reader) error {
+			var err error
+			got, err = io.ReadAll(r)
+			return err
+		}); err != nil {
+			t.Fatalf("%s unloadable after failed retries: %v", p, err)
+		}
+		return string(got)
+	}
+	if got := read(path); got != "gen2" {
+		t.Fatalf("live snapshot = %q, want gen2", got)
+	}
+	if got := read(path + ".1"); got != "gen1" {
+		t.Fatalf(".1 = %q, want gen1", got)
+	}
+}
+
 // TestWriteFileAtomicNoPartials checks a mid-write failure leaves neither a
 // partial target nor temp litter.
 func TestWriteFileAtomicNoPartials(t *testing.T) {

@@ -34,47 +34,69 @@ var ErrCorrupt = errors.New("snapshot corrupt")
 // land in a temp file in the same directory, are fsynced, and the temp file
 // is renamed over path, so readers never observe a partial file and a crash
 // leaves the previous version intact.
-func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	tmp, err := stageFile(path, write)
+	if err != nil {
+		return err
+	}
+	return publish(tmp, path)
+}
+
+// stageFile writes the output of write to a fsynced temp file in path's
+// directory and returns its name for the caller to publish; on error the
+// temp file is removed. Nothing at path (or its rotation chain) is touched.
+func stageFile(path string, write func(w io.Writer) error) (string, error) {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("resilience: creating temp file: %w", err)
+		return "", fmt.Errorf("resilience: creating temp file: %w", err)
 	}
 	tmp := f.Name()
-	defer func() {
-		if err != nil {
-			f.Close()
-			os.Remove(tmp)
-		}
-	}()
-	if err = write(f); err != nil {
-		return fmt.Errorf("resilience: writing %s: %w", path, err)
+	fail := func(err error) (string, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
 	}
-	if err = f.Sync(); err != nil {
-		return fmt.Errorf("resilience: syncing %s: %w", path, err)
+	if err := write(f); err != nil {
+		return fail(fmt.Errorf("resilience: writing %s: %w", path, err))
 	}
-	if err = f.Close(); err != nil {
-		return fmt.Errorf("resilience: closing %s: %w", path, err)
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("resilience: syncing %s: %w", path, err))
 	}
-	if err = os.Rename(tmp, path); err != nil {
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("resilience: closing %s: %w", path, err))
+	}
+	return tmp, nil
+}
+
+// publish renames a staged temp file over path (atomic on POSIX, replacing
+// any existing file), removing the temp file on failure.
+func publish(tmp, path string) error {
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("resilience: publishing %s: %w", path, err)
 	}
 	return nil
 }
 
 // SaveSnapshot atomically writes a checksummed snapshot to path. When keep >
-// 0 the previous snapshot is rotated to path.1 (and path.1 to path.2, up to
-// path.<keep>) before the new one is published, so a bad deploy can always
-// fall back to an earlier checkpoint.
+// 0 the previous snapshot is propagated to path.1 (and path.1 to path.2, up
+// to path.<keep>), so a bad deploy can always fall back to an earlier
+// checkpoint.
+//
+// The ordering is crash- and retry-safe: the new snapshot is fully written
+// and fsynced to a temp file before anything existing is touched, rotation
+// hard-links the live snapshot into the chain instead of renaming it away,
+// and the temp file is renamed over path last. A write that fails or
+// crashes at any step — including one re-invoked by a Retry loop, as the
+// checkpointing path does — therefore never disturbs the current snapshot
+// or its fallback generations, and path itself is never missing.
 func SaveSnapshot(path string, keep int, save func(w io.Writer) error) error {
 	var payload bytes.Buffer
 	if err := save(&payload); err != nil {
 		return fmt.Errorf("resilience: serializing snapshot: %w", err)
 	}
-	if keep > 0 {
-		rotate(path, keep)
-	}
-	return WriteFileAtomic(path, func(w io.Writer) error {
+	tmp, err := stageFile(path, func(w io.Writer) error {
 		header := make([]byte, len(snapshotMagic)+12)
 		copy(header, snapshotMagic)
 		binary.BigEndian.PutUint64(header[8:], uint64(payload.Len()))
@@ -85,18 +107,32 @@ func SaveSnapshot(path string, keep int, save func(w io.Writer) error) error {
 		_, err := w.Write(payload.Bytes())
 		return err
 	})
+	if err != nil {
+		return err
+	}
+	if keep > 0 {
+		rotate(path, keep)
+	}
+	return publish(tmp, path)
 }
 
 // rotate shifts existing checkpoints one slot back: path.<keep-1> → .<keep>,
-// …, path → path.1. Rotation is best-effort — a missing slot is skipped and
-// rename errors are ignored, since the fallback chain is an optimization,
-// not a correctness requirement.
+// …, path.1 → path.2, and finally the live snapshot into path.1 — via hard
+// link (with a copy fallback for filesystems without links) rather than
+// rename, so path keeps existing until the new snapshot is renamed over it.
+// Rotation is best-effort — a missing slot is skipped and errors are
+// ignored, since the fallback chain is an optimization, not a correctness
+// requirement.
 func rotate(path string, keep int) {
 	os.Remove(path + "." + strconv.Itoa(keep))
 	for i := keep - 1; i >= 1; i-- {
 		_ = os.Rename(path+"."+strconv.Itoa(i), path+"."+strconv.Itoa(i+1))
 	}
-	_ = os.Rename(path, path+".1")
+	if err := os.Link(path, path+".1"); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if raw, rerr := os.ReadFile(path); rerr == nil {
+			_ = os.WriteFile(path+".1", raw, 0o644)
+		}
+	}
 }
 
 // LoadSnapshot opens path, validates the envelope, and hands the payload to

@@ -126,7 +126,15 @@ func maxBytes(n int64) middleware {
 // against a buffered response; if the deadline passes first the client gets
 // 503 and the (context-cancelled) handler's late output is discarded, so
 // even CPU-bound handlers cannot wedge a connection slot forever.
-func timeout(d time.Duration) middleware {
+//
+// Trade-off: answering the 503 returns from this middleware — and releases
+// the concurrency-limiter slot wrapping it — while the abandoned handler
+// goroutine keeps running until it next observes its cancelled context. So
+// under sustained timeouts MaxInflight bounds admitted requests, not
+// handlers still winding down; a handler that ignores its context can
+// accumulate. A panic raised after the deadline can no longer reach the
+// recoverer, so it is logged here instead of being dropped.
+func timeout(d time.Duration, logger *log.Logger) middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel := context.WithTimeout(r.Context(), d)
@@ -134,11 +142,11 @@ func timeout(d time.Duration) middleware {
 			r = r.WithContext(ctx)
 			buf := &bufferedResponse{header: make(http.Header)}
 			done := make(chan struct{})
-			panicc := make(chan any, 1)
+			panicc := make(chan handlerPanic, 1)
 			go func() {
 				defer func() {
 					if p := recover(); p != nil {
-						panicc <- p
+						panicc <- handlerPanic{val: p, stack: debug.Stack()}
 						return
 					}
 					close(done)
@@ -148,13 +156,32 @@ func timeout(d time.Duration) middleware {
 			select {
 			case <-done:
 				buf.flushTo(w)
-			case p := <-panicc:
-				panic(p) // surface on the serving goroutine for recoverer
+			case hp := <-panicc:
+				panic(hp.val) // surface on the serving goroutine for recoverer
 			case <-ctx.Done():
 				httpError(w, r, http.StatusServiceUnavailable, "request timed out after %s", d)
+				method, path, id := r.Method, r.URL.Path, requestIDFrom(r.Context())
+				go func() {
+					select {
+					case hp := <-panicc:
+						if hp.val == http.ErrAbortHandler {
+							return
+						}
+						logger.Printf("panic in timed-out handler %s %s (request %s): %v\n%s",
+							method, path, id, hp.val, hp.stack)
+					case <-done:
+					}
+				}()
 			}
 		})
 	}
+}
+
+// handlerPanic carries a panic (and the stack where it was raised) off the
+// timeout middleware's handler goroutine.
+type handlerPanic struct {
+	val   any
+	stack []byte
 }
 
 // bufferedResponse captures a handler's response so the timeout middleware

@@ -66,7 +66,7 @@ func TestPanicRecovery(t *testing.T) {
 	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprint(w, "still alive")
 	})
-	h := chain(mux, requestID, recoverer(logger), timeout(5*time.Second))
+	h := chain(mux, requestID, recoverer(logger), timeout(5*time.Second, logger))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -170,7 +170,7 @@ func TestRequestTimeout(t *testing.T) {
 		}
 		fmt.Fprint(w, "too late")
 	})
-	h := chain(mux, requestID, recoverer(log.New(io.Discard, "", 0)), timeout(100*time.Millisecond))
+	h := chain(mux, requestID, recoverer(log.New(io.Discard, "", 0)), timeout(100*time.Millisecond, log.New(io.Discard, "", 0)))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -188,6 +188,56 @@ func TestRequestTimeout(t *testing.T) {
 	}
 }
 
+// TestTimeoutLogsLatePanic panics a handler after its deadline already
+// answered 503 and checks the panic is logged instead of silently dropped
+// (it can no longer reach the recoverer on the serving goroutine).
+func TestTimeoutLogsLatePanic(t *testing.T) {
+	logBuf := &syncBuffer{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/late", func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+		panic("late panic after deadline")
+	})
+	h := chain(mux, requestID, recoverer(log.New(io.Discard, "", 0)), timeout(50*time.Millisecond, log.New(logBuf, "", 0)))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request: status %d, want 503", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(logBuf.String(), "late panic after deadline") {
+		if time.Now().After(deadline) {
+			t.Fatalf("late panic never logged; log = %q", logBuf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe to read while another goroutine's logger
+// writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
 func TestTimeoutPreservesFastResponses(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/fast", func(w http.ResponseWriter, _ *http.Request) {
@@ -195,7 +245,7 @@ func TestTimeoutPreservesFastResponses(t *testing.T) {
 		w.WriteHeader(http.StatusCreated)
 		fmt.Fprint(w, "payload")
 	})
-	ts := httptest.NewServer(chain(mux, timeout(time.Second)))
+	ts := httptest.NewServer(chain(mux, timeout(time.Second, log.New(io.Discard, "", 0))))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/fast")
 	if err != nil {

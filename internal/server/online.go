@@ -187,6 +187,15 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 		buf.Matrix(), buf.Labels(), buf.Sensitive(),
 		opt, nn.TrainOpts{Epochs: oc.Epochs, BatchSize: oc.BatchSize, Fair: oc.Fair}, rng)
 
+	// If the request died during training — the timeout middleware already
+	// answered 503, or the client hung up — the caller was told the refit
+	// failed, so swapping the candidate in later would contradict that
+	// answer. Abandon it (recorded on /info like any other failed refit).
+	if err := r.Context().Err(); err != nil {
+		s.rejectRefit(w, r, fmt.Errorf("request cancelled during training, candidate abandoned: %w", err))
+		return
+	}
+
 	if err := s.validateCandidate(cand, stats); err != nil {
 		s.rejectRefit(w, r, fmt.Errorf("candidate rejected: %w", err))
 		return
@@ -210,6 +219,13 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 				"density refit degenerate: all %d components fell back to pooled statistics", est.NumComponents()))
 			return
 		}
+	}
+
+	// Last cancellation check before the point of no return: the density
+	// refit above can outlive the deadline too.
+	if err := r.Context().Err(); err != nil {
+		s.rejectRefit(w, r, fmt.Errorf("request cancelled before swap, candidate abandoned: %w", err))
+		return
 	}
 
 	// Candidate validated: swap under the write lock (cheap pointer swaps).

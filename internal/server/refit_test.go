@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -166,6 +167,41 @@ func TestRefitRollbackOnNaNLoss(t *testing.T) {
 	probs := predictProbs(t, ts, []float64{0.1, 0.2, 0.3})
 	if probs[0] != probs[0] { // NaN check
 		t.Fatal("NaN probabilities after rejected refit")
+	}
+}
+
+// TestRefitAbandonedOnCancelledRequest drives handleRefit with an already-
+// cancelled request context — the state a /refit is in once the timeout
+// middleware has answered 503 (or the client hung up). The candidate must
+// be abandoned, never swapped in behind the caller's back, and the
+// abandonment must be visible on /info.
+func TestRefitAbandonedOnCancelledRequest(t *testing.T) {
+	s, ts := resilientFixture(t, nil)
+	feedSamples(t, ts, 8)
+	probe := []float64{0.4, -0.2, 0.9}
+	before := predictProbs(t, ts, probe)
+
+	req := httptest.NewRequest("POST", "/refit", nil)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel()
+	rec := httptest.NewRecorder()
+	s.handleRefit(rec, req.WithContext(ctx))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("cancelled refit: status %d (%s), want 422", rec.Code, rec.Body)
+	}
+
+	info := getInfo(t, ts)
+	if info.Refits != 0 || info.Generation != 0 {
+		t.Fatalf("cancelled refit swapped the model in: %+v", info)
+	}
+	if info.FailedRefits != 1 || !strings.Contains(info.LastRefitError, "cancelled") {
+		t.Fatalf("abandonment not recorded: %+v", info)
+	}
+	after := predictProbs(t, ts, probe)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("model changed despite cancelled refit: %v != %v", before, after)
+		}
 	}
 }
 

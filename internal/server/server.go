@@ -194,7 +194,7 @@ func (s *Server) Handler() http.Handler {
 		inner = append(inner, limitConcurrency(n))
 	}
 	if d := s.cfg.RequestTimeout; d > 0 {
-		inner = append(inner, timeout(d))
+		inner = append(inner, timeout(d, s.cfg.Logger))
 	}
 	if n := s.cfg.MaxBodyBytes; n > 0 {
 		inner = append(inner, maxBytes(n))
