@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check
+.PHONY: build test race vet check bench-smoke
 
 build:
 	$(GO) build ./...
@@ -9,12 +9,19 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with real concurrency: the HTTP serving layer, the
-# online protocol runner, the snapshot/drain helpers, and the network whose
-# inference path must stay read-only.
+# online protocol runner, the snapshot/drain helpers, the network whose
+# inference path must stay read-only, and the sharded compute kernels in
+# mat/gda (worker pool + parallel ScoreBatch).
 race:
-	$(GO) test -race ./internal/server/... ./internal/online/... ./internal/resilience/... ./internal/nn/...
+	$(GO) test -race ./internal/server/... ./internal/online/... ./internal/resilience/... ./internal/nn/... ./internal/mat/... ./internal/gda/...
 
 vet:
 	$(GO) vet ./...
+
+# bench-smoke runs every benchmark for exactly one iteration: a cheap guard
+# that the benchmark harness never rots. Record real numbers with
+# `faction-bench -kernel results/BENCH_kernel.json`.
+bench-smoke:
+	$(GO) test -bench . -benchtime=1x ./...
 
 check: vet build test race

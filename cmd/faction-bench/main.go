@@ -7,17 +7,30 @@
 //	faction-bench -exp fig2 -scale small -runs 3
 //	faction-bench -exp table1 -scale paper
 //	faction-bench -exp all -scale ci -out results/
+//
+// With -kernel, the command instead runs the compute-kernel micro-benchmark
+// suite (sharded matmul, allocation-free train step, GDA batch scoring) plus
+// a CI-scale Fig. 2 wall-clock, and writes the headline numbers to a
+// machine-readable JSON file — the repo's benchmark trajectory:
+//
+//	faction-bench -kernel results/BENCH_kernel.json
+//
+// -cpuprofile and -memprofile write pprof profiles of whichever path ran.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"faction/internal/bench"
 	"faction/internal/experiments"
 )
 
@@ -29,11 +42,39 @@ func main() {
 		seed     = flag.Int64("seed", 42, "base random seed")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default all five)")
 		methods  = flag.String("methods", "", "comma-separated method subset where applicable")
-		workers  = flag.Int("workers", 0, "parallel protocol runs (0 = NumCPU)")
+		workers  = flag.Int("workers", 0, "parallel protocol runs (0 = GOMAXPROCS, the shared kernel default)")
 		outDir   = flag.String("out", "", "also write rendered outputs into this directory")
+		kernel   = flag.String("kernel", "", "run the kernel micro-benchmarks and write the JSON report to this path instead of running experiments")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
@@ -53,6 +94,17 @@ func main() {
 	}
 	if *verbose {
 		opt.Progress = os.Stderr
+	}
+
+	if *kernel != "" {
+		datasets := opt.Datasets
+		if len(datasets) == 0 {
+			datasets = []string{"nysf"}
+		}
+		if err := runKernelBench(*kernel, datasets, *workers); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	runners := map[string]func(experiments.Options) renderer{
@@ -92,6 +144,41 @@ func main() {
 			}
 		}
 	}
+}
+
+// runKernelBench runs the compute-kernel micro-benchmark suite plus the
+// CI-scale Fig. 2 wall-clock for each dataset, prints the headline numbers,
+// and writes the machine-readable report to path.
+func runKernelBench(path string, datasets []string, workers int) error {
+	fmt.Printf("=== kernel micro-benchmarks (GOMAXPROCS %d) ===\n", runtime.GOMAXPROCS(0))
+	rep := bench.RunKernels()
+	for _, k := range rep.Kernels {
+		fmt.Printf("%-36s %14.0f ns/op %10d B/op %6d allocs/op\n",
+			k.Name, k.NsPerOp, k.BytesPerOp, k.AllocsPerOp)
+	}
+	rep.Fig2CISeconds = make(map[string]float64, len(datasets))
+	for _, ds := range datasets {
+		sec, err := bench.Fig2CIWallClock(ds, workers)
+		if err != nil {
+			return err
+		}
+		rep.Fig2CISeconds[ds] = sec
+		fmt.Printf("%-36s %14.2f s (CI-scale Fig. 2 row)\n", "Fig2/"+ds, sec)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
 }
 
 // renderer is the common surface of all experiment results.

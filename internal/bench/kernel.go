@@ -1,0 +1,189 @@
+// Package bench exposes the compute-kernel micro-benchmarks as plain
+// functions, so cmd/faction-bench can run them outside `go test` and record
+// a machine-readable performance trajectory (BENCH_kernel.json) alongside
+// the paper artifacts. The suite mirrors the in-package benchmarks
+// (mat.BenchmarkMulInto, nn.BenchmarkLinearTrainStep,
+// gda.BenchmarkGDAScoreBatch) through public APIs only.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"faction/internal/data"
+	"faction/internal/experiments"
+	"faction/internal/gda"
+	"faction/internal/mat"
+	"faction/internal/nn"
+)
+
+// KernelResult is one micro-benchmark headline.
+type KernelResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the schema of BENCH_kernel.json: kernel headline numbers plus
+// enough environment metadata to compare trajectories across commits and
+// machines.
+type Report struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// Parallelism is the mat worker-pool width the suite ran with (the
+	// shared default for both matmul shards and protocol-level workers).
+	Parallelism int            `json:"parallelism"`
+	Kernels     []KernelResult `json:"kernels"`
+	// Fig2CISeconds is the end-to-end wall-clock of one CI-scale Fig. 2
+	// row per dataset: the paper-pipeline number the kernels feed into.
+	Fig2CISeconds map[string]float64 `json:"fig2_ci_seconds,omitempty"`
+}
+
+func toResult(name string, r testing.BenchmarkResult) KernelResult {
+	ns := 0.0
+	if r.N > 0 {
+		ns = float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	return KernelResult{
+		Name:        name,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// RunKernels executes the micro-benchmark suite and returns the report
+// without end-to-end timings (the caller adds Fig2CISeconds when asked to).
+func RunKernels() Report {
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: mat.Parallelism(),
+	}
+	for _, n := range []int{64, 256, 1024} {
+		rep.Kernels = append(rep.Kernels,
+			toResult(fmt.Sprintf("MulInto/%d/serial", n), benchMulInto(n, 1)),
+			toResult(fmt.Sprintf("MulInto/%d/parallel", n), benchMulInto(n, 0)))
+	}
+	rep.Kernels = append(rep.Kernels,
+		toResult("LinearTrainStep/batch64-hidden512", benchTrainStep()),
+		toResult("GDAScoreBatch/512x64", benchGDAScoreBatch()))
+	return rep
+}
+
+// Fig2CIWallClock times one CI-scale Fig. 2 row (all compared methods on one
+// dataset, one run) end to end.
+func Fig2CIWallClock(dataset string, workers int) (float64, error) {
+	ok := false
+	for _, name := range data.StreamNames() {
+		if name == dataset {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return 0, fmt.Errorf("bench: unknown dataset %q (want one of %v)", dataset, data.StreamNames())
+	}
+	start := time.Now()
+	experiments.RunFig2(experiments.Options{
+		Seed:     42,
+		Runs:     1,
+		Scale:    experiments.ScaleCI,
+		Datasets: []string{dataset},
+		Workers:  workers,
+	})
+	return time.Since(start).Seconds(), nil
+}
+
+func randDense(rng *rand.Rand, r, c int) *mat.Dense {
+	m := mat.NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// benchMulInto measures the n×n×n matmul kernel at worker-pool width p
+// (p == 1 forces the serial path; p == 0 uses the pool default).
+func benchMulInto(n, p int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		old := mat.Parallelism()
+		mat.SetParallelism(p)
+		defer mat.SetParallelism(old)
+		rng := rand.New(rand.NewSource(1))
+		x := randDense(rng, n, n)
+		y := randDense(rng, n, n)
+		dst := mat.NewDense(n, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mat.MulInto(dst, x, y)
+		}
+	})
+}
+
+// benchTrainStep measures one fairness-regularized minibatch step of the
+// paper's hidden-512 spectral-norm MLP at batch 64 (steady state: scratch
+// buffers warm, so the headline allocs/op should be 0).
+func benchTrainStep() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		const inputDim, batch = 64, 64
+		c := nn.NewClassifier(nn.Config{
+			InputDim:     inputDim,
+			NumClasses:   2,
+			Hidden:       []int{nn.DefaultHidden},
+			SpectralNorm: true,
+			Seed:         1,
+		})
+		rng := rand.New(rand.NewSource(2))
+		x := randDense(rng, batch, inputDim)
+		y := make([]int, batch)
+		s := make([]int, batch)
+		for i := range y {
+			y[i] = rng.Intn(2)
+			s[i] = 2*rng.Intn(2) - 1
+		}
+		opt := nn.NewSGD(0.05, 0.9, 0)
+		fair := nn.FairConfig{Mu: 0.1, Eps: 0.01}
+		c.TrainStep(x, y, s, opt, fair, 1.0) // warm scratch and optimizer state
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.TrainStep(x, y, s, opt, fair, 1.0)
+		}
+	})
+}
+
+// benchGDAScoreBatch measures density scoring of a 512×64 probe batch
+// against a 2-class × 2-group estimator fitted on 256 samples.
+func benchGDAScoreBatch() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		const n, dim = 256, 64
+		rng := rand.New(rand.NewSource(17))
+		f := randDense(rng, n, dim)
+		y := make([]int, n)
+		s := make([]int, n)
+		for i := range y {
+			y[i] = rng.Intn(2)
+			s[i] = 2*rng.Intn(2) - 1
+		}
+		e, err := gda.Fit(f, y, s, 2, []int{-1, 1}, gda.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		probe := randDense(rng, 512, dim)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.ScoreBatch(probe)
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestToResult(t *testing.T) {
+	r := toResult("x", testing.BenchmarkResult{N: 4, T: 8 * time.Millisecond})
+	if r.NsPerOp != 2e6 {
+		t.Fatalf("NsPerOp = %v, want 2e6", r.NsPerOp)
+	}
+	if r.Iterations != 4 {
+		t.Fatalf("Iterations = %d, want 4", r.Iterations)
+	}
+	// A zero-iteration result must not divide by zero.
+	if z := toResult("z", testing.BenchmarkResult{}); z.NsPerOp != 0 {
+		t.Fatalf("zero result NsPerOp = %v, want 0", z.NsPerOp)
+	}
+}
+
+func TestFig2CIWallClockRejectsUnknownDataset(t *testing.T) {
+	if _, err := Fig2CIWallClock("no-such-stream", 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	rep := Report{
+		GeneratedAt:   "2026-01-01T00:00:00Z",
+		GoVersion:     "go0.0",
+		GOMAXPROCS:    1,
+		Parallelism:   1,
+		Kernels:       []KernelResult{{Name: "MulInto/64/serial", NsPerOp: 1}},
+		Fig2CISeconds: map[string]float64{"nysf": 1.5},
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"generated_at", "gomaxprocs", "parallelism", "ns_per_op", "allocs_per_op", "fig2_ci_seconds"} {
+		if !strings.Contains(string(out), key) {
+			t.Fatalf("JSON missing %q: %s", key, out)
+		}
+	}
+}

@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"sync"
 
 	"faction/internal/data"
+	"faction/internal/mat"
 	"faction/internal/online"
 	"faction/internal/report"
 	"faction/internal/rngutil"
@@ -26,7 +26,10 @@ type Options struct {
 	Datasets []string
 	// Methods restricts the compared methods by name where applicable.
 	Methods []string
-	// Workers bounds parallel protocol runs (default: NumCPU).
+	// Workers bounds parallel protocol runs. The default is the shared
+	// kernel parallelism (mat.Parallelism(), i.e. GOMAXPROCS — not NumCPU,
+	// which oversubscribes under container CPU quotas), so protocol-level
+	// and matmul-level parallelism draw from one budget.
 	Workers int
 	// Progress, when set, receives one line per finished protocol run.
 	Progress io.Writer
@@ -43,7 +46,7 @@ func (o *Options) setDefaults() {
 		o.Datasets = data.StreamNames()
 	}
 	if o.Workers <= 0 {
-		o.Workers = runtime.NumCPU()
+		o.Workers = mat.Parallelism()
 	}
 }
 

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"faction/internal/mat"
 )
@@ -56,11 +58,19 @@ type Component struct {
 
 	chol        *mat.Cholesky
 	logNormBase float64 // −(d/2)·log(2π) − ½·log|Σ|
+	logWeight   float64 // log(Weight), precomputed by finalize
+	sIdx        int     // index of S in the estimator's SensValues
 }
 
 // logPDF returns log N(z; mean, Σ).
 func (c *Component) logPDF(z []float64) float64 {
 	return c.logNormBase - 0.5*c.chol.Mahalanobis(z, c.Mean)
+}
+
+// logPDFScratch is logPDF with a caller-provided length-Dim scratch buffer,
+// so batch loops run allocation-free.
+func (c *Component) logPDFScratch(z, scratch []float64) float64 {
+	return c.logNormBase - 0.5*c.chol.MahalanobisScratch(z, c.Mean, scratch)
 }
 
 // Estimator is the fitted density model G(z).
@@ -75,6 +85,32 @@ type Estimator struct {
 	TrainLogDensities []float64
 
 	comps map[[2]int]*Component
+	// ordered lists the components sorted by (Y, S). Density sums iterate it
+	// instead of the map, making every score deterministic (map iteration
+	// order would otherwise perturb the floating-point sum run to run) — the
+	// property the parallel-equals-serial ScoreBatch guarantee rests on.
+	ordered []*Component
+}
+
+// finalize (re)builds the deterministic component ordering and the cached
+// per-component terms. Called at the end of Fit and Load.
+func (e *Estimator) finalize() {
+	sensIdx := make(map[int]int, len(e.SensValues))
+	for k, v := range e.SensValues {
+		sensIdx[v] = k
+	}
+	e.ordered = e.ordered[:0]
+	for _, c := range e.comps {
+		c.sIdx = sensIdx[c.S]
+		c.logWeight = math.Log(c.Weight)
+		e.ordered = append(e.ordered, c)
+	}
+	sort.Slice(e.ordered, func(a, b int) bool {
+		if e.ordered[a].Y != e.ordered[b].Y {
+			return e.ordered[a].Y < e.ordered[b].Y
+		}
+		return e.ordered[a].S < e.ordered[b].S
+	})
 }
 
 // Fit builds the (class × sensitive) mixture of Section IV-B from feature
@@ -151,9 +187,12 @@ func Fit(features *mat.Dense, y, s []int, classes int, sensValues []int, cfg Con
 		comp.logNormBase = -0.5*logTwoPi - 0.5*ch.LogDet()
 		e.comps[key] = comp
 	}
+	e.finalize()
 	e.TrainLogDensities = make([]float64, n)
+	scratch := make([]float64, d)
+	terms := make([]float64, len(e.ordered))
 	for i := 0; i < n; i++ {
-		e.TrainLogDensities[i] = e.LogDensity(features.Row(i))
+		e.TrainLogDensities[i] = e.logDensity(features.Row(i), terms, scratch)
 	}
 	return e, nil
 }
@@ -190,12 +229,18 @@ func (e *Estimator) DegenerateComponents() int {
 }
 
 // LogDensity returns log g(z) = log Σ_{y,s} p(y,s)·g(z|y,s) (Eq. 3),
-// computed stably in log space.
+// computed stably in log space. Components are summed in (Y, S) order, so
+// the value is deterministic and bit-identical to ScoreBatch's internal sum.
 func (e *Estimator) LogDensity(z []float64) float64 {
 	e.checkDim(z)
-	terms := make([]float64, 0, len(e.comps))
-	for _, c := range e.comps {
-		terms = append(terms, math.Log(c.Weight)+c.logPDF(z))
+	return e.logDensity(z, make([]float64, len(e.ordered)), make([]float64, e.Dim))
+}
+
+// logDensity is LogDensity on caller-owned scratch: terms must have length
+// NumComponents and scratch length Dim.
+func (e *Estimator) logDensity(z, terms, scratch []float64) float64 {
+	for j, c := range e.ordered {
+		terms[j] = c.logWeight + c.logPDFScratch(z, scratch)
 	}
 	return mat.LogSumExp(terms)
 }
@@ -229,16 +274,30 @@ type BatchScores struct {
 	// generalizes to the worst-case pairwise gap
 	// max_{s,s'} |g(z_i|c,s) − g(z_i|c,s')| (the multi-valued extension of
 	// Section IV-H). Zero when a class has fewer than two fitted group
-	// components.
+	// components. All rows view one flattened n×classes backing slice.
 	Delta [][]float64
 	// LogScale is M, the subtracted log-scale (exported for diagnostics).
 	LogScale float64
 }
 
+// scoreBatchMinGrain is the smallest per-shard sample count worth a pool
+// handoff when ScoreBatch shards a batch (each sample costs
+// O(components·Dim²), so even small batches amortize the dispatch).
+const scoreBatchMinGrain = 8
+
 // ScoreBatch evaluates the overall density and the per-class fairness gaps
 // for each feature row, on a shared numeric scale (see BatchScores).
+//
+// Samples are sharded across the kernel worker pool (mat.ParallelFor); every
+// per-sample value is computed by exactly one shard with the deterministic
+// component ordering, and the batch scale M is a max reduction, so the result
+// is bit-identical to a serial evaluation. Per-component log-pdfs are
+// computed once per sample and shared between the overall density and the
+// conditional gaps, and all per-sample storage views two flattened backing
+// slices — the pre-existing per-sample allocations are gone.
 func (e *Estimator) ScoreBatch(features *mat.Dense) BatchScores {
 	n := features.Rows
+	classes, ns := e.Classes, len(e.SensValues)
 	out := BatchScores{
 		G:     make([]float64, n),
 		Delta: make([][]float64, n),
@@ -246,48 +305,70 @@ func (e *Estimator) ScoreBatch(features *mat.Dense) BatchScores {
 	if n == 0 {
 		return out
 	}
-	multiSens := len(e.SensValues) >= 2
+	deltaFlat := make([]float64, n*classes)
+	for i := range out.Delta {
+		out.Delta[i] = deltaFlat[i*classes : (i+1)*classes]
+	}
+	multiSens := ns >= 2
 
 	logG := make([]float64, n)
-	// logCond[i][c][k] = log g(z_i | c, SensValues[k]).
-	logCond := make([][][]float64, n)
-	m := math.Inf(-1)
-	for i := 0; i < n; i++ {
-		z := features.Row(i)
-		logG[i] = e.LogDensity(z)
-		if logG[i] > m {
-			m = logG[i]
-		}
-		if !multiSens {
-			continue
-		}
-		perClass := make([][]float64, e.Classes)
-		for c := 0; c < e.Classes; c++ {
-			row := make([]float64, len(e.SensValues))
-			for k, sv := range e.SensValues {
-				row[k] = e.LogCondDensity(z, c, sv)
-				if row[k] > m {
-					m = row[k]
-				}
-			}
-			perClass[c] = row
-		}
-		logCond[i] = perClass
+	// logCond[(i·classes+c)·ns+k] = log g(z_i | c, SensValues[k]).
+	var logCond []float64
+	if multiSens {
+		logCond = make([]float64, n*classes*ns)
 	}
+	var (
+		maxMu sync.Mutex
+		m     = math.Inf(-1)
+	)
+	mat.ParallelFor(n, scoreBatchMinGrain, func(lo, hi int) {
+		scratch := make([]float64, e.Dim)
+		terms := make([]float64, len(e.ordered))
+		localMax := math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			z := features.Row(i)
+			if multiSens {
+				row := logCond[i*classes*ns : (i+1)*classes*ns]
+				for j := range row {
+					row[j] = math.Inf(-1)
+				}
+				for j, c := range e.ordered {
+					lp := c.logPDFScratch(z, scratch)
+					terms[j] = c.logWeight + lp
+					row[c.Y*ns+c.sIdx] = lp
+					if lp > localMax {
+						localMax = lp
+					}
+				}
+				logG[i] = mat.LogSumExp(terms)
+			} else {
+				logG[i] = e.logDensity(z, terms, scratch)
+			}
+			if logG[i] > localMax {
+				localMax = logG[i]
+			}
+		}
+		maxMu.Lock()
+		if localMax > m {
+			m = localMax
+		}
+		maxMu.Unlock()
+	})
 	if math.IsInf(m, -1) {
 		m = 0
 	}
 	out.LogScale = m
-	for i := 0; i < n; i++ {
-		out.G[i] = math.Exp(logG[i] - m)
-		delta := make([]float64, e.Classes)
-		if multiSens {
-			for c := 0; c < e.Classes; c++ {
-				delta[c] = maxPairwiseGap(logCond[i][c], m)
+	mat.ParallelFor(n, 4*scoreBatchMinGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.G[i] = math.Exp(logG[i] - m)
+			if multiSens {
+				delta := out.Delta[i]
+				for c := 0; c < classes; c++ {
+					delta[c] = maxPairwiseGap(logCond[(i*classes+c)*ns:(i*classes+c+1)*ns], m)
+				}
 			}
 		}
-		out.Delta[i] = delta
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,122 @@
+package gda
+
+import (
+	"math/rand"
+	"testing"
+
+	"faction/internal/mat"
+)
+
+func fitFixture(t testing.TB, n, d, classes int, sens []int) (*Estimator, *mat.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	f := mat.NewDense(n, d)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	y := make([]int, n)
+	s := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(classes)
+		s[i] = sens[rng.Intn(len(sens))]
+	}
+	e, err := Fit(f, y, s, classes, sens, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, f
+}
+
+// Property: ScoreBatch sharded across the worker pool is bit-identical to the
+// serial evaluation, for both the two-group and the multi-valued estimator
+// and for batches smaller than the shard grain.
+func TestScoreBatchParallelBitIdentical(t *testing.T) {
+	old := mat.Parallelism()
+	defer mat.SetParallelism(old)
+	for _, tc := range []struct {
+		name    string
+		n       int
+		classes int
+		sens    []int
+	}{
+		{"two-group", 100, 2, []int{-1, 1}},
+		{"multi-valued", 90, 3, []int{0, 1, 2}},
+		{"class-only", 60, 2, []int{0}},
+		{"below-grain", scoreBatchMinGrain - 1, 2, []int{-1, 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, f := fitFixture(t, tc.n, 6, tc.classes, tc.sens)
+			mat.SetParallelism(1)
+			serial := e.ScoreBatch(f)
+			mat.SetParallelism(4)
+			parallel := e.ScoreBatch(f)
+			if serial.LogScale != parallel.LogScale {
+				t.Fatalf("LogScale differs: serial %v parallel %v", serial.LogScale, parallel.LogScale)
+			}
+			for i := range serial.G {
+				if serial.G[i] != parallel.G[i] {
+					t.Fatalf("G[%d] differs: serial %v parallel %v", i, serial.G[i], parallel.G[i])
+				}
+				for c := range serial.Delta[i] {
+					if serial.Delta[i][c] != parallel.Delta[i][c] {
+						t.Fatalf("Delta[%d][%d] differs: serial %v parallel %v",
+							i, c, serial.Delta[i][c], parallel.Delta[i][c])
+					}
+				}
+			}
+		})
+	}
+}
+
+// Scores must be reproducible run to run: the component sum follows the
+// sorted (Y, S) ordering, not Go's randomized map iteration.
+func TestScoreBatchDeterministic(t *testing.T) {
+	e, f := fitFixture(t, 80, 5, 3, []int{-1, 0, 1})
+	first := e.ScoreBatch(f)
+	for rep := 0; rep < 5; rep++ {
+		again := e.ScoreBatch(f)
+		for i := range first.G {
+			if first.G[i] != again.G[i] {
+				t.Fatalf("rep %d: G[%d] changed between identical calls", rep, i)
+			}
+		}
+	}
+	for i := 0; i < f.Rows; i++ {
+		if a, b := e.LogDensity(f.Row(i)), e.LogDensity(f.Row(i)); a != b {
+			t.Fatalf("LogDensity(row %d) not deterministic: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// The ordered component list must cover exactly the fitted map, sorted.
+func TestFinalizeOrdering(t *testing.T) {
+	e, _ := fitFixture(t, 120, 4, 3, []int{-1, 1})
+	if len(e.ordered) != len(e.comps) {
+		t.Fatalf("ordered has %d components, map has %d", len(e.ordered), len(e.comps))
+	}
+	for j := 1; j < len(e.ordered); j++ {
+		a, b := e.ordered[j-1], e.ordered[j]
+		if a.Y > b.Y || (a.Y == b.Y && a.S >= b.S) {
+			t.Fatalf("ordered[%d]=(%d,%d) not before ordered[%d]=(%d,%d)", j-1, a.Y, a.S, j, b.Y, b.S)
+		}
+		if e.Component(b.Y, b.S) != b {
+			t.Fatalf("ordered[%d] not the map's component", j)
+		}
+	}
+}
+
+// BenchmarkGDAScoreBatch is the per-task density-scoring hot path at pool
+// scale: 512 samples, 64-dim features, 2 classes × 2 groups.
+func BenchmarkGDAScoreBatch(b *testing.B) {
+	e, _ := fitFixture(b, 256, 64, 2, []int{-1, 1})
+	rng := rand.New(rand.NewSource(23))
+	probe := mat.NewDense(512, 64)
+	for i := range probe.Data {
+		probe.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScoreBatch(probe)
+	}
+}

@@ -97,7 +97,17 @@ func Load(r io.Reader) (*Estimator, error) {
 		TrainLogDensities: append([]float64(nil), snap.TrainLDs...),
 		comps:             map[[2]int]*Component{},
 	}
+	sensIdx := make(map[int]bool, len(snap.SensValues))
+	for _, v := range snap.SensValues {
+		sensIdx[v] = true
+	}
 	for i, cs := range snap.Comps {
+		if cs.Y < 0 || cs.Y >= snap.Classes {
+			return nil, fmt.Errorf("gda: component %d label %d out of range %d", i, cs.Y, snap.Classes)
+		}
+		if !sensIdx[cs.S] {
+			return nil, fmt.Errorf("gda: component %d sensitive value %d not in %v", i, cs.S, snap.SensValues)
+		}
 		if len(cs.Mean) != snap.Dim {
 			return nil, fmt.Errorf("gda: component %d mean has %d values, want %d", i, len(cs.Mean), snap.Dim)
 		}
@@ -121,5 +131,6 @@ func Load(r io.Reader) (*Estimator, error) {
 			logNormBase: cs.LogNormBase,
 		}
 	}
+	e.finalize()
 	return e, nil
 }

@@ -6,6 +6,11 @@
 // The package follows the convention of numeric kernels (cf. gonum): dimension
 // mismatches are programmer errors and panic; numerical failures (for example
 // a covariance matrix that is not positive definite) are reported as errors.
+//
+// Large products are sharded by output rows over a persistent worker pool
+// (see parallel.go) sized by SetParallelism; the parallel path is
+// bit-identical to the serial one, and the *Into variants reuse caller
+// storage so steady-state training loops run allocation-free.
 package mat
 
 import (
@@ -143,7 +148,10 @@ func Mul(a, b *Dense) *Dense {
 	return out
 }
 
-// MulInto computes dst = a × b, reusing dst's storage.
+// MulInto computes dst = a × b, reusing dst's storage. Products above the
+// flop threshold are sharded over the worker pool by blocks of output rows;
+// results are bit-identical to the serial kernel (each output row is computed
+// by exactly one shard, in the serial accumulation order).
 func MulInto(dst, a, b *Dense) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -155,13 +163,24 @@ func MulInto(dst, a, b *Dense) {
 		panic("mat: MulInto dst aliases an operand")
 	}
 	n, k, p := a.Rows, a.Cols, b.Cols
-	for i := range dst.Data {
-		dst.Data[i] = 0
+	if n*k*p < parallelFlopThreshold {
+		mulShard(shard{dst: dst, a: a, b: b, lo: 0, hi: n})
+		return
 	}
-	// ikj loop order: streams through b and dst rows sequentially.
-	for i := 0; i < n; i++ {
+	runSharded(n, Parallelism(), shard{kernel: mulShard, dst: dst, a: a, b: b})
+}
+
+// mulShard computes output rows [lo, hi) of dst = a × b in ikj order:
+// streams through b and dst rows sequentially.
+func mulShard(s shard) {
+	a, b, dst := s.a, s.b, s.dst
+	k, p := a.Cols, b.Cols
+	for i := s.lo; i < s.hi; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		drow := dst.Data[i*p : (i+1)*p]
+		for j := range drow {
+			drow[j] = 0
+		}
 		for l := 0; l < k; l++ {
 			av := arow[l]
 			if av == 0 {
@@ -181,21 +200,57 @@ func MulTA(a, b *Dense) *Dense {
 		panic(fmt.Sprintf("mat: mulTA shape mismatch %dx%d ᵀ* %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewDense(a.Cols, b.Cols)
+	MulTAInto(out, a, b)
+	return out
+}
+
+// MulTAInto computes dst = aᵀ × b, reusing dst's storage, with the same
+// shape/alias panics and sharding strategy as MulInto (shards own blocks of
+// dst rows, i.e. columns of a).
+func MulTAInto(dst, a, b *Dense) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: mulTA shape mismatch %dx%d ᵀ* %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: mulTA dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	if dst == a || dst == b {
+		panic("mat: MulTAInto dst aliases an operand")
+	}
 	n, k, p := a.Rows, a.Cols, b.Cols
+	if n*k*p < parallelFlopThreshold {
+		mulTAShard(shard{dst: dst, a: a, b: b, lo: 0, hi: k})
+		return
+	}
+	runSharded(k, Parallelism(), shard{kernel: mulTAShard, dst: dst, a: a, b: b})
+}
+
+// mulTAShard computes output rows [lo, hi) of dst = aᵀ × b. The outer loop
+// stays over a's rows (ascending l) so every dst element accumulates its
+// terms in the serial order regardless of the shard split.
+func mulTAShard(s shard) {
+	a, b, dst := s.a, s.b, s.dst
+	n, k, p := a.Rows, a.Cols, b.Cols
+	for i := s.lo; i < s.hi; i++ {
+		drow := dst.Data[i*p : (i+1)*p]
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
 	for l := 0; l < n; l++ {
 		arow := a.Data[l*k : (l+1)*k]
 		brow := b.Data[l*p : (l+1)*p]
-		for i, av := range arow {
+		for i := s.lo; i < s.hi; i++ {
+			av := arow[i]
 			if av == 0 {
 				continue
 			}
-			orow := out.Data[i*p : (i+1)*p]
+			orow := dst.Data[i*p : (i+1)*p]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MulTB returns a × bᵀ.
@@ -204,14 +259,42 @@ func MulTB(a, b *Dense) *Dense {
 		panic(fmt.Sprintf("mat: mulTB shape mismatch %dx%d *ᵀ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewDense(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
+	MulTBInto(out, a, b)
+	return out
+}
+
+// MulTBInto computes dst = a × bᵀ, reusing dst's storage, with the same
+// shape/alias panics and sharding strategy as MulInto.
+func MulTBInto(dst, a, b *Dense) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: mulTB shape mismatch %dx%d *ᵀ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: mulTB dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	if dst == a || dst == b {
+		panic("mat: MulTBInto dst aliases an operand")
+	}
+	n, k, p := a.Rows, a.Cols, b.Rows
+	if n*k*p < parallelFlopThreshold {
+		mulTBShard(shard{dst: dst, a: a, b: b, lo: 0, hi: n})
+		return
+	}
+	runSharded(n, Parallelism(), shard{kernel: mulTBShard, dst: dst, a: a, b: b})
+}
+
+// mulTBShard computes output rows [lo, hi) of dst = a × bᵀ (a dot product
+// per element, so shard independence is immediate).
+func mulTBShard(s shard) {
+	a, b, dst := s.a, s.b, s.dst
+	k := a.Cols
+	for i := s.lo; i < s.hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := dst.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := range orow {
+			orow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
 		}
 	}
-	return out
 }
 
 // Add returns a + b.

@@ -42,6 +42,8 @@ func WideHidden() []int { return []int{1024, 1024, 1024} }
 type Classifier struct {
 	cfg Config
 	net *Network
+
+	scratch lossScratch // per-batch loss buffers, reused across TrainStep calls
 }
 
 // NewClassifier builds a classifier from cfg.
@@ -201,22 +203,7 @@ func (c *Classifier) Train(x *mat.Dense, y, s []int, opt Optimizer, opts TrainOp
 					batchS[r] = s[idx[start+r]]
 				}
 			}
-			logits := c.net.Forward(batchX, true)
-			res, grad := FairRegularizedCE(logits, batchY, batchS, opts.Fair)
-			if opts.Fair.IndividualMu > 0 {
-				vInd, gInd := IndividualPenalty(logits, batchX, opts.Fair.IndividualSigma)
-				if gInd != nil {
-					res.Total += opts.Fair.IndividualMu * vInd
-					res.Fair += opts.Fair.IndividualMu * vInd
-					mat.AddScaled(grad, opts.Fair.IndividualMu, gInd)
-				}
-			}
-			c.net.ZeroGrad()
-			c.net.Backward(grad)
-			if opts.MaxGradNorm > 0 {
-				ClipGradNorm(c.net.Params(), opts.MaxGradNorm)
-			}
-			opt.Step(c.net.Params())
+			res := c.TrainStep(batchX, batchY, batchS, opt, opts.Fair, opts.MaxGradNorm)
 			stats.Loss += res.Total
 			stats.CE += res.CE
 			stats.FairPen += res.Fair
@@ -231,4 +218,30 @@ func (c *Classifier) Train(x *mat.Dense, y, s []int, opt Optimizer, opts TrainOp
 	}
 	stats.Accuracy = Accuracy(c.Logits(x), y)
 	return stats
+}
+
+// TrainStep performs one fairness-regularized gradient step on a prepared
+// minibatch: forward, loss, backward, optional clip, optimizer update. It is
+// the per-step hot path of Train and the online learners; at a fixed batch
+// shape it reuses every layer and loss buffer and runs allocation-free in
+// steady state. Like Train, it mutates layer state and requires external
+// synchronization against concurrent inference.
+func (c *Classifier) TrainStep(x *mat.Dense, y, s []int, opt Optimizer, fair FairConfig, maxGradNorm float64) FairLossResult {
+	logits := c.net.Forward(x, true)
+	res, grad := c.scratch.fairRegularizedCE(logits, y, s, fair)
+	if fair.IndividualMu > 0 {
+		vInd, gInd := IndividualPenalty(logits, x, fair.IndividualSigma)
+		if gInd != nil {
+			res.Total += fair.IndividualMu * vInd
+			res.Fair += fair.IndividualMu * vInd
+			mat.AddScaled(grad, fair.IndividualMu, gInd)
+		}
+	}
+	c.net.ZeroGrad()
+	c.net.Backward(grad)
+	if maxGradNorm > 0 {
+		ClipGradNorm(c.net.Params(), maxGradNorm)
+	}
+	opt.Step(c.net.Params())
+	return res
 }

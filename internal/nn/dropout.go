@@ -21,6 +21,8 @@ type Dropout struct {
 
 	rng  *rand.Rand
 	mask []bool
+
+	out, dx *mat.Dense // masked-mode scratch (see Layer scratch-reuse contract)
 }
 
 // NewDropout creates a dropout layer with the given rate in [0, 1).
@@ -43,7 +45,9 @@ func (d *Dropout) Forward(x *mat.Dense, train bool) *mat.Dense {
 		d.mask = nil
 		return x
 	}
-	out := x.Clone()
+	d.out = ensureScratch(d.out, x.Rows, x.Cols, x)
+	out := d.out
+	out.CopyFrom(x)
 	if cap(d.mask) < len(out.Data) {
 		d.mask = make([]bool, len(out.Data))
 	}
@@ -69,11 +73,12 @@ func (d *Dropout) Backward(gradOut *mat.Dense) *mat.Dense {
 	if len(d.mask) != len(gradOut.Data) {
 		panic("nn: Dropout Backward shape mismatch with last Forward")
 	}
-	dx := gradOut.Clone()
+	d.dx = ensureScratch(d.dx, gradOut.Rows, gradOut.Cols, gradOut)
+	dx := d.dx
 	scale := 1 / (1 - d.Rate)
-	for i := range dx.Data {
+	for i, g := range gradOut.Data {
 		if d.mask[i] {
-			dx.Data[i] *= scale
+			dx.Data[i] = g * scale
 		} else {
 			dx.Data[i] = 0
 		}

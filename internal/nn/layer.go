@@ -10,10 +10,28 @@ import (
 // Layer is one differentiable stage of a network. Forward caches whatever it
 // needs for the subsequent Backward; Backward accumulates parameter gradients
 // and returns the gradient with respect to its input.
+//
+// Scratch-reuse contract: matrices returned by train-mode Forward and by
+// Backward are owned by the layer and are overwritten by its next train-mode
+// call — callers may read them freely within the current training step but
+// must clone anything they retain across steps. Inference-mode Forward
+// (train=false) returns freshly allocated (or input-aliased, for stateless
+// layers) matrices and touches no layer state, so it stays safe for
+// concurrent callers.
 type Layer interface {
 	Forward(x *mat.Dense, train bool) *mat.Dense
 	Backward(gradOut *mat.Dense) *mat.Dense
 	Params() []*Param
+}
+
+// ensureScratch returns buf when it already has shape r×c (and is not the
+// forbidden alias), or a fresh r×c matrix otherwise. The steady state of a
+// fixed-shape training loop hits the reuse path every step.
+func ensureScratch(buf *mat.Dense, r, c int, notAlias *mat.Dense) *mat.Dense {
+	if buf == nil || buf.Rows != r || buf.Cols != c || buf == notAlias {
+		return mat.NewDense(r, c)
+	}
+	return buf
 }
 
 // Linear is a fully connected layer y = x·W + b with optional spectral
@@ -27,6 +45,10 @@ type Linear struct {
 
 	lastInput *mat.Dense // cached for Backward
 	lastScale float64    // effective-weight scale used in the last Forward
+
+	// Train-step scratch, reused while the batch shape is unchanged (see the
+	// Layer scratch-reuse contract). Inference never touches these.
+	out, dx, dw *mat.Dense
 }
 
 // NewLinear creates a linear layer with He initialization.
@@ -62,11 +84,16 @@ func (l *Linear) Forward(x *mat.Dense, train bool) *mat.Dense {
 	if l.sn != nil {
 		scale = l.sn.scale(l.W.Value, train)
 	}
+	var out *mat.Dense
 	if train {
 		l.lastInput = x
 		l.lastScale = scale
+		l.out = ensureScratch(l.out, x.Rows, l.Out, x)
+		out = l.out
+		mat.MulInto(out, x, l.W.Value)
+	} else {
+		out = mat.Mul(x, l.W.Value)
 	}
-	out := mat.Mul(x, l.W.Value)
 	if scale != 1 {
 		out.Scale(scale)
 	}
@@ -90,8 +117,9 @@ func (l *Linear) Backward(gradOut *mat.Dense) *mat.Dense {
 	if gradOut.Rows != l.lastInput.Rows || gradOut.Cols != l.Out {
 		panic(fmt.Sprintf("nn: linear grad %dx%d, want %dx%d", gradOut.Rows, gradOut.Cols, l.lastInput.Rows, l.Out))
 	}
-	dW := mat.MulTA(l.lastInput, gradOut)
-	mat.AddScaled(l.W.Grad, l.lastScale, dW)
+	l.dw = ensureScratch(l.dw, l.In, l.Out, nil)
+	mat.MulTAInto(l.dw, l.lastInput, gradOut)
+	mat.AddScaled(l.W.Grad, l.lastScale, l.dw)
 	db := l.B.Grad.Row(0)
 	for i := 0; i < gradOut.Rows; i++ {
 		row := gradOut.Row(i)
@@ -99,11 +127,12 @@ func (l *Linear) Backward(gradOut *mat.Dense) *mat.Dense {
 			db[j] += row[j]
 		}
 	}
-	dx := mat.MulTB(gradOut, l.W.Value)
+	l.dx = ensureScratch(l.dx, gradOut.Rows, l.In, gradOut)
+	mat.MulTBInto(l.dx, gradOut, l.W.Value)
 	if l.lastScale != 1 {
-		dx.Scale(l.lastScale)
+		l.dx.Scale(l.lastScale)
 	}
-	return dx
+	return l.dx
 }
 
 // Params returns the layer's trainable parameters.
@@ -122,6 +151,8 @@ func (l *Linear) EffectiveWeight() *mat.Dense {
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
 	mask []bool
+
+	out, dx *mat.Dense // train-step scratch (see Layer scratch-reuse contract)
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -130,8 +161,8 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Forward applies the rectifier. In train mode the activation mask is
 // recorded for Backward; inference passes keep the layer read-only.
 func (r *ReLU) Forward(x *mat.Dense, train bool) *mat.Dense {
-	out := x.Clone()
 	if !train {
+		out := x.Clone()
 		for i, v := range out.Data {
 			if v <= 0 {
 				out.Data[i] = 0
@@ -139,13 +170,16 @@ func (r *ReLU) Forward(x *mat.Dense, train bool) *mat.Dense {
 		}
 		return out
 	}
+	r.out = ensureScratch(r.out, x.Rows, x.Cols, x)
+	out := r.out
 	if cap(r.mask) < len(out.Data) {
 		r.mask = make([]bool, len(out.Data))
 	}
 	r.mask = r.mask[:len(out.Data)]
-	for i, v := range out.Data {
+	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			out.Data[i] = v
 		} else {
 			r.mask[i] = false
 			out.Data[i] = 0
@@ -159,13 +193,15 @@ func (r *ReLU) Backward(gradOut *mat.Dense) *mat.Dense {
 	if len(r.mask) != len(gradOut.Data) {
 		panic("nn: ReLU Backward shape mismatch with last Forward")
 	}
-	dx := gradOut.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
-			dx.Data[i] = 0
+	r.dx = ensureScratch(r.dx, gradOut.Rows, gradOut.Cols, gradOut)
+	for i, g := range gradOut.Data {
+		if r.mask[i] {
+			r.dx.Data[i] = g
+		} else {
+			r.dx.Data[i] = 0
 		}
 	}
-	return dx
+	return r.dx
 }
 
 // Params returns nil; ReLU has no trainable parameters.

@@ -7,19 +7,44 @@ import (
 	"faction/internal/mat"
 )
 
+// lossScratch holds the per-batch buffers of the training loss so that a
+// steady-state train step (fixed batch shape) runs allocation-free. The
+// returned gradient matrices alias these buffers and are overwritten by the
+// next evaluation.
+type lossScratch struct {
+	grad  *mat.Dense
+	vGrad *mat.Dense
+	probs []float64
+}
+
+func (ls *lossScratch) ensure(n, c int) {
+	if ls.grad == nil || ls.grad.Rows != n || ls.grad.Cols != c {
+		ls.grad = mat.NewDense(n, c)
+	}
+	if len(ls.probs) != c {
+		ls.probs = make([]float64, c)
+	}
+}
+
 // CrossEntropy computes the mean softmax cross-entropy of logits (n×C)
 // against integer labels y, together with the gradient with respect to the
 // logits: (softmax − onehot)/n.
 func CrossEntropy(logits *mat.Dense, y []int) (loss float64, grad *mat.Dense) {
+	grad = mat.NewDense(logits.Rows, logits.Cols)
+	loss = crossEntropyInto(grad, logits, y, make([]float64, logits.Cols))
+	return loss, grad
+}
+
+// crossEntropyInto is CrossEntropy writing into a caller-owned gradient
+// matrix (every element is overwritten) with a length-C softmax scratch.
+func crossEntropyInto(grad, logits *mat.Dense, y []int, probs []float64) (loss float64) {
 	n, c := logits.Rows, logits.Cols
 	if len(y) != n {
 		panic(fmt.Sprintf("nn: %d labels for %d rows", len(y), n))
 	}
-	grad = mat.NewDense(n, c)
 	if n == 0 {
-		return 0, grad
+		return 0
 	}
-	probs := make([]float64, c)
 	invN := 1 / float64(n)
 	for i := 0; i < n; i++ {
 		yi := y[i]
@@ -38,7 +63,7 @@ func CrossEntropy(logits *mat.Dense, y []int) (loss float64, grad *mat.Dense) {
 		}
 		grow[yi] -= invN
 	}
-	return loss * invN, grad
+	return loss * invN
 }
 
 // FairPenaltyMode selects which relaxed fairness notion v(D,θ) instantiates
@@ -87,6 +112,18 @@ type FairConfig struct {
 // them. When the contributing samples contain a single sensitive group the
 // notion is undefined and (0, nil) is returned.
 func FairPenalty(logits *mat.Dense, y, s []int, mode FairPenaltyMode) (v float64, grad *mat.Dense) {
+	vGrad := mat.NewDense(logits.Rows, 2)
+	v, ok := fairPenaltyInto(vGrad, logits, y, s, mode, make([]float64, 2))
+	if !ok {
+		return 0, nil
+	}
+	return v, vGrad
+}
+
+// fairPenaltyInto is FairPenalty writing into a caller-owned gradient matrix
+// (zeroed here before accumulation). ok reports whether the notion was
+// defined on this batch; when false vGrad holds zeros and must be ignored.
+func fairPenaltyInto(vGrad, logits *mat.Dense, y, s []int, mode FairPenaltyMode, probs []float64) (v float64, ok bool) {
 	n := logits.Rows
 	if len(s) != n {
 		panic(fmt.Sprintf("nn: %d sensitive values for %d rows", len(s), n))
@@ -112,13 +149,12 @@ func FairPenalty(logits *mat.Dense, y, s []int, mode FairPenaltyMode) (v float64
 		}
 	}
 	if nEff == 0 || nPos == 0 || nPos == nEff {
-		return 0, nil
+		return 0, false
 	}
 	p1 := float64(nPos) / float64(nEff)
 	denom := p1 * (1 - p1)
-	grad = mat.NewDense(n, 2)
+	vGrad.Zero()
 	invN := 1 / float64(nEff)
-	probs := make([]float64, 2)
 	for i := 0; i < n; i++ {
 		if !include(i) {
 			continue
@@ -133,10 +169,10 @@ func FairPenalty(logits *mat.Dense, y, s []int, mode FairPenaltyMode) (v float64
 		v += ci * h * invN
 		// dh/dlogit1 = h(1−h); dh/dlogit0 = −h(1−h).
 		dh := h * (1 - h)
-		grad.Set(i, 1, ci*dh*invN)
-		grad.Set(i, 0, -ci*dh*invN)
+		vGrad.Set(i, 1, ci*dh*invN)
+		vGrad.Set(i, 0, -ci*dh*invN)
 	}
-	return v, grad
+	return v, true
 }
 
 // FairLossResult breaks down one evaluation of the total loss (Eq. 9).
@@ -151,15 +187,26 @@ type FairLossResult struct {
 // the combined gradient with respect to the logits. With Mu = 0 it reduces
 // exactly to CrossEntropy.
 func FairRegularizedCE(logits *mat.Dense, y, s []int, cfg FairConfig) (FairLossResult, *mat.Dense) {
-	ce, grad := CrossEntropy(logits, y)
+	var ls lossScratch
+	return ls.fairRegularizedCE(logits, y, s, cfg)
+}
+
+// fairRegularizedCE is FairRegularizedCE on reusable scratch: the returned
+// gradient aliases ls.grad and is overwritten by the next evaluation.
+func (ls *lossScratch) fairRegularizedCE(logits *mat.Dense, y, s []int, cfg FairConfig) (FairLossResult, *mat.Dense) {
+	ls.ensure(logits.Rows, logits.Cols)
+	ce := crossEntropyInto(ls.grad, logits, y, ls.probs)
 	res := FairLossResult{CE: ce, Total: ce}
 	if cfg.Mu == 0 {
-		return res, grad
+		return res, ls.grad
 	}
-	v, vGrad := FairPenalty(logits, y, s, cfg.Mode)
+	if ls.vGrad == nil || ls.vGrad.Rows != logits.Rows || ls.vGrad.Cols != logits.Cols {
+		ls.vGrad = mat.NewDense(logits.Rows, logits.Cols)
+	}
+	v, ok := fairPenaltyInto(ls.vGrad, logits, y, s, cfg.Mode, ls.probs)
 	res.V = v
-	if vGrad == nil {
-		return res, grad
+	if !ok {
+		return res, ls.grad
 	}
 	var hinge, sign float64
 	if cfg.OneSided {
@@ -173,12 +220,12 @@ func FairRegularizedCE(logits *mat.Dense, y, s []int, cfg FairConfig) (FairLossR
 		}
 	}
 	if hinge <= 0 {
-		return res, grad
+		return res, ls.grad
 	}
 	res.Fair = hinge
 	res.Total = ce + cfg.Mu*hinge
-	mat.AddScaled(grad, cfg.Mu*sign, vGrad)
-	return res, grad
+	mat.AddScaled(ls.grad, cfg.Mu*sign, ls.vGrad)
+	return res, ls.grad
 }
 
 // Accuracy returns the fraction of rows whose argmax logit equals the label.

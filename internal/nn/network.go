@@ -14,6 +14,7 @@ type Network struct {
 	FeatureTap int // index of the layer whose output is the feature vector
 
 	lastFeatures *mat.Dense
+	params       []*Param // cached Params() result (layers are fixed after construction)
 }
 
 // Forward runs the full stack and returns the final output (logits). In
@@ -65,13 +66,16 @@ func (n *Network) Backward(gradOut *mat.Dense) {
 	}
 }
 
-// Params returns all trainable parameters in layer order.
+// Params returns all trainable parameters in layer order. The slice is cached
+// (the layer stack never changes after construction), so per-step callers —
+// ZeroGrad, optimizers, gradient clipping — do not allocate.
 func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.Layers {
+			n.params = append(n.params, l.Params()...)
+		}
 	}
-	return ps
+	return n.params
 }
 
 // ZeroGrad clears every parameter gradient.
