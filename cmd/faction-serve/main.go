@@ -12,21 +12,25 @@
 //	faction-serve -model model.gob -density density.gob -addr :8080
 //
 // Endpoints: GET /healthz (liveness), GET /readyz (readiness: 503 while
-// draining or mid-refit), GET /info, POST /predict, POST /score, GET /drift,
-// and with -online also POST /feedback and POST /refit.
+// draining or mid-refit), GET /metrics (Prometheus text format),
+// GET /debug/pprof/* (live profiling), GET /info, POST /predict,
+// POST /score, GET /drift, and with -online also POST /feedback and
+// POST /refit.
 //
 // The process runs production-shaped: SIGINT/SIGTERM drain in-flight
 // requests (bounded by -shutdown-timeout) and exit 0; panics, oversized
-// bodies and overload are absorbed by the server's middleware stack; and
-// with -checkpoint the live model is periodically snapshotted crash-safely
-// (temp file + rename, checksummed, rotated) after refits change it.
+// bodies and overload are absorbed by the server's middleware stack; with
+// -checkpoint the live model is periodically snapshotted crash-safely
+// (temp file + rename, checksummed, rotated) after refits change it; and
+// every log line is a structured log/slog record (-log-format json for
+// machine ingestion), scoped with the request ID where one exists.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -38,6 +42,8 @@ import (
 	"faction/internal/drift"
 	"faction/internal/gda"
 	"faction/internal/nn"
+	"faction/internal/obs"
+	"faction/internal/online"
 	"faction/internal/resilience"
 	"faction/internal/rngutil"
 	"faction/internal/server"
@@ -45,15 +51,15 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		modelPath = flag.String("model", "model.gob", "classifier snapshot path")
-		densPath  = flag.String("density", "", "density-estimator snapshot path (optional)")
-		train     = flag.String("train", "", "train on this benchmark stream first and save the artifacts")
-		seed      = flag.Int64("seed", 1, "training seed")
-		samples   = flag.Int("samples", 800, "training samples when -train is set")
-		lambda    = flag.Float64("lambda", 1, "fairness trade-off λ for /score")
-		mu        = flag.Float64("mu", 0.7, "fairness regularization μ when training")
-		online    = flag.Bool("online", false, "enable POST /feedback and POST /refit (serving-time adaptation)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		modelPath  = flag.String("model", "model.gob", "classifier snapshot path")
+		densPath   = flag.String("density", "", "density-estimator snapshot path (optional)")
+		train      = flag.String("train", "", "train on this benchmark stream first and save the artifacts")
+		seed       = flag.Int64("seed", 1, "training seed")
+		samples    = flag.Int("samples", 800, "training samples when -train is set")
+		lambda     = flag.Float64("lambda", 1, "fairness trade-off λ for /score")
+		mu         = flag.Float64("mu", 0.7, "fairness regularization μ when training")
+		onlineFlag = flag.Bool("online", false, "enable POST /feedback and POST /refit (serving-time adaptation)")
 
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "max wait for in-flight requests on SIGINT/SIGTERM")
 		requestTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (503 beyond it)")
@@ -61,14 +67,28 @@ func main() {
 		maxBody         = flag.Int64("max-body", 8<<20, "request body cap in bytes")
 		checkpoint      = flag.Duration("checkpoint", 0, "snapshot the live model at this interval when refits changed it (0 disables)")
 		checkpointKeep  = flag.Int("checkpoint-keep", 2, "rotated checkpoint generations to keep alongside each snapshot")
+
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
+
+	// Register the online protocol's metric families up front so /metrics
+	// exposes them (zero-valued) from the first scrape, not only after the
+	// first refit exercises the training path.
+	online.RegisterMetrics(obs.Default())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *train != "" {
-		if err := trainAndSave(*train, *modelPath, *densPath, *seed, *samples, *mu, *checkpointKeep); err != nil {
+		if err := trainAndSave(logger, *train, *modelPath, *densPath, *seed, *samples, *mu, *checkpointKeep); err != nil {
 			fatal(err)
 		}
 	}
@@ -82,13 +102,14 @@ func main() {
 		Lambda: *lambda,
 		Drift:  drift.New(drift.Config{}),
 		Online: server.OnlineConfig{
-			Enabled: *online,
+			Enabled: *onlineFlag,
 			Fair:    nn.FairConfig{Mu: *mu, Eps: 0.01},
 			Seed:    *seed,
 		},
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
 		MaxBodyBytes:   *maxBody,
+		Logger:         logger,
 	}
 	if *densPath != "" {
 		est, err := gda.LoadFile(*densPath)
@@ -104,7 +125,7 @@ func main() {
 	}
 
 	if *checkpoint > 0 {
-		go checkpointLoop(ctx, s, *modelPath, *densPath, *checkpoint, *checkpointKeep)
+		go checkpointLoop(ctx, logger, s, *modelPath, *densPath, *checkpoint, *checkpointKeep)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -116,22 +137,25 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	log.Printf("faction-serve listening on %s (model %s, density %q)", ln.Addr(), *modelPath, *densPath)
+	logger.Info("faction-serve listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.String("model", *modelPath),
+		slog.String("density", *densPath))
 	err = resilience.Serve(ctx, srv, ln, *shutdownTimeout, func() {
 		s.SetReady(false)
-		log.Printf("faction-serve draining (up to %s)", *shutdownTimeout)
+		logger.Info("faction-serve draining", slog.Duration("timeout", *shutdownTimeout))
 	})
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("faction-serve drained cleanly")
+	logger.Info("faction-serve drained cleanly")
 }
 
 // checkpointLoop snapshots the live model (and density) whenever a refit has
 // advanced the generation since the last checkpoint. Writes are crash-safe
 // and retried with backoff; a persistently failing disk is logged, never
 // fatal — serving always outranks checkpointing.
-func checkpointLoop(ctx context.Context, s *server.Server, modelPath, densPath string, every time.Duration, keep int) {
+func checkpointLoop(ctx context.Context, logger *slog.Logger, s *server.Server, modelPath, densPath string, every time.Duration, keep int) {
 	var lastSaved uint64
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
@@ -154,17 +178,19 @@ func checkpointLoop(ctx context.Context, s *server.Server, modelPath, densPath s
 			})
 		}
 		if err != nil {
-			log.Printf("checkpoint of generation %d failed: %v", gen, err)
+			logger.Error("checkpoint failed",
+				slog.Uint64("generation", gen), slog.String("error", err.Error()))
 			continue
 		}
 		lastSaved = gen
-		log.Printf("checkpointed model generation %d to %s", gen, modelPath)
+		logger.Info("checkpointed model",
+			slog.Uint64("generation", gen), slog.String("path", modelPath))
 	}
 }
 
 // trainAndSave fits a fairness-regularized model + density estimator on the
 // named benchmark stream's first tasks and writes the snapshots.
-func trainAndSave(streamName, modelPath, densPath string, seed int64, samples int, mu float64, keep int) error {
+func trainAndSave(logger *slog.Logger, streamName, modelPath, densPath string, seed int64, samples int, mu float64, keep int) error {
 	stream, err := data.ByName(streamName, data.StreamConfig{Seed: seed, SamplesPerTask: samples})
 	if err != nil {
 		return err
@@ -180,8 +206,11 @@ func trainAndSave(streamName, modelPath, densPath string, seed int64, samples in
 	rng := rngutil.New(seed)
 	stats := model.Train(pool.Matrix(), pool.Labels(), pool.Sensitive(), nn.NewAdam(0.01),
 		nn.TrainOpts{Epochs: 20, BatchSize: 32, Fair: nn.FairConfig{Mu: mu, Eps: 0.01}}, rng)
-	log.Printf("trained on %d samples from %s: accuracy %.3f, loss %.3f",
-		pool.Len(), streamName, stats.Accuracy, stats.Loss)
+	logger.Info("trained serving model",
+		slog.Int("samples", pool.Len()),
+		slog.String("stream", streamName),
+		slog.Float64("accuracy", stats.Accuracy),
+		slog.Float64("loss", stats.Loss))
 
 	if err := nn.SaveClassifierFile(modelPath, model, keep); err != nil {
 		return fmt.Errorf("saving model: %w", err)

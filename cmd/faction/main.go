@@ -16,6 +16,7 @@ import (
 
 	"faction/internal/data"
 	"faction/internal/experiments"
+	"faction/internal/obs"
 	"faction/internal/online"
 	"faction/internal/report"
 )
@@ -30,6 +31,7 @@ func main() {
 		budget  = flag.Int("budget", 0, "override the per-task label budget B")
 		regret  = flag.Bool("regret", false, "track per-task regret against a supervised oracle")
 		trace   = flag.String("trace", "", "write one JSON line per task to this file")
+		spans   = flag.String("spans", "", "write per-stage timing spans (JSONL) to this file")
 	)
 	flag.Parse()
 
@@ -61,12 +63,25 @@ func main() {
 		defer f.Close()
 		cfg.Trace = f
 	}
+	var tracer *obs.Tracer
+	if *spans != "" {
+		tracer = obs.NewTracer(0)
+		cfg.Tracer = tracer
+	}
 
 	fmt.Printf("%s on %s (%d tasks, budget %d, acquisition %d, warm start %d)\n\n",
 		spec.Name, stream.Name, stream.NumTasks(), cfg.Budget, cfg.AcqSize, cfg.WarmStart)
 	res, err := online.Run(stream, spec, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if res.TraceErr != nil {
+		fmt.Fprintln(os.Stderr, "faction: trace truncated:", res.TraceErr)
+	}
+	if tracer != nil {
+		if err := exportSpans(*spans, tracer); err != nil {
+			fatal(err)
+		}
 	}
 
 	t := report.Table{
@@ -93,6 +108,26 @@ func main() {
 	fmt.Printf("\nmean across tasks: Acc %.3f  DDP %.3f  EOD %.3f  MI %.4f\n",
 		mean.Accuracy, mean.DDP, mean.EOD, mean.MI)
 	fmt.Printf("total queries %d, wall clock %.1fs\n", res.TotalQueries, res.Elapsed.Seconds())
+}
+
+// exportSpans writes the run's recorded spans as JSONL — the per-stage
+// timing breakdown (eval/train/select/acquire/fairness) of each task.
+func exportSpans(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.ExportJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing spans: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if dropped := tracer.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "faction: span ring wrapped, oldest %d spans dropped\n", dropped)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"faction/internal/gda"
 	"faction/internal/mat"
 	"faction/internal/nn"
+	"faction/internal/obs"
 )
 
 // KernelResult is one micro-benchmark headline.
@@ -75,7 +76,9 @@ func RunKernels() Report {
 	}
 	rep.Kernels = append(rep.Kernels,
 		toResult("LinearTrainStep/batch64-hidden512", benchTrainStep()),
-		toResult("GDAScoreBatch/512x64", benchGDAScoreBatch()))
+		toResult("GDAScoreBatch/512x64", benchGDAScoreBatch()),
+		toResult("ObsCounterInc", benchCounterInc()),
+		toResult("ObsHistogramObserve", benchHistogramObserve()))
 	return rep
 }
 
@@ -158,6 +161,33 @@ func benchTrainStep() testing.BenchmarkResult {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			c.TrainStep(x, y, s, opt, fair, 1.0)
+		}
+	})
+}
+
+// benchCounterInc measures the metrics hot path every instrumented request
+// and training step pays: an unlabeled counter increment (one atomic add;
+// the headline allocs/op must be 0).
+func benchCounterInc() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		c := obs.NewRegistry().Counter("bench_counter_total", "benchmark counter")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+}
+
+// benchHistogramObserve measures one latency observation against the default
+// bucket layout: a linear bucket scan plus three atomic updates, 0 allocs/op.
+func benchHistogramObserve() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		h := obs.NewRegistry().Histogram("bench_seconds", "benchmark histogram", obs.DefBuckets)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%100) * 0.001)
 		}
 	})
 }

@@ -17,8 +17,19 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"faction/internal/mat"
+	"faction/internal/obs"
+)
+
+// Timing instruments on the process-wide registry: Fit runs once per
+// task/refit, ScoreBatch on every /score request and acquisition round.
+var (
+	fitSeconds = obs.Default().Histogram("faction_gda_fit_seconds",
+		"Duration of fitting the GDA mixture.", obs.ExpBuckets(1e-4, 4, 8))
+	scoreBatchSeconds = obs.Default().Histogram("faction_gda_score_batch_seconds",
+		"Duration of scoring one feature batch (Eqs. 3-5).", obs.ExpBuckets(1e-5, 4, 8))
 )
 
 // ErrNoData is returned when fitting is attempted on an empty set.
@@ -118,6 +129,8 @@ func (e *Estimator) finalize() {
 // s (each must appear in sensValues). Components that received no samples are
 // absent; callers observe that through Component lookups returning nil.
 func Fit(features *mat.Dense, y, s []int, classes int, sensValues []int, cfg Config) (*Estimator, error) {
+	start := time.Now()
+	defer func() { fitSeconds.Observe(time.Since(start).Seconds()) }()
 	cfg.setDefaults()
 	n, d := features.Rows, features.Cols
 	if n == 0 {
@@ -296,6 +309,8 @@ const scoreBatchMinGrain = 8
 // conditional gaps, and all per-sample storage views two flattened backing
 // slices — the pre-existing per-sample allocations are gone.
 func (e *Estimator) ScoreBatch(features *mat.Dense) BatchScores {
+	start := time.Now()
+	defer func() { scoreBatchSeconds.Observe(time.Since(start).Seconds()) }()
 	n := features.Rows
 	classes, ns := e.Classes, len(e.SensValues)
 	out := BatchScores{

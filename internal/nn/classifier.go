@@ -3,9 +3,18 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"faction/internal/mat"
+	"faction/internal/obs"
 )
+
+// trainStepSeconds times the per-minibatch hot path on the process-wide
+// registry. Histogram.Observe and time.Now are allocation-free, so the
+// TrainStep zero-allocs-in-steady-state contract holds.
+var trainStepSeconds = obs.Default().Histogram("faction_nn_train_step_seconds",
+	"Duration of one fairness-regularized minibatch gradient step.",
+	obs.ExpBuckets(1e-4, 4, 8))
 
 // Config describes a classifier architecture. The default experimental model
 // in the paper is a two-layer MLP (one hidden layer of width 512 plus the
@@ -227,6 +236,7 @@ func (c *Classifier) Train(x *mat.Dense, y, s []int, opt Optimizer, opts TrainOp
 // steady state. Like Train, it mutates layer state and requires external
 // synchronization against concurrent inference.
 func (c *Classifier) TrainStep(x *mat.Dense, y, s []int, opt Optimizer, fair FairConfig, maxGradNorm float64) FairLossResult {
+	start := time.Now()
 	logits := c.net.Forward(x, true)
 	res, grad := c.scratch.fairRegularizedCE(logits, y, s, fair)
 	if fair.IndividualMu > 0 {
@@ -243,5 +253,6 @@ func (c *Classifier) TrainStep(x *mat.Dense, y, s []int, opt Optimizer, fair Fai
 		ClipGradNorm(c.net.Params(), maxGradNorm)
 	}
 	opt.Step(c.net.Params())
+	trainStepSeconds.Observe(time.Since(start).Seconds())
 	return res
 }

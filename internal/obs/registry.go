@@ -1,0 +1,462 @@
+// Package obs is the repo's stdlib-only observability layer: a concurrent
+// metrics registry (counters, gauges, histograms, labeled families) with an
+// allocation-free hot path, Prometheus text-format exposition (expose.go), a
+// lightweight span/trace API backed by a ring buffer with a JSONL exporter
+// (trace.go), and slog construction helpers (log.go).
+//
+// Design points:
+//
+//   - Unlabeled Counter.Inc / Gauge.Set / Histogram.Observe are single atomic
+//     operations — 0 allocs/op, safe on per-sample hot paths (pinned by
+//     TestCounterIncZeroAllocs and the obs benchmarks).
+//   - Labeled families (CounterVec etc.) resolve children with one map lookup
+//     under an RLock; hot paths should resolve the child once and keep it.
+//   - Registration is idempotent: registering the same name with an identical
+//     shape returns the existing metric, so packages can declare their
+//     instruments at init without coordinating; a shape mismatch panics.
+//   - Everything hangs off a Registry. Default() is the process-wide registry
+//     that package-level instrumentation (nn, gda, online) records into and
+//     the serving layer exposes on GET /metrics.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricNameRE is the Prometheus metric/label-name grammar.
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// atomicFloat is a float64 updated with atomic bit operations.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing count. The zero value is usable only
+// through a Registry, which provides its identity.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one. It is a single atomic add: 0 allocs, safe from any goroutine.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n (must be non-negative by contract; not checked on the hot path).
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is an arbitrary float64 that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add shifts the gauge by delta (CAS loop; lock-free).
+func (g *Gauge) Add(delta float64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram counts observations into configurable cumulative buckets and
+// tracks their sum — the Prometheus histogram model. Observe is lock-free.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, +Inf excluded
+	le     []string  // pre-rendered `le="..."` label pairs, +Inf included
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomicFloat
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	upper := append([]float64(nil), buckets...)
+	for i := 1; i < len(upper); i++ {
+		if upper[i] <= upper[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not strictly increasing: %v", buckets))
+		}
+	}
+	// Trailing +Inf is implicit; drop an explicit one.
+	if n := len(upper); n > 0 && math.IsInf(upper[n-1], 1) {
+		upper = upper[:n-1]
+	}
+	h := &Histogram{
+		upper:  upper,
+		le:     make([]string, len(upper)+1),
+		counts: make([]atomic.Uint64, len(upper)+1),
+	}
+	for i, b := range upper {
+		h.le[i] = fmt.Sprintf("le=%q", formatFloat(b))
+	}
+	h.le[len(upper)] = `le="+Inf"`
+	return h
+}
+
+// Observe records one value: a linear scan over the (few) bucket bounds plus
+// three atomic updates — 0 allocs/op.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// DefBuckets are the default latency-oriented buckets (seconds), matching the
+// conventional Prometheus defaults.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExpBuckets returns count buckets starting at start, each factor× the last —
+// the right shape for kernel timings spanning several orders of magnitude.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic(fmt.Sprintf("obs: invalid ExpBuckets(%g, %g, %d)", start, factor, count))
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// collector is one registered family: metadata plus a sample emitter.
+// emit receives the metric-name suffix ("" or "_bucket"/"_sum"/"_count"),
+// the rendered label pairs without braces ("" when unlabeled), and the value.
+type collector interface {
+	typ() string // "counter", "gauge", "histogram"
+	emit(fn func(suffix, labelPairs string, value float64))
+}
+
+// family pairs a collector with its registration shape for idempotency checks.
+type family struct {
+	name, help string
+	col        collector
+	labelNames []string
+	buckets    []float64
+}
+
+// Registry holds named metric families. All methods are safe for concurrent
+// use. Registration methods are idempotent: an existing name with the same
+// type, label names and buckets returns the already-registered instrument;
+// any mismatch panics (it is a programming error, like a duplicate flag).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: map[string]*family{}} }
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry: package-level instrumentation
+// (nn train steps, gda scoring, the online protocol) registers here, and
+// Server exposes it on GET /metrics unless configured with its own.
+func Default() *Registry { return defaultRegistry }
+
+// registerFamily resolves name to an existing compatible family or installs
+// the one built by mk.
+func (r *Registry) registerFamily(name, help, typ string, labelNames []string, buckets []float64, mk func() collector) collector {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !metricNameRE.MatchString(l) || l == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.col.typ() != typ || !equalStrings(f.labelNames, labelNames) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape (%s%v vs %s%v)",
+				name, f.col.typ(), f.labelNames, typ, labelNames))
+		}
+		return f.col
+	}
+	col := mk()
+	r.families[name] = &family{
+		name: name, help: help, col: col,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    append([]float64(nil), buckets...),
+	}
+	return col
+}
+
+// Counter registers (or returns the existing) unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.registerFamily(name, help, "counter", nil, nil, func() collector {
+		return &counterCol{c: &Counter{}}
+	}).(*counterCol).c
+}
+
+// Gauge registers (or returns the existing) unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.registerFamily(name, help, "gauge", nil, nil, func() collector {
+		return &gaugeCol{g: &Gauge{}}
+	}).(*gaugeCol).g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition time
+// — for state that already lives elsewhere (pool sizes, buffer lengths).
+// Re-registering the same name keeps the first function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.registerFamily(name, help, "gauge", nil, nil, func() collector {
+		return gaugeFuncCol{fn: fn}
+	})
+}
+
+// Histogram registers (or returns the existing) unlabeled histogram. A nil
+// buckets slice takes DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.registerFamily(name, help, "histogram", nil, buckets, func() collector {
+		return &histogramCol{h: newHistogram(buckets)}
+	}).(*histogramCol).h
+}
+
+// CounterVec registers (or returns the existing) labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: CounterVec %q needs at least one label", name))
+	}
+	return r.registerFamily(name, help, "counter", labelNames, nil, func() collector {
+		return &CounterVec{vec: newVec(labelNames)}
+	}).(*CounterVec)
+}
+
+// GaugeVec registers (or returns the existing) labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: GaugeVec %q needs at least one label", name))
+	}
+	return r.registerFamily(name, help, "gauge", labelNames, nil, func() collector {
+		return &GaugeVec{vec: newVec(labelNames)}
+	}).(*GaugeVec)
+}
+
+// HistogramVec registers (or returns the existing) labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: HistogramVec %q needs at least one label", name))
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.registerFamily(name, help, "histogram", labelNames, buckets, func() collector {
+		return &HistogramVec{vec: newVec(labelNames), buckets: buckets}
+	}).(*HistogramVec)
+}
+
+// vec is the shared child table of the labeled families: children keyed by
+// their joined label values, resolved with one RLock'd map lookup.
+type vec struct {
+	labelNames []string
+	mu         sync.RWMutex
+	children   map[string]*vecChild
+}
+
+type vecChild struct {
+	labelPairs string // pre-rendered `k="v",k2="v2"`
+	value      any    // *Counter, *Gauge or *Histogram
+}
+
+func newVec(labelNames []string) *vec {
+	return &vec{labelNames: append([]string(nil), labelNames...), children: map[string]*vecChild{}}
+}
+
+func (v *vec) child(values []string, mk func() any) *vecChild {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("obs: %d label values for labels %v", len(values), v.labelNames))
+	}
+	key := strings.Join(values, "\xff")
+	v.mu.RLock()
+	c, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c
+	}
+	var b strings.Builder
+	for i, name := range v.labelNames {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`=`)
+		b.WriteString(quoteLabelValue(values[i]))
+	}
+	c = &vecChild{labelPairs: b.String(), value: mk()}
+	v.children[key] = c
+	return c
+}
+
+// sortedChildren snapshots the children ordered by label pairs, so exposition
+// output is deterministic.
+func (v *vec) sortedChildren() []*vecChild {
+	v.mu.RLock()
+	out := make([]*vecChild, 0, len(v.children))
+	for _, c := range v.children {
+		out = append(out, c)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].labelPairs < out[j].labelPairs })
+	return out
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ vec *vec }
+
+// With returns the counter for the given label values (created on first use).
+// The lookup allocates the joined key; per-sample hot paths should resolve
+// their child once and hold onto it.
+func (cv *CounterVec) With(labelValues ...string) *Counter {
+	return cv.vec.child(labelValues, func() any { return &Counter{} }).value.(*Counter)
+}
+
+func (cv *CounterVec) typ() string { return "counter" }
+
+func (cv *CounterVec) emit(fn func(string, string, float64)) {
+	for _, c := range cv.vec.sortedChildren() {
+		fn("", c.labelPairs, float64(c.value.(*Counter).Value()))
+	}
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ vec *vec }
+
+// With returns the gauge for the given label values (created on first use).
+func (gv *GaugeVec) With(labelValues ...string) *Gauge {
+	return gv.vec.child(labelValues, func() any { return &Gauge{} }).value.(*Gauge)
+}
+
+func (gv *GaugeVec) typ() string { return "gauge" }
+
+func (gv *GaugeVec) emit(fn func(string, string, float64)) {
+	for _, c := range gv.vec.sortedChildren() {
+		fn("", c.labelPairs, c.value.(*Gauge).Value())
+	}
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct {
+	vec     *vec
+	buckets []float64
+}
+
+// With returns the histogram for the given label values (created on first
+// use). Hot paths should resolve their child once and hold onto it.
+func (hv *HistogramVec) With(labelValues ...string) *Histogram {
+	return hv.vec.child(labelValues, func() any { return newHistogram(hv.buckets) }).value.(*Histogram)
+}
+
+func (hv *HistogramVec) typ() string { return "histogram" }
+
+func (hv *HistogramVec) emit(fn func(string, string, float64)) {
+	for _, c := range hv.vec.sortedChildren() {
+		emitHistogram(c.value.(*Histogram), c.labelPairs, fn)
+	}
+}
+
+// Unlabeled collectors.
+
+type counterCol struct{ c *Counter }
+
+func (c *counterCol) typ() string { return "counter" }
+func (c *counterCol) emit(fn func(string, string, float64)) {
+	fn("", "", float64(c.c.Value()))
+}
+
+type gaugeCol struct{ g *Gauge }
+
+func (g *gaugeCol) typ() string                           { return "gauge" }
+func (g *gaugeCol) emit(fn func(string, string, float64)) { fn("", "", g.g.Value()) }
+
+type gaugeFuncCol struct{ fn func() float64 }
+
+func (g gaugeFuncCol) typ() string                           { return "gauge" }
+func (g gaugeFuncCol) emit(fn func(string, string, float64)) { fn("", "", g.fn()) }
+
+type histogramCol struct{ h *Histogram }
+
+func (h *histogramCol) typ() string { return "histogram" }
+func (h *histogramCol) emit(fn func(string, string, float64)) {
+	emitHistogram(h.h, "", fn)
+}
+
+// emitHistogram renders one histogram's cumulative buckets, sum and count,
+// appending the le pair to any existing label pairs.
+func emitHistogram(h *Histogram, labelPairs string, fn func(string, string, float64)) {
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		pairs := h.le[i]
+		if labelPairs != "" {
+			pairs = labelPairs + "," + pairs
+		}
+		fn("_bucket", pairs, float64(cum))
+	}
+	fn("_sum", labelPairs, h.Sum())
+	fn("_count", labelPairs, float64(h.Count()))
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(-0.5)
+	if v := g.Value(); v != 2 {
+		t.Fatalf("gauge = %g, want 2", v)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "first")
+	b := r.Counter("dup_total", "second registration returns the first")
+	if a != b {
+		t.Fatal("re-registering the same counter must return the existing one")
+	}
+	v1 := r.CounterVec("dup_vec_total", "", "route")
+	v2 := r.CounterVec("dup_vec_total", "", "route")
+	if v1 != v2 {
+		t.Fatal("re-registering the same vec must return the existing one")
+	}
+	h1 := r.Histogram("dup_hist", "", []float64{1, 2})
+	h2 := r.Histogram("dup_hist", "", []float64{1, 2})
+	if h1 != h2 {
+		t.Fatal("re-registering the same histogram must return the existing one")
+	}
+}
+
+func TestRegistrationMismatchPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"type change", func(r *Registry) { r.Counter("m", ""); r.Gauge("m", "") }},
+		{"label change", func(r *Registry) { r.CounterVec("m", "", "a"); r.CounterVec("m", "", "b") }},
+		{"bucket change", func(r *Registry) { r.Histogram("m", "", []float64{1}); r.Histogram("m", "", []float64{2}) }},
+		{"bad name", func(r *Registry) { r.Counter("0bad", "") }},
+		{"reserved le label", func(r *Registry) { r.HistogramVec("m", "", nil, "le") }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			c.fn(NewRegistry())
+		}()
+	}
+}
+
+func TestVecChildrenAreDistinctAndStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "", "route", "code")
+	a := v.With("/predict", "200")
+	b := v.With("/predict", "400")
+	if a == b {
+		t.Fatal("different label values must yield different children")
+	}
+	if v.With("/predict", "200") != a {
+		t.Fatal("same label values must yield the same child")
+	}
+	a.Inc()
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 1 {
+		t.Fatalf("children = %d/%d, want 2/1", a.Value(), b.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.5+0.5+5+50; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`lat_bucket{le="0.1"} 1`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="10"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpBuckets = %v", b)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "last by name").Inc()
+	r.Gauge("aaa", "first by name").Set(1.5)
+	r.GaugeFunc("fn_gauge", "computed", func() float64 { return 42 })
+	v := r.CounterVec("http_requests_total", "per route", "route", "code")
+	v.With("/predict", "200").Add(3)
+	v.With(`we"ird\pa`+"\nth", "500").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// A labeled family must never emit an unlabeled sample.
+	if strings.Contains(out, "http_requests_total 3") {
+		t.Fatalf("labeled family emitted an unlabeled sample:\n%s", out)
+	}
+	for _, line := range []string{
+		"# HELP aaa first by name",
+		"# TYPE aaa gauge",
+		"aaa 1.5",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{route="/predict",code="200"} 3`,
+		`http_requests_total{route="we\"ird\\pa\nth",code="500"} 1`,
+		"fn_gauge 42",
+		"zzz_total 1",
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	if strings.Index(out, "# TYPE aaa") > strings.Index(out, "# TYPE zzz_total") {
+		t.Fatal("families not sorted by name")
+	}
+	// Deterministic: a second render of unchanged state is byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Fatal("exposition not deterministic")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:             "1",
+		1.5:           "1.5",
+		math.Inf(1):   "+Inf",
+		math.Inf(-1):  "-Inf",
+		0.005:         "0.005",
+		12345678.9012: "1.23456789012e+07",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if formatFloat(math.NaN()) != "NaN" {
+		t.Error("NaN formatting")
+	}
+}
+
+// TestConcurrentUpdates hammers every metric kind from many goroutines; run
+// under -race this is the registry's concurrency contract.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2, 3})
+	v := r.CounterVec("v_total", "", "worker")
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 4))
+				v.With(lbl).Inc()
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race with updates.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*each {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*each)
+	}
+	if g.Value() != workers*each {
+		t.Fatalf("gauge = %g, want %d", g.Value(), workers*each)
+	}
+	if h.Count() != workers*each {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*each)
+	}
+	for w := 0; w < workers; w++ {
+		if n := v.With(string(rune('a' + w))).Value(); n != each {
+			t.Fatalf("vec child %d = %d, want %d", w, n, each)
+		}
+	}
+}
+
+func TestDefaultRegistrySingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() must be a singleton")
+	}
+}

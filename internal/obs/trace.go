@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one finished traced operation. Spans form trees through Parent
+// links; every span in a tree shares the root's TraceID.
+type Span struct {
+	Name     string        `json:"name"`
+	TraceID  uint64        `json:"trace"`
+	ID       uint64        `json:"span"`
+	Parent   uint64        `json:"parent,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"-"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Attr is one span attribute. A slice (not a map) keeps SetAttr cheap and the
+// JSONL output ordered the way the attributes were set.
+type Attr struct {
+	Key   string `json:"k"`
+	Value any    `json:"v"`
+}
+
+// spanLine is the JSONL export schema: Span plus a friendly duration field.
+type spanLine struct {
+	Span
+	DurationMs float64 `json:"durationMs"`
+}
+
+// Tracer records finished spans into a fixed-size ring buffer: constant
+// memory regardless of run length, newest spans win. The zero-cost path for
+// disabled tracing is a nil *Tracer — StartSpan and every ActiveSpan method
+// are nil-safe no-ops.
+type Tracer struct {
+	ids atomic.Uint64 // span/trace ID source
+
+	mu      sync.Mutex
+	buf     []Span // ring storage
+	next    int    // next write slot
+	filled  bool   // ring has wrapped at least once
+	dropped uint64 // spans overwritten after wrapping
+}
+
+// DefaultTraceCapacity is the ring size of the default tracer.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer whose ring holds capacity finished spans
+// (DefaultTraceCapacity when <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Span, 0, capacity)}
+}
+
+var defaultTracer = NewTracer(DefaultTraceCapacity)
+
+// DefaultTracer returns the process-wide tracer used by StartSpan when the
+// context does not carry one.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+type tracerCtxKey struct{}
+type spanCtxKey struct{}
+
+// WithTracer returns a context routing StartSpan calls to t. A nil t disables
+// tracing under this context.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerCtxKey{}, t)
+}
+
+// StartSpan begins a span on the context's tracer (the default tracer when
+// none is set; a context explicitly carrying a nil tracer records nothing).
+// The returned context carries the new span so nested StartSpan calls become
+// children. End the span to record it.
+func StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	t := defaultTracer
+	if v, ok := ctx.Value(tracerCtxKey{}).(*Tracer); ok {
+		t = v
+	}
+	return t.StartSpan(ctx, name)
+}
+
+// StartSpan begins a span on this tracer; see the package-level StartSpan.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &ActiveSpan{t: t}
+	s.span.Name = name
+	s.span.ID = t.ids.Add(1)
+	s.span.TraceID = s.span.ID
+	if parent, ok := ctx.Value(spanCtxKey{}).(*ActiveSpan); ok && parent != nil {
+		s.span.Parent = parent.span.ID
+		s.span.TraceID = parent.span.TraceID
+	}
+	s.span.Start = time.Now()
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// ActiveSpan is a started, not yet recorded span. It is owned by the starting
+// goroutine; methods are nil-safe so disabled tracing needs no branches at
+// call sites.
+type ActiveSpan struct {
+	t     *Tracer
+	span  Span
+	ended bool
+}
+
+// SetAttr attaches an attribute to the span.
+func (s *ActiveSpan) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.span.Attrs = append(s.span.Attrs, Attr{Key: key, Value: value})
+}
+
+// End stamps the duration and records the span into the ring buffer. Multiple
+// End calls record once.
+func (s *ActiveSpan) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.span.Duration = time.Since(s.span.Start)
+	t := s.t
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s.span)
+	} else {
+		t.buf[t.next] = s.span
+		t.filled = true
+		t.dropped++
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped returns how many spans the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns a copy of the held spans in recording order (oldest first).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.buf))
+	if t.filled {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// ExportJSONL writes one JSON object per held span (oldest first) — the
+// machine-readable trace of a run, greppable and streamable.
+func (t *Tracer) ExportJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(spanLine{Span: s, DurationMs: float64(s.Duration.Microseconds()) / 1000}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := WithTracer(context.Background(), tr)
+
+	taskCtx, task := StartSpan(ctx, "task")
+	task.SetAttr("id", 7)
+	_, train := StartSpan(taskCtx, "train")
+	train.End()
+	task.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(spans))
+	}
+	// Children end before parents, so "train" records first.
+	if spans[0].Name != "train" || spans[1].Name != "task" {
+		t.Fatalf("order = %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent = %d, want %d", spans[0].Parent, spans[1].ID)
+	}
+	if spans[0].TraceID != spans[1].TraceID {
+		t.Fatal("child must inherit the root's trace ID")
+	}
+	if spans[1].Parent != 0 {
+		t.Fatal("root must have no parent")
+	}
+	if len(spans[1].Attrs) != 1 || spans[1].Attrs[0].Key != "id" {
+		t.Fatalf("attrs = %+v", spans[1].Attrs)
+	}
+	if spans[0].Duration < 0 || spans[1].Duration < spans[0].Duration {
+		t.Fatalf("durations: parent %v < child %v", spans[1].Duration, spans[0].Duration)
+	}
+}
+
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.StartSpan(context.Background(), "nothing")
+	span.SetAttr("k", "v") // must not panic
+	span.End()
+	if tr.Len() != 0 || tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must record nothing")
+	}
+	// A context explicitly carrying a nil tracer disables package StartSpan.
+	ctx = WithTracer(ctx, nil)
+	before := DefaultTracer().Len()
+	_, s := StartSpan(ctx, "disabled")
+	s.End()
+	if DefaultTracer().Len() != before {
+		t.Fatal("nil tracer in context must not fall back to the default tracer")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, s := StartSpan(ctx, strings.Repeat("x", 1)+string(rune('0'+i)))
+		s.End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	spans := tr.Spans()
+	// Oldest-first: the survivors are spans 6..9.
+	for i, s := range spans {
+		if want := string(rune('0' + 6 + i)); !strings.HasSuffix(s.Name, want) {
+			t.Fatalf("span %d = %q, want suffix %q", i, s.Name, want)
+		}
+	}
+}
+
+func TestExportJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr)
+	taskCtx, task := StartSpan(ctx, "task")
+	task.SetAttr("stream", "nysf")
+	_, sel := StartSpan(taskCtx, "select")
+	sel.End()
+	task.End()
+
+	var sb strings.Builder
+	if err := tr.ExportJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	if lines[0]["name"] != "select" || lines[1]["name"] != "task" {
+		t.Fatalf("names = %v, %v", lines[0]["name"], lines[1]["name"])
+	}
+	if _, ok := lines[0]["durationMs"].(float64); !ok {
+		t.Fatalf("missing durationMs: %v", lines[0])
+	}
+	if lines[0]["parent"] == nil {
+		t.Fatal("child line missing parent")
+	}
+	if lines[1]["parent"] != nil {
+		t.Fatal("root line must omit parent")
+	}
+}

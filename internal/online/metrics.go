@@ -1,0 +1,66 @@
+package online
+
+import "faction/internal/obs"
+
+// Metrics is the online protocol's instrumentation set: the live /metrics
+// view of Algorithm 1's bookkeeping — cumulative regret (Eq. 2), cumulative
+// fairness violation (Theorem 1's V), label budget spent, and the stream's
+// current environment (the changing-environments signal a drift dashboard
+// watches). Registration is idempotent, so the serving binary can register
+// the same families at startup (exposing zero values before any run) and a
+// later Run updates them in place.
+type Metrics struct {
+	tasks        *obs.Counter      // faction_online_tasks_total
+	queries      *obs.Counter      // faction_online_queries_total
+	budgetSpent  *obs.Gauge        // faction_online_budget_spent
+	cumRegret    *obs.Gauge        // faction_online_cumulative_regret
+	cumViolation *obs.Gauge        // faction_online_cumulative_violation
+	lastAccuracy *obs.Gauge        // faction_online_last_accuracy
+	lastDDP      *obs.Gauge        // faction_online_last_ddp
+	lastEOD      *obs.Gauge        // faction_online_last_eod
+	env          *obs.Gauge        // faction_online_env
+	stageSeconds *obs.HistogramVec // faction_online_stage_seconds{stage}
+}
+
+// RegisterMetrics registers (or re-resolves) the online protocol's metric
+// families on reg (obs.Default() when nil) and returns handles to them.
+func RegisterMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Metrics{
+		tasks: reg.Counter("faction_online_tasks_total",
+			"Tasks processed by the online protocol (Algorithm 1 iterations)."),
+		queries: reg.Counter("faction_online_queries_total",
+			"Labels bought from the oracle across all runs."),
+		budgetSpent: reg.Gauge("faction_online_budget_spent",
+			"Labels bought during the current protocol run."),
+		cumRegret: reg.Gauge("faction_online_cumulative_regret",
+			"Cumulative instantaneous-loss regret of the current run (Eq. 2; requires TrackRegret)."),
+		cumViolation: reg.Gauge("faction_online_cumulative_violation",
+			"Cumulative fairness violation of the current run (Theorem 1's V)."),
+		lastAccuracy: reg.Gauge("faction_online_last_accuracy",
+			"Pre-adaptation accuracy on the most recent task."),
+		lastDDP: reg.Gauge("faction_online_last_ddp",
+			"Demographic-parity gap on the most recent task."),
+		lastEOD: reg.Gauge("faction_online_last_eod",
+			"Equalized-odds gap on the most recent task."),
+		env: reg.Gauge("faction_online_env",
+			"Environment index of the most recent task (changes mark drift)."),
+		stageSeconds: reg.HistogramVec("faction_online_stage_seconds",
+			"Wall-clock time per protocol stage.", obs.DefBuckets, "stage"),
+	}
+}
+
+// observeTask folds one finished task record into the run-level instruments.
+func (m *Metrics) observeTask(rec TaskRecord, budgetSpent int, cumRegret, cumViolation float64) {
+	m.tasks.Inc()
+	m.queries.Add(uint64(rec.Queries))
+	m.budgetSpent.Set(float64(budgetSpent))
+	m.cumRegret.Set(cumRegret)
+	m.cumViolation.Set(cumViolation)
+	m.lastAccuracy.Set(rec.Report.Accuracy)
+	m.lastDDP.Set(rec.Report.DDP)
+	m.lastEOD.Set(rec.Report.EOD)
+	m.env.Set(float64(rec.Env))
+}

@@ -1,0 +1,125 @@
+package online
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"faction/internal/active"
+	"faction/internal/obs"
+)
+
+// failAfterWriter fails every write after the first n.
+type failAfterWriter struct {
+	n      int
+	writes int
+}
+
+var errWriterBroken = errors.New("writer broken")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.n {
+		return 0, errWriterBroken
+	}
+	return len(p), nil
+}
+
+func TestTraceWriteErrorSurfaced(t *testing.T) {
+	cfg := tinyConfig(71)
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Trace = &failAfterWriter{n: 1}
+	res := MustRun(tinyStream(72), MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	if len(res.Records) != 3 {
+		t.Fatalf("records = %d: a broken trace writer must not abort the run", len(res.Records))
+	}
+	if !errors.Is(res.TraceErr, errWriterBroken) {
+		t.Fatalf("TraceErr = %v, want the writer's error surfaced", res.TraceErr)
+	}
+}
+
+func TestTraceErrNilOnHealthyWriter(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(73)
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Trace = &buf
+	res := MustRun(tinyStream(74), MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	if res.TraceErr != nil {
+		t.Fatalf("TraceErr = %v on a healthy writer", res.TraceErr)
+	}
+}
+
+func TestRunExportsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := tinyConfig(75)
+	cfg.Metrics = reg
+	res := MustRun(tinyStream(76), MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"faction_online_tasks_total 3",
+		"faction_online_queries_total " + strconv.Itoa(res.TotalQueries),
+		"faction_online_budget_spent " + strconv.Itoa(res.TotalQueries),
+		"faction_online_cumulative_regret",
+		"faction_online_cumulative_violation",
+		"faction_online_last_accuracy",
+		`faction_online_stage_seconds_count{stage="train"}`,
+		`faction_online_stage_seconds_count{stage="select"}`,
+		`faction_online_stage_seconds_count{stage="eval"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestRunRecordsSpans(t *testing.T) {
+	tr := obs.NewTracer(256)
+	cfg := tinyConfig(77)
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Tracer = tr
+	MustRun(tinyStream(78), MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+
+	byName := map[string]int{}
+	taskTraces := map[uint64]bool{}
+	for _, s := range tr.Spans() {
+		byName[s.Name]++
+		if s.Name == "online.task" {
+			taskTraces[s.TraceID] = true
+			if s.Parent != 0 {
+				t.Fatalf("online.task span has parent %d, want a root span", s.Parent)
+			}
+		}
+	}
+	if byName["online.task"] != 3 {
+		t.Fatalf("online.task spans = %d, want one per task", byName["online.task"])
+	}
+	if len(taskTraces) != 3 {
+		t.Fatalf("distinct task traces = %d, want 3", len(taskTraces))
+	}
+	for _, stage := range []string{"online.eval", "online.train", "online.select", "online.fairness"} {
+		if byName[stage] == 0 {
+			t.Errorf("no %s spans recorded", stage)
+		}
+	}
+	if byName["online.warmstart"] != 1 {
+		t.Errorf("online.warmstart spans = %d, want exactly one (first task)", byName["online.warmstart"])
+	}
+}
+
+func TestNilTracerRunIsQuiet(t *testing.T) {
+	// A run without a Tracer must not leak spans into the default tracer.
+	before := obs.DefaultTracer().Len()
+	cfg := tinyConfig(79)
+	cfg.Metrics = obs.NewRegistry()
+	MustRun(tinyStream(80), MethodSpec{Name: "Random", Strategy: active.Random{}}, cfg)
+	if after := obs.DefaultTracer().Len(); after != before {
+		t.Fatalf("default tracer grew from %d to %d spans during an untraced run", before, after)
+	}
+}

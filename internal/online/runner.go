@@ -11,6 +11,7 @@
 package online
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,7 +22,9 @@ import (
 	"faction/internal/active"
 	"faction/internal/data"
 	"faction/internal/fairness"
+	"faction/internal/mat"
 	"faction/internal/nn"
+	"faction/internal/obs"
 	"faction/internal/rngutil"
 )
 
@@ -77,8 +80,16 @@ type Config struct {
 	// OracleEpochs trains the regret oracle (default 40).
 	OracleEpochs int
 	// Trace, when non-nil, receives one JSON line per task record as the run
-	// progresses — the machine-readable audit log of the protocol.
+	// progresses — the machine-readable audit log of the protocol. The first
+	// write failure is surfaced on RunResult.TraceErr.
 	Trace io.Writer
+	// Metrics selects the registry the run's gauges and histograms register
+	// into (obs.Default() when nil); see RegisterMetrics for the families.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records a span per task plus per-stage child
+	// spans (eval → train → select → acquire → fairness). Export the ring
+	// with Tracer.ExportJSONL.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the CI-scale configuration used across experiments.
@@ -186,6 +197,9 @@ type RunResult struct {
 	Records      []TaskRecord
 	TotalQueries int
 	Elapsed      time.Duration
+	// TraceErr is the first error hit writing Config.Trace, if any. Tracing
+	// never aborts a run, but a truncated audit log must not pass silently.
+	TraceErr error `json:"-"`
 }
 
 // MeanReport averages the per-task metrics across the run ("mean across all
@@ -263,11 +277,27 @@ func Run(stream *data.Stream, spec MethodSpec, cfg Config) (RunResult, error) {
 		MaxGradNorm: cfg.MaxGradNorm,
 	}
 
+	// Instrumentation: run-level gauges plus per-stage timing histograms.
+	// Stage children are resolved once so the loop's hot path is lock-free.
+	metrics := RegisterMetrics(cfg.Metrics)
+	stageEval := metrics.stageSeconds.With("eval")
+	stageTrain := metrics.stageSeconds.With("train")
+	stageSelect := metrics.stageSeconds.With("select")
+	stageAcquire := metrics.stageSeconds.With("acquire")
+	stageFairness := metrics.stageSeconds.With("fairness")
+	runCtx := obs.WithTracer(context.Background(), cfg.Tracer)
+	cumRegret, cumViolation := 0.0, 0.0
+
 	result := RunResult{Method: spec.Name, Stream: stream.Name}
 	for ti := range stream.Tasks {
 		task := stream.Tasks[ti]
 		pool := task.Pool.Clone() // the run consumes the pool
 		queriesBefore := oracle.Queries()
+
+		taskCtx, taskSpan := cfg.Tracer.StartSpan(runCtx, "online.task")
+		taskSpan.SetAttr("task", task.ID)
+		taskSpan.SetAttr("env", task.Env)
+		taskSpan.SetAttr("method", spec.Name)
 
 		// Warm start: random labels from the first task, then a first fit,
 		// so every method enters the protocol with the same endowment
@@ -277,15 +307,20 @@ func Run(stream *data.Stream, spec MethodSpec, cfg Config) (RunResult, error) {
 			if warm > pool.Len() {
 				warm = pool.Len()
 			}
+			_, warmSpan := cfg.Tracer.StartSpan(taskCtx, "online.warmstart")
+			warmSpan.SetAttr("samples", warm)
 			idx := rngutil.SampleWithoutReplacement(runRng, pool.Len(), warm)
 			acquire(labeled, pool, idx, oracle)
 			model.Train(labeled.Matrix(), labeled.Labels(), labeled.Sensitive(), opt, trainOpts, runRng)
+			warmSpan.End()
 		}
 
 		rec := TaskRecord{TaskID: task.ID, Env: task.Env, Name: task.Name}
 
 		// Record the performance of θ_{t-1} on the full incoming task
 		// (ground truth used for evaluation only).
+		evalStart := time.Now()
+		_, evalSpan := cfg.Tracer.StartSpan(taskCtx, "online.eval")
 		evalX := pool.Matrix()
 		evalLogits := model.Logits(evalX)
 		pred := make([]int, evalLogits.Rows)
@@ -301,24 +336,40 @@ func Run(stream *data.Stream, spec MethodSpec, cfg Config) (RunResult, error) {
 				rec.Regret = 0
 			}
 		}
+		evalSpan.SetAttr("accuracy", rec.Report.Accuracy)
+		evalSpan.End()
+		stageEval.Observe(time.Since(evalStart).Seconds())
 
 		taskStart := time.Now()
 		budget := cfg.Budget
 		for budget > 0 && pool.Len() > 0 {
 			// Train on everything labeled so far (Algorithm 1 lines 7–8).
+			trainStart := time.Now()
+			_, trainSpan := cfg.Tracer.StartSpan(taskCtx, "online.train")
 			stats := model.Train(labeled.Matrix(), labeled.Labels(), labeled.Sensitive(), opt, trainOpts, runRng)
+			trainSpan.End()
+			stageTrain.Observe(time.Since(trainStart).Seconds())
 			rec.TrainLoss = stats.Loss
 
 			a := cfg.AcqSize
 			if a > budget {
 				a = budget
 			}
-			ctx := &active.Context{Model: model, Labeled: labeled, Pool: pool, Rng: runRng}
-			picks := spec.Strategy.SelectBatch(ctx, a)
+			selectStart := time.Now()
+			_, selectSpan := cfg.Tracer.StartSpan(taskCtx, "online.select")
+			actx := &active.Context{Model: model, Labeled: labeled, Pool: pool, Rng: runRng}
+			picks := spec.Strategy.SelectBatch(actx, a)
+			selectSpan.SetAttr("picked", len(picks))
+			selectSpan.End()
+			stageSelect.Observe(time.Since(selectStart).Seconds())
 			if len(picks) == 0 {
 				break
 			}
+			acquireStart := time.Now()
+			_, acquireSpan := cfg.Tracer.StartSpan(taskCtx, "online.acquire")
 			acquire(labeled, pool, picks, oracle)
+			acquireSpan.End()
+			stageAcquire.Observe(time.Since(acquireStart).Seconds())
 			budget -= len(picks)
 		}
 		rec.Queries = oracle.Queries() - queriesBefore
@@ -326,6 +377,8 @@ func Run(stream *data.Stream, spec MethodSpec, cfg Config) (RunResult, error) {
 
 		// Fairness violation of the post-task parameters on the labeled pool.
 		if labeled.Len() > 0 {
+			fairStart := time.Now()
+			_, fairSpan := cfg.Tracer.StartSpan(taskCtx, "online.fairness")
 			logits := model.Logits(labeled.Matrix())
 			v, _ := nn.FairPenalty(logits, labeled.Labels(), labeled.Sensitive(), spec.Fair.Mode)
 			if v > 0 {
@@ -333,10 +386,19 @@ func Run(stream *data.Stream, spec MethodSpec, cfg Config) (RunResult, error) {
 			} else {
 				rec.FairViolation = -v
 			}
+			fairSpan.End()
+			stageFairness.Observe(time.Since(fairStart).Seconds())
 		}
 		result.Records = append(result.Records, rec)
+		cumRegret += rec.Regret
+		cumViolation += rec.FairViolation
+		metrics.observeTask(rec, oracle.Queries(), cumRegret, cumViolation)
+		taskSpan.SetAttr("queries", rec.Queries)
+		taskSpan.End()
 		if cfg.Trace != nil {
-			writeTrace(cfg.Trace, spec.Name, stream.Name, rec)
+			if err := writeTrace(cfg.Trace, spec.Name, stream.Name, rec); err != nil && result.TraceErr == nil {
+				result.TraceErr = err
+			}
 		}
 	}
 	result.TotalQueries = oracle.Queries()
@@ -373,9 +435,10 @@ type traceLine struct {
 	ElapsedMs     float64 `json:"elapsedMs"`
 }
 
-// writeTrace emits one task record as a JSON line. Encoding errors are
-// swallowed: tracing must never abort a run.
-func writeTrace(w io.Writer, method, stream string, rec TaskRecord) {
+// writeTrace emits one task record as a JSON line. Tracing never aborts a
+// run — Run keeps going after a failure — but the first error is surfaced on
+// RunResult.TraceErr so a truncated audit log is visible to the caller.
+func writeTrace(w io.Writer, method, stream string, rec TaskRecord) error {
 	line := traceLine{
 		Method:        method,
 		Stream:        stream,
@@ -393,9 +456,12 @@ func writeTrace(w io.Writer, method, stream string, rec TaskRecord) {
 		FairViolation: rec.FairViolation,
 		ElapsedMs:     float64(rec.Elapsed.Microseconds()) / 1000,
 	}
-	if raw, err := json.Marshal(line); err == nil {
-		w.Write(append(raw, '\n')) //nolint:errcheck // best-effort tracing
+	raw, err := json.Marshal(line)
+	if err != nil {
+		return err
 	}
+	_, err = w.Write(append(raw, '\n'))
+	return err
 }
 
 // acquire reveals the labels of pool[idx...] through the oracle and moves the
@@ -412,7 +478,10 @@ func acquire(labeled, pool *data.Dataset, idx []int, oracle *data.Oracle) {
 	}
 }
 
-func argmaxRow(logits interface{ Row(int) []float64 }, i int) int {
+// argmaxRow returns the index of the largest value in row i of logits. It
+// takes the concrete *mat.Dense — the only logits type in the codebase — so
+// the per-row call in the eval loop needs no interface dispatch.
+func argmaxRow(logits *mat.Dense, i int) int {
 	row := logits.Row(i)
 	best := 0
 	for j := 1; j < len(row); j++ {

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"faction/internal/obs"
+)
+
+// serverMetrics is the serving layer's instrumentation set, registered into
+// the server's obs.Registry (the process-wide obs.Default() unless the
+// Config supplies its own). Registration is idempotent, so several Server
+// instances sharing one registry share these families.
+type serverMetrics struct {
+	// Per-route traffic: request counts by terminal status code and latency
+	// histograms, recorded by the instrument middleware around the whole
+	// stack so shed (429), timed-out (503) and panicking (500) requests are
+	// counted where they terminated.
+	requests *obs.CounterVec   // faction_http_requests_total{route,code}
+	latency  *obs.HistogramVec // faction_http_request_seconds{route}
+
+	// Resilience-state instruments, updated by the middleware.
+	inflight *obs.Gauge   // faction_http_inflight_requests
+	shed     *obs.Counter // faction_http_shed_total
+	timeouts *obs.Counter // faction_http_timeouts_total
+	panics   *obs.Counter // faction_http_panics_total
+
+	// Serving-time adaptation: the /metrics view of what /info reports.
+	refits       *obs.Counter // faction_refits_total
+	failedRefits *obs.Counter // faction_refits_failed_total
+	generation   *obs.Gauge   // faction_model_generation
+	feedback     *obs.Gauge   // faction_feedback_buffered
+	refitSeconds *obs.Histogram
+
+	// Drift-detector state, refreshed on every observed batch and /drift read.
+	driftShifts   *obs.Gauge // faction_drift_shifts
+	driftObserved *obs.Gauge // faction_drift_observations
+	driftMean     *obs.Gauge // faction_drift_baseline_mean
+	driftStd      *obs.Gauge // faction_drift_baseline_std
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		requests: reg.CounterVec("faction_http_requests_total",
+			"HTTP requests by route and terminal status code.", "route", "code"),
+		latency: reg.HistogramVec("faction_http_request_seconds",
+			"End-to-end request latency by route.", obs.DefBuckets, "route"),
+		inflight: reg.Gauge("faction_http_inflight_requests",
+			"Requests currently being served."),
+		shed: reg.Counter("faction_http_shed_total",
+			"Requests shed with 429 by the concurrency limiter."),
+		timeouts: reg.Counter("faction_http_timeouts_total",
+			"Requests cut off with 503 by the per-request deadline."),
+		panics: reg.Counter("faction_http_panics_total",
+			"Handler panics converted to 500s (including late panics after a timeout)."),
+		refits: reg.Counter("faction_refits_total",
+			"Successful model refits (generation swaps)."),
+		failedRefits: reg.Counter("faction_refits_failed_total",
+			"Refit candidates rejected by validation, cancellation or density failure."),
+		generation: reg.Gauge("faction_model_generation",
+			"Current model generation: 0 at startup, +1 per successful refit."),
+		feedback: reg.Gauge("faction_feedback_buffered",
+			"Labeled feedback samples buffered for the next refit."),
+		refitSeconds: reg.Histogram("faction_refit_seconds",
+			"Wall-clock duration of refit attempts (accepted and rejected).", nil),
+		driftShifts: reg.Gauge("faction_drift_shifts",
+			"Distribution shifts flagged by the log-density drift detector."),
+		driftObserved: reg.Gauge("faction_drift_observations",
+			"Batches folded into the drift detector."),
+		driftMean: reg.Gauge("faction_drift_baseline_mean",
+			"Drift-detector baseline mean log-density."),
+		driftStd: reg.Gauge("faction_drift_baseline_std",
+			"Drift-detector baseline log-density standard deviation."),
+	}
+}
+
+// updateDriftMetricsLocked refreshes the drift gauges; the caller holds
+// driftMu.
+func (s *Server) updateDriftMetricsLocked() {
+	if s.cfg.Drift == nil {
+		return
+	}
+	mean, std := s.cfg.Drift.Baseline()
+	s.metrics.driftShifts.Set(float64(s.cfg.Drift.Shifts()))
+	s.metrics.driftObserved.Set(float64(len(s.cfg.Drift.History())))
+	s.metrics.driftMean.Set(mean)
+	s.metrics.driftStd.Set(std)
+}
+
+// routeLabel bounds the cardinality of the route label: known mux routes keep
+// their path, pprof pages collapse to one label, everything else is "other"
+// (an unauthenticated client must not be able to mint unbounded label sets).
+func (s *Server) routeLabel(path string) string {
+	if s.routes[path] {
+		return path
+	}
+	if len(path) >= len(pprofPrefix) && path[:len(pprofPrefix)] == pprofPrefix {
+		return pprofPrefix
+	}
+	return "other"
+}
+
+const pprofPrefix = "/debug/pprof/"
+
+// statusRecorder captures the terminal status code for the instrument
+// middleware without disturbing the response.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.code == 0 {
+		s.code = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	return s.ResponseWriter.Write(p)
+}
+
+// instrument records per-route request counts, latency and the in-flight
+// gauge. It sits directly under requestID — outside the recoverer and the
+// shedding/timeout middlewares — so every request is measured with the status
+// code the client actually received.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inflight.Inc()
+		sw := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			s.metrics.inflight.Dec()
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			route := s.routeLabel(r.URL.Path)
+			s.metrics.requests.With(route, strconv.Itoa(code)).Inc()
+			s.metrics.latency.With(route).Observe(time.Since(start).Seconds())
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -6,21 +6,26 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sync/atomic"
 	"time"
+
+	"faction/internal/obs"
 )
 
 // The middleware stack keeps one bad request — a panic, a slow client, an
-// oversized body, a traffic spike — from taking the whole deployment down.
-// Handler() wraps the route mux as
+// oversized body, a traffic spike — from taking the whole deployment down,
+// and measures every request on the way through. Handler() wraps the route
+// mux as
 //
-//	requestID → recoverer → limitConcurrency → timeout → maxBytes → mux
+//	requestID → instrument → recoverer → limitConcurrency → timeout → maxBytes → mux
 //
-// with /healthz and /readyz bypassing the limiter and timeout so probes keep
-// answering while the service sheds load.
+// with /healthz, /readyz, /metrics and /debug/pprof bypassing the limiter and
+// timeout so probes and scrapes keep answering while the service sheds load.
+// instrument sits outside the recoverer so panics, sheds and timeouts are all
+// counted with the status code the client actually received.
 
 type middleware func(http.Handler) http.Handler
 
@@ -53,6 +58,16 @@ func requestIDFrom(ctx context.Context) string {
 	return id
 }
 
+// reqLogger scopes a logger to the request: every record it emits carries the
+// request ID, so a client-quoted ID greps straight to the structured log
+// lines of its request.
+func reqLogger(base *slog.Logger, ctx context.Context) *slog.Logger {
+	if id := requestIDFrom(ctx); id != "" {
+		return base.With(slog.String("requestId", id))
+	}
+	return base
+}
+
 // requestID assigns every request a unique ID, echoed in the X-Request-ID
 // response header and embedded in JSON error bodies so a client-reported
 // failure can be matched to the server log line.
@@ -67,10 +82,11 @@ func requestID(next http.Handler) http.Handler {
 	})
 }
 
-// recoverer converts a handler panic into a 500 response and a logged stack
-// trace; the process keeps serving. http.ErrAbortHandler (the sanctioned
-// "hang up on this client" panic) is re-raised for net/http to handle.
-func recoverer(logger *log.Logger) middleware {
+// recoverer converts a handler panic into a 500 response, a panics-counter
+// tick and a structured log record carrying the stack; the process keeps
+// serving. http.ErrAbortHandler (the sanctioned "hang up on this client"
+// panic) is re-raised for net/http to handle.
+func recoverer(logger *slog.Logger, panics *obs.Counter) middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			defer func() {
@@ -81,8 +97,12 @@ func recoverer(logger *log.Logger) middleware {
 				if p == http.ErrAbortHandler {
 					panic(p)
 				}
-				logger.Printf("panic serving %s %s (request %s): %v\n%s",
-					r.Method, r.URL.Path, requestIDFrom(r.Context()), p, debug.Stack())
+				panics.Inc()
+				reqLogger(logger, r.Context()).Error("panic serving request",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", p),
+					slog.String("stack", string(debug.Stack())))
 				httpError(w, r, http.StatusInternalServerError, "internal error")
 			}()
 			next.ServeHTTP(w, r)
@@ -92,8 +112,9 @@ func recoverer(logger *log.Logger) middleware {
 
 // limitConcurrency admits at most n requests at once and sheds the rest
 // immediately with 429 + Retry-After — bounded memory under a spike, instead
-// of an unbounded goroutine queue that melts the process.
-func limitConcurrency(n int) middleware {
+// of an unbounded goroutine queue that melts the process. Every shed request
+// ticks the shed counter.
+func limitConcurrency(n int, shed *obs.Counter) middleware {
 	sem := make(chan struct{}, n)
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -102,6 +123,7 @@ func limitConcurrency(n int) middleware {
 				defer func() { <-sem }()
 				next.ServeHTTP(w, r)
 			default:
+				shed.Inc()
 				w.Header().Set("Retry-After", "1")
 				httpError(w, r, http.StatusTooManyRequests, "server at capacity (%d in-flight requests)", n)
 			}
@@ -124,8 +146,9 @@ func maxBytes(n int64) middleware {
 
 // timeout bounds each request to d. The handler runs on its own goroutine
 // against a buffered response; if the deadline passes first the client gets
-// 503 and the (context-cancelled) handler's late output is discarded, so
-// even CPU-bound handlers cannot wedge a connection slot forever.
+// 503 (and the timeouts counter ticks) and the (context-cancelled) handler's
+// late output is discarded, so even CPU-bound handlers cannot wedge a
+// connection slot forever.
 //
 // Trade-off: answering the 503 returns from this middleware — and releases
 // the concurrency-limiter slot wrapping it — while the abandoned handler
@@ -133,8 +156,8 @@ func maxBytes(n int64) middleware {
 // under sustained timeouts MaxInflight bounds admitted requests, not
 // handlers still winding down; a handler that ignores its context can
 // accumulate. A panic raised after the deadline can no longer reach the
-// recoverer, so it is logged here instead of being dropped.
-func timeout(d time.Duration, logger *log.Logger) middleware {
+// recoverer, so it is counted and logged here instead of being dropped.
+func timeout(d time.Duration, logger *slog.Logger, timeouts, panics *obs.Counter) middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel := context.WithTimeout(r.Context(), d)
@@ -159,16 +182,20 @@ func timeout(d time.Duration, logger *log.Logger) middleware {
 			case hp := <-panicc:
 				panic(hp.val) // surface on the serving goroutine for recoverer
 			case <-ctx.Done():
+				timeouts.Inc()
 				httpError(w, r, http.StatusServiceUnavailable, "request timed out after %s", d)
-				method, path, id := r.Method, r.URL.Path, requestIDFrom(r.Context())
+				late := reqLogger(logger, r.Context()).With(
+					slog.String("method", r.Method), slog.String("path", r.URL.Path))
 				go func() {
 					select {
 					case hp := <-panicc:
 						if hp.val == http.ErrAbortHandler {
 							return
 						}
-						logger.Printf("panic in timed-out handler %s %s (request %s): %v\n%s",
-							method, path, id, hp.val, hp.stack)
+						panics.Inc()
+						late.Error("panic in timed-out handler",
+							slog.Any("panic", hp.val),
+							slog.String("stack", string(hp.stack)))
 					case <-done:
 					}
 				}()

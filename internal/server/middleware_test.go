@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,7 +14,20 @@ import (
 	"time"
 
 	"faction/internal/nn"
+	"faction/internal/obs"
 )
+
+// discardLogger drops all records; the middleware still exercises its
+// structured logging path.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// testMetrics builds a serving-metrics set on a fresh registry, so assertions
+// never see counts from other tests.
+func testMetrics() *serverMetrics {
+	return newServerMetrics(obs.NewRegistry())
+}
 
 // resilientFixture builds a small online-enabled server (input dim 3, two
 // classes) with the given resilience knobs and returns it plus its test
@@ -23,9 +36,10 @@ func resilientFixture(t *testing.T, patch func(*Config)) (*Server, *httptest.Ser
 	t.Helper()
 	model := nn.NewClassifier(nn.Config{InputDim: 3, NumClasses: 2, Hidden: []int{8}, Seed: 7})
 	cfg := Config{
-		Model:  model,
-		Online: OnlineConfig{Enabled: true, Epochs: 2},
-		Logger: log.New(io.Discard, "", 0),
+		Model:   model,
+		Online:  OnlineConfig{Enabled: true, Epochs: 2},
+		Logger:  discardLogger(),
+		Metrics: obs.NewRegistry(),
 	}
 	if patch != nil {
 		patch(&cfg)
@@ -58,7 +72,8 @@ func feedSamples(t *testing.T, ts *httptest.Server, n int) {
 // stack and checks the process answers 500 — and keeps serving afterwards.
 func TestPanicRecovery(t *testing.T) {
 	var logBuf bytes.Buffer
-	logger := log.New(&logBuf, "", 0)
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	m := testMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
 		panic("injected handler panic")
@@ -66,7 +81,7 @@ func TestPanicRecovery(t *testing.T) {
 	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprint(w, "still alive")
 	})
-	h := chain(mux, requestID, recoverer(logger), timeout(5*time.Second, logger))
+	h := chain(mux, requestID, recoverer(logger, m.panics), timeout(5*time.Second, logger, m.timeouts, m.panics))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -91,6 +106,9 @@ func TestPanicRecovery(t *testing.T) {
 	}
 	if !strings.Contains(logBuf.String(), e["requestId"]) {
 		t.Fatal("log line missing the request ID from the error body")
+	}
+	if m.panics.Value() != 1 {
+		t.Fatalf("panics counter = %d, want 1", m.panics.Value())
 	}
 
 	// The server survived: the next request succeeds.
@@ -131,7 +149,8 @@ func TestConcurrencyLimiterSheds(t *testing.T) {
 		<-release
 		fmt.Fprint(w, "done")
 	})
-	h := chain(mux, requestID, recoverer(log.New(io.Discard, "", 0)), limitConcurrency(1))
+	m := testMetrics()
+	h := chain(mux, requestID, recoverer(discardLogger(), m.panics), limitConcurrency(1, m.shed))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -157,6 +176,9 @@ func TestConcurrencyLimiterSheds(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 missing Retry-After header")
 	}
+	if m.shed.Value() != 1 {
+		t.Fatalf("shed counter = %d, want 1", m.shed.Value())
+	}
 	close(release)
 	wg.Wait()
 }
@@ -170,7 +192,8 @@ func TestRequestTimeout(t *testing.T) {
 		}
 		fmt.Fprint(w, "too late")
 	})
-	h := chain(mux, requestID, recoverer(log.New(io.Discard, "", 0)), timeout(100*time.Millisecond, log.New(io.Discard, "", 0)))
+	m := testMetrics()
+	h := chain(mux, requestID, recoverer(discardLogger(), m.panics), timeout(100*time.Millisecond, discardLogger(), m.timeouts, m.panics))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -186,6 +209,9 @@ func TestRequestTimeout(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("timeout did not bound the request: %s", elapsed)
 	}
+	if m.timeouts.Value() != 1 {
+		t.Fatalf("timeouts counter = %d, want 1", m.timeouts.Value())
+	}
 }
 
 // TestTimeoutLogsLatePanic panics a handler after its deadline already
@@ -198,7 +224,9 @@ func TestTimeoutLogsLatePanic(t *testing.T) {
 		<-r.Context().Done()
 		panic("late panic after deadline")
 	})
-	h := chain(mux, requestID, recoverer(log.New(io.Discard, "", 0)), timeout(50*time.Millisecond, log.New(logBuf, "", 0)))
+	m := testMetrics()
+	h := chain(mux, requestID, recoverer(discardLogger(), m.panics),
+		timeout(50*time.Millisecond, slog.New(slog.NewTextHandler(logBuf, nil)), m.timeouts, m.panics))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -245,7 +273,8 @@ func TestTimeoutPreservesFastResponses(t *testing.T) {
 		w.WriteHeader(http.StatusCreated)
 		fmt.Fprint(w, "payload")
 	})
-	ts := httptest.NewServer(chain(mux, timeout(time.Second, log.New(io.Discard, "", 0))))
+	m := testMetrics()
+	ts := httptest.NewServer(chain(mux, timeout(time.Second, discardLogger(), m.timeouts, m.panics)))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/fast")
 	if err != nil {

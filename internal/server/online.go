@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"faction/internal/data"
 	"faction/internal/gda"
 	"faction/internal/nn"
+	"faction/internal/obs"
 	"faction/internal/rngutil"
 )
 
@@ -139,6 +141,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 	buffered := s.buffer.Len()
 	s.mu.Unlock()
+	s.metrics.feedback.Set(float64(buffered))
 	writeJSON(w, feedbackResponse{Buffered: buffered})
 }
 
@@ -162,6 +165,12 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.refitMu.Unlock()
 
+	refitStart := time.Now()
+	defer func() { s.metrics.refitSeconds.Observe(time.Since(refitStart).Seconds()) }()
+	ctx, span := obs.StartSpan(r.Context(), "server.refit")
+	defer span.End()
+	r = r.WithContext(ctx)
+
 	// Snapshot the inputs under the read lock: a clone of the live model and
 	// the buffered feedback (feedback arriving mid-refit joins the next one).
 	s.mu.RLock()
@@ -183,9 +192,12 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 
 	rng := rngutil.Derive(oc.Seed, "server-refit", fmt.Sprint(attempt))
 	opt := oc.newOptimizer()
+	_, trainSpan := obs.StartSpan(r.Context(), "server.refit.train")
+	trainSpan.SetAttr("samples", buf.Len())
 	stats := cand.Train(
 		buf.Matrix(), buf.Labels(), buf.Sensitive(),
 		opt, nn.TrainOpts{Epochs: oc.Epochs, BatchSize: oc.BatchSize, Fair: oc.Fair}, rng)
+	trainSpan.End()
 
 	// If the request died during training — the timeout middleware already
 	// answered 503, or the client hung up — the caller was told the refit
@@ -206,10 +218,12 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	// density the paper's Eq. 3–5 machinery cannot trust.
 	var est *gda.Estimator
 	if hadDensity {
+		_, densitySpan := obs.StartSpan(r.Context(), "server.refit.density")
 		feats := cand.Features(buf.Matrix())
 		var err error
 		est, err = gda.Fit(feats, buf.Labels(), buf.Sensitive(),
 			cand.Config().NumClasses, oc.SensValues, gda.Config{})
+		densitySpan.End()
 		if err != nil {
 			s.rejectRefit(w, r, fmt.Errorf("density refit failed: %w", err))
 			return
@@ -250,6 +264,14 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 		Generation:    s.generation.Add(1),
 	}
 	s.mu.Unlock()
+	s.metrics.refits.Inc()
+	s.metrics.generation.Set(float64(resp.Generation))
+	reqLogger(s.cfg.Logger, r.Context()).Info("refit accepted",
+		slog.Uint64("generation", resp.Generation),
+		slog.Int("samples", resp.Samples),
+		slog.Float64("trainLoss", resp.TrainLoss),
+		slog.Float64("trainAccuracy", resp.TrainAccuracy),
+		slog.Bool("densityRefit", resp.DensityRefit))
 	writeJSON(w, resp)
 }
 
@@ -261,7 +283,10 @@ func (s *Server) rejectRefit(w http.ResponseWriter, r *http.Request, err error) 
 	s.failedRefits++
 	s.lastRefitErr = err.Error()
 	s.mu.Unlock()
-	s.cfg.Logger.Printf("refit rejected, keeping generation %d: %v", s.generation.Load(), err)
+	s.metrics.failedRefits.Inc()
+	reqLogger(s.cfg.Logger, r.Context()).Warn("refit rejected",
+		slog.Uint64("keptGeneration", s.generation.Load()),
+		slog.String("error", err.Error()))
 	httpError(w, r, http.StatusUnprocessableEntity, "refit failed, previous model still serving: %v", err)
 }
 

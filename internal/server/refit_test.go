@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -18,6 +17,7 @@ import (
 	"faction/internal/gda"
 	"faction/internal/mat"
 	"faction/internal/nn"
+	"faction/internal/obs"
 )
 
 // onlineDensityFixture builds an online-enabled server with a fitted density
@@ -49,7 +49,8 @@ func onlineDensityFixture(t *testing.T) (*Server, *httptest.Server) {
 		Density:           est,
 		TrainLogDensities: est.TrainLogDensities,
 		Online:            OnlineConfig{Enabled: true, Epochs: 2},
-		Logger:            log.New(io.Discard, "", 0),
+		Logger:            discardLogger(),
+		Metrics:           obs.NewRegistry(),
 	})
 	if err != nil {
 		t.Fatal(err)

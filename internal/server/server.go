@@ -16,9 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,7 @@ import (
 	"faction/internal/gda"
 	"faction/internal/mat"
 	"faction/internal/nn"
+	"faction/internal/obs"
 )
 
 // Config assembles a server from its fitted components.
@@ -63,8 +65,13 @@ type Config struct {
 	// longer than this, signalling rotation out under a heavy model swap.
 	// Default 2s.
 	RefitUnreadyAfter time.Duration
-	// Logger receives panic stacks and refit failures. Default log.Default().
-	Logger *log.Logger
+	// Logger receives structured records (panic stacks, refit rejections,
+	// shed events), each scoped with the request ID. Default slog.Default().
+	Logger *slog.Logger
+	// Metrics is the registry backing GET /metrics. Default obs.Default(),
+	// the process-wide registry that nn/gda/online instrumentation also
+	// records into; tests pass their own for isolation.
+	Metrics *obs.Registry
 }
 
 func (c *Config) setResilienceDefaults() {
@@ -81,7 +88,10 @@ func (c *Config) setResilienceDefaults() {
 		c.RefitUnreadyAfter = 2 * time.Second
 	}
 	if c.Logger == nil {
-		c.Logger = log.Default()
+		c.Logger = slog.Default()
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
 	}
 }
 
@@ -108,6 +118,11 @@ type Server struct {
 
 	driftMu sync.Mutex // guards the drift detector independently
 
+	// metrics is the serving-layer instrumentation (see metrics.go); routes
+	// is the known-route set bounding the route label's cardinality.
+	metrics *serverMetrics
+	routes  map[string]bool
+
 	// validateCandidate is the refit acceptance gate; tests override it to
 	// inject validation failures.
 	validateCandidate func(cand *nn.Classifier, stats nn.TrainStats) error
@@ -130,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg.setResilienceDefaults()
 	s := &Server{cfg: cfg, inputDim: cfg.Model.Config().InputDim, numClasses: cfg.Model.Config().NumClasses}
+	s.metrics = newServerMetrics(cfg.Metrics)
 	s.validateCandidate = s.defaultValidateCandidate
 	if cfg.Density != nil && len(cfg.TrainLogDensities) > 0 {
 		s.oodThreshold = quantile(cfg.TrainLogDensities, cfg.OODQuantile)
@@ -174,27 +190,33 @@ func (s *Server) HasDensity() bool {
 }
 
 // Handler returns the HTTP mux wrapped in the resilience middleware stack.
-// Liveness and readiness probes bypass the concurrency limiter and timeout
-// so they keep answering while the service sheds or drains.
+// The admin surface — liveness/readiness probes, GET /metrics and the pprof
+// pages — bypasses the concurrency limiter and timeout so probes, scrapes and
+// profiles keep answering while the service sheds or drains. Every request
+// (admin included) flows through the instrument middleware, so per-route
+// counts and latency histograms cover the whole surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /info", s.handleInfo)
 	mux.HandleFunc("POST /predict", s.handlePredict)
+	s.routes = map[string]bool{"/info": true, "/predict": true, "/healthz": true, "/readyz": true, "/metrics": true}
 	if s.cfg.Density != nil {
 		mux.HandleFunc("POST /score", s.handleScore)
 		mux.HandleFunc("GET /drift", s.handleDrift)
+		s.routes["/score"], s.routes["/drift"] = true, true
 	}
 	if s.cfg.Online.Enabled {
 		mux.HandleFunc("POST /feedback", s.handleFeedback)
 		mux.HandleFunc("POST /refit", s.handleRefit)
+		s.routes["/feedback"], s.routes["/refit"] = true, true
 	}
 
 	var inner []middleware
 	if n := s.cfg.MaxInflight; n > 0 {
-		inner = append(inner, limitConcurrency(n))
+		inner = append(inner, limitConcurrency(n, s.metrics.shed))
 	}
 	if d := s.cfg.RequestTimeout; d > 0 {
-		inner = append(inner, timeout(d, s.cfg.Logger))
+		inner = append(inner, timeout(d, s.cfg.Logger, s.metrics.timeouts, s.metrics.panics))
 	}
 	if n := s.cfg.MaxBodyBytes; n > 0 {
 		inner = append(inner, maxBytes(n))
@@ -204,8 +226,14 @@ func (s *Server) Handler() http.Handler {
 	outer := http.NewServeMux()
 	outer.HandleFunc("GET /healthz", s.handleHealth)
 	outer.HandleFunc("GET /readyz", s.handleReady)
+	outer.Handle("GET /metrics", s.cfg.Metrics.Handler())
+	outer.HandleFunc("GET /debug/pprof/", pprof.Index)
+	outer.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	outer.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	outer.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	outer.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	outer.Handle("/", wrapped)
-	return chain(outer, requestID, recoverer(s.cfg.Logger))
+	return chain(outer, requestID, s.instrument, recoverer(s.cfg.Logger, s.metrics.panics))
 }
 
 // instancesRequest is the shared request body of /predict and /score.
@@ -336,6 +364,7 @@ func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request) {
 		resp.Observations = len(s.cfg.Drift.History())
 		resp.BaselineMean, resp.BaselineStd = s.cfg.Drift.Baseline()
 		resp.Shifts = s.cfg.Drift.Shifts()
+		s.updateDriftMetricsLocked()
 	}
 	writeJSON(w, resp)
 }
@@ -419,6 +448,7 @@ func (s *Server) feedDrift(logDensities []float64) {
 	mean /= float64(len(logDensities))
 	s.driftMu.Lock()
 	s.cfg.Drift.Observe(mean)
+	s.updateDriftMetricsLocked()
 	s.driftMu.Unlock()
 }
 
