@@ -15,6 +15,12 @@
 //
 //	faction-bench -kernel results/BENCH_kernel.json
 //
+// With -serve, it instead runs the serving-layer coalesced-load benchmark
+// (N concurrent single-instance /predict clients against the HTTP server,
+// batching off then on) and writes the comparison to a JSON file:
+//
+//	faction-bench -serve results/BENCH_serve.json -clients 64
+//
 // -cpuprofile and -memprofile write pprof profiles of whichever path ran.
 package main
 
@@ -45,6 +51,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel protocol runs (0 = GOMAXPROCS, the shared kernel default)")
 		outDir   = flag.String("out", "", "also write rendered outputs into this directory")
 		kernel   = flag.String("kernel", "", "run the kernel micro-benchmarks and write the JSON report to this path instead of running experiments")
+		serve    = flag.String("serve", "", "run the serving-layer coalesced-load benchmark and write the JSON report to this path instead of running experiments")
+		clients  = flag.Int("clients", 64, "concurrent load-generator clients for -serve")
+		requests = flag.Int("requests", 40, "requests each -serve client issues")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
@@ -102,6 +111,12 @@ func main() {
 			datasets = []string{"nysf"}
 		}
 		if err := runKernelBench(*kernel, datasets, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *serve != "" {
+		if err := runServeBench(*serve, *clients, *requests); err != nil {
 			fatal(err)
 		}
 		return
@@ -164,6 +179,38 @@ func runKernelBench(path string, datasets []string, workers int) error {
 		}
 		rep.Fig2CISeconds[ds] = sec
 		fmt.Printf("%-36s %14.2f s (CI-scale Fig. 2 row)\n", "Fig2/"+ds, sec)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+// runServeBench runs the serving-layer coalesced-load benchmark (N concurrent
+// single-instance /predict clients, batching off then on), prints the headline
+// comparison, and writes the machine-readable report to path.
+func runServeBench(path string, clients, requests int) error {
+	fmt.Printf("=== serving-layer coalesced load (%d clients × %d requests) ===\n", clients, requests)
+	rep, err := bench.RunServe(clients, requests)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-12s %9.0f req/s   mean %7.3f ms   p99 %7.3f ms", r.Name, r.RequestsPerSec, r.MeanLatencyMs, r.P99LatencyMs)
+		if r.MeanBatchRows > 0 {
+			fmt.Printf("   mean batch %.2f rows (≤%g), flushes %v", r.MeanBatchRows, r.MaxBatchRows, r.Flushes)
+		}
+		fmt.Println()
 	}
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {

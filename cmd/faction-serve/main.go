@@ -18,8 +18,11 @@
 // POST /refit.
 //
 // The process runs production-shaped: SIGINT/SIGTERM drain in-flight
-// requests (bounded by -shutdown-timeout) and exit 0; panics, oversized
-// bodies and overload are absorbed by the server's middleware stack; with
+// requests (bounded by -shutdown-timeout) and exit 0; with -batch-delay
+// concurrent /predict and /score requests are coalesced into fused
+// model/density batches (responses stay bit-identical to unbatched
+// serving); panics, oversized bodies and overload are absorbed by the
+// server's middleware stack; with
 // -checkpoint the live model is periodically snapshotted crash-safely
 // (temp file + rename, checksummed, rotated) after refits change it; and
 // every log line is a structured log/slog record (-log-format json for
@@ -60,6 +63,9 @@ func main() {
 		lambda     = flag.Float64("lambda", 1, "fairness trade-off λ for /score")
 		mu         = flag.Float64("mu", 0.7, "fairness regularization μ when training")
 		onlineFlag = flag.Bool("online", false, "enable POST /feedback and POST /refit (serving-time adaptation)")
+
+		batchRows  = flag.Int("batch-rows", 64, "queued instance rows that trigger an immediate coalesced flush (with -batch-delay > 0)")
+		batchDelay = flag.Duration("batch-delay", 0, "max time a /predict or /score request waits to be coalesced into a batch (0 disables batching)")
 
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "max wait for in-flight requests on SIGINT/SIGTERM")
 		requestTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (503 beyond it)")
@@ -106,6 +112,8 @@ func main() {
 			Fair:    nn.FairConfig{Mu: *mu, Eps: 0.01},
 			Seed:    *seed,
 		},
+		BatchRows:      *batchRows,
+		BatchDelay:     *batchDelay,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
 		MaxBodyBytes:   *maxBody,
@@ -145,6 +153,9 @@ func main() {
 		s.SetReady(false)
 		logger.Info("faction-serve draining", slog.Duration("timeout", *shutdownTimeout))
 	})
+	// HTTP traffic has drained (or the deadline passed); flush and stop the
+	// micro-batcher so any still-queued request gets a real response.
+	s.Close()
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,280 @@
+// Package batching implements a request-coalescing queue: concurrent callers
+// submit small items, a single flusher goroutine drains them in batches, and
+// one batched computation amortizes per-call overhead (lock acquisition,
+// kernel dispatch, cache misses) across every queued caller.
+//
+// The serving layer uses it to fuse concurrent single-instance /predict and
+// /score requests into one model forward pass and one density pass; the
+// package itself is generic — items are opaque beyond their row count and
+// cancellation state, and the caller's Flush callback owns the computation
+// and the scatter of results back to the waiting submitters.
+//
+// Flush rules (the queueing model, in order of precedence):
+//
+//   - size: as soon as the queued row count reaches MaxRows, the flusher
+//     drains items until at least MaxRows rows are taken (a single oversized
+//     item flushes alone; items are never split).
+//   - deadline: a non-empty queue never waits longer than MaxDelay past its
+//     oldest item's enqueue time — the latency cost of coalescing is bounded.
+//   - drain: Close flushes whatever is queued, then stops the flusher. New
+//     submissions after Close fail with ErrClosed.
+//
+// Items whose Cancelled method reports true at drain time are dropped without
+// reaching Flush: their submitters have already given up (context timeout,
+// client hang-up), so computing for them would be pure waste.
+package batching
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("batching: coalescer closed")
+
+// Reason records what triggered a flush.
+type Reason string
+
+const (
+	// ReasonSize: the queue reached MaxRows.
+	ReasonSize Reason = "size"
+	// ReasonDeadline: the oldest queued item aged past MaxDelay.
+	ReasonDeadline Reason = "deadline"
+	// ReasonDrain: Close flushed the remaining queue.
+	ReasonDrain Reason = "drain"
+)
+
+// Item is one queued unit of work. Implementations carry their own payload
+// and result channel; the coalescer only needs the row count (for the size
+// trigger) and liveness (to skip work nobody is waiting for).
+type Item interface {
+	// Rows is the item's contribution to the batch size. Must be ≥ 1.
+	Rows() int
+	// Cancelled reports whether the submitter has given up waiting.
+	Cancelled() bool
+}
+
+// Metrics are optional observation hooks, invoked from the flusher goroutine.
+// Any field may be nil.
+type Metrics struct {
+	// FlushRows observes the row count of each non-empty flushed batch.
+	FlushRows func(rows int)
+	// Flushes counts flushes by trigger reason (empty drains included, so
+	// shutdown is visible even on an idle queue).
+	Flushes func(reason Reason)
+	// QueueDelay observes, per flushed item, the seconds it spent queued.
+	QueueDelay func(seconds float64)
+	// QueueDepth tracks the queued row count after every enqueue/drain.
+	QueueDepth func(rows int)
+}
+
+// Config assembles a Coalescer.
+type Config struct {
+	// MaxRows triggers a size flush (default 64).
+	MaxRows int
+	// MaxDelay bounds how long an item may wait queued (default 2ms).
+	MaxDelay time.Duration
+	// Flush receives each drained batch. It runs on the single flusher
+	// goroutine, so flushes never overlap; it must deliver results (or
+	// errors) to every item it is handed.
+	Flush func(items []Item, reason Reason)
+	// Metrics are the optional observation hooks.
+	Metrics Metrics
+}
+
+// Coalescer is the concurrent-safe coalescing queue. Create with New; all
+// methods may be called from any goroutine.
+type Coalescer struct {
+	cfg Config
+
+	mu     sync.Mutex
+	queue  []queued
+	rows   int
+	closed bool
+
+	wake  chan struct{} // buffered(1): queue state changed
+	stopc chan struct{} // closed by Close
+	donec chan struct{} // closed when the flusher exits
+}
+
+type queued struct {
+	item Item
+	enq  time.Time
+}
+
+// New validates cfg, starts the flusher goroutine and returns the coalescer.
+// Callers must Close it to stop the goroutine.
+func New(cfg Config) *Coalescer {
+	if cfg.Flush == nil {
+		panic("batching: nil Flush")
+	}
+	if cfg.MaxRows <= 0 {
+		cfg.MaxRows = 64
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	c := &Coalescer{
+		cfg:   cfg,
+		wake:  make(chan struct{}, 1),
+		stopc: make(chan struct{}),
+		donec: make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// Submit enqueues an item. It returns immediately — the submitter waits for
+// its result through whatever channel its Item implementation carries. After
+// Close it returns ErrClosed without enqueueing.
+func (c *Coalescer) Submit(it Item) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.queue = append(c.queue, queued{item: it, enq: time.Now()})
+	c.rows += it.Rows()
+	rows := c.rows
+	c.mu.Unlock()
+	if m := c.cfg.Metrics.QueueDepth; m != nil {
+		m(rows)
+	}
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Close drains the queue (one final flush with ReasonDrain), stops the
+// flusher goroutine and waits for it to exit. Idempotent.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if !already {
+		close(c.stopc)
+	}
+	<-c.donec
+}
+
+// run is the flusher loop: sleep until woken, then flush on size or deadline
+// until the queue empties again.
+func (c *Coalescer) run() {
+	defer close(c.donec)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		select {
+		case <-c.wake:
+		case <-c.stopc:
+			c.flush(ReasonDrain)
+			return
+		}
+		for {
+			c.mu.Lock()
+			if len(c.queue) == 0 {
+				c.mu.Unlock()
+				break
+			}
+			full := c.rows >= c.cfg.MaxRows
+			oldest := c.queue[0].enq
+			c.mu.Unlock()
+			if full {
+				c.flush(ReasonSize)
+				continue
+			}
+			wait := c.cfg.MaxDelay - time.Since(oldest)
+			if wait <= 0 {
+				c.flush(ReasonDeadline)
+				continue
+			}
+			timer.Reset(wait)
+			select {
+			case <-c.wake:
+				stopTimer(timer)
+			case <-timer.C:
+				c.flush(ReasonDeadline)
+			case <-c.stopc:
+				stopTimer(timer)
+				c.flush(ReasonDrain)
+				return
+			}
+		}
+	}
+}
+
+// flush drains one batch and hands it to the Flush callback. A size flush
+// takes items until at least MaxRows rows are taken, leaving the remainder
+// queued; deadline and drain flushes take everything (drain repeats until
+// the queue is empty, so late concurrent submitters racing Close are not
+// stranded).
+func (c *Coalescer) flush(reason Reason) {
+	for {
+		c.mu.Lock()
+		var (
+			items []Item
+			took  int
+		)
+		for len(c.queue) > 0 && (reason != ReasonSize || took < c.cfg.MaxRows) {
+			q := c.queue[0]
+			c.queue = c.queue[1:]
+			took += q.item.Rows()
+			if q.item.Cancelled() {
+				continue
+			}
+			items = append(items, q.item)
+			if m := c.cfg.Metrics.QueueDelay; m != nil {
+				m(time.Since(q.enq).Seconds())
+			}
+		}
+		c.rows -= took
+		rows := c.rows
+		if len(c.queue) == 0 {
+			c.queue = nil // let the backing array go; steady-state queues stay small
+		}
+		c.mu.Unlock()
+
+		if m := c.cfg.Metrics.QueueDepth; m != nil {
+			m(rows)
+		}
+		if m := c.cfg.Metrics.Flushes; m != nil {
+			m(reason)
+		}
+		if len(items) > 0 {
+			live := 0
+			for _, it := range items {
+				live += it.Rows()
+			}
+			if m := c.cfg.Metrics.FlushRows; m != nil {
+				m(live)
+			}
+			c.cfg.Flush(items, reason)
+		}
+		if reason != ReasonDrain {
+			return
+		}
+		c.mu.Lock()
+		empty := len(c.queue) == 0
+		c.mu.Unlock()
+		if empty {
+			return
+		}
+	}
+}
+
+// stopTimer stops a running timer and drains its channel if it already fired.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package batching
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testItem is a minimal Item: a row count, a cancellation flag and a result
+// channel the flush callback answers on.
+type testItem struct {
+	rows      int
+	cancelled atomic.Bool
+	done      chan int // receives the batch row-count it was flushed in
+}
+
+func newItem(rows int) *testItem { return &testItem{rows: rows, done: make(chan int, 1)} }
+
+func (it *testItem) Rows() int       { return it.rows }
+func (it *testItem) Cancelled() bool { return it.cancelled.Load() }
+
+// echoFlush answers every item with the total row count of its batch.
+func echoFlush(items []Item, _ Reason) {
+	total := 0
+	for _, it := range items {
+		total += it.(*testItem).rows
+	}
+	for _, it := range items {
+		it.(*testItem).done <- total
+	}
+}
+
+func TestSizeFlushCoalesces(t *testing.T) {
+	c := New(Config{MaxRows: 4, MaxDelay: time.Hour, Flush: echoFlush})
+	defer c.Close()
+	items := make([]*testItem, 4)
+	for i := range items {
+		items[i] = newItem(1)
+		if err := c.Submit(items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, it := range items {
+		select {
+		case got := <-it.done:
+			if got != 4 {
+				t.Fatalf("item %d flushed in a %d-row batch, want 4", i, got)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("item %d never flushed (deadline is an hour, so size must trigger)", i)
+		}
+	}
+}
+
+func TestDeadlineFlushBoundsLatency(t *testing.T) {
+	c := New(Config{MaxRows: 1 << 20, MaxDelay: 10 * time.Millisecond, Flush: echoFlush})
+	defer c.Close()
+	it := newItem(3)
+	start := time.Now()
+	if err := c.Submit(it); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-it.done:
+		if got != 3 {
+			t.Fatalf("flushed %d rows, want 3", got)
+		}
+		if waited := time.Since(start); waited > 2*time.Second {
+			t.Fatalf("deadline flush took %v", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never flushed a lone item")
+	}
+}
+
+func TestOversizedItemFlushesAlone(t *testing.T) {
+	c := New(Config{MaxRows: 4, MaxDelay: time.Hour, Flush: echoFlush})
+	defer c.Close()
+	it := newItem(9)
+	if err := c.Submit(it); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-it.done:
+		if got != 9 {
+			t.Fatalf("flushed %d rows, want 9", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oversized item never size-flushed")
+	}
+}
+
+func TestCancelledItemsAreDropped(t *testing.T) {
+	var flushed atomic.Int64
+	c := New(Config{MaxRows: 1 << 20, MaxDelay: 5 * time.Millisecond, Flush: func(items []Item, r Reason) {
+		flushed.Add(int64(len(items)))
+		echoFlush(items, r)
+	}})
+	defer c.Close()
+	dead := newItem(1)
+	dead.cancelled.Store(true)
+	live := newItem(1)
+	if err := c.Submit(dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(live); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-live.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("live item never flushed")
+	}
+	if n := flushed.Load(); n != 1 {
+		t.Fatalf("%d items reached Flush, want 1 (cancelled item must be dropped)", n)
+	}
+	select {
+	case <-dead.done:
+		t.Fatal("cancelled item must not receive a result")
+	default:
+	}
+}
+
+func TestCloseDrainsQueueAndRejectsNewWork(t *testing.T) {
+	var reasons []Reason
+	var mu sync.Mutex
+	c := New(Config{MaxRows: 1 << 20, MaxDelay: time.Hour, Flush: echoFlush, Metrics: Metrics{
+		Flushes: func(r Reason) { mu.Lock(); reasons = append(reasons, r); mu.Unlock() },
+	}})
+	items := make([]*testItem, 3)
+	for i := range items {
+		items[i] = newItem(2)
+		if err := c.Submit(items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	for i, it := range items {
+		select {
+		case got := <-it.done:
+			if got != 6 {
+				t.Fatalf("item %d drained in a %d-row batch, want 6", i, got)
+			}
+		default:
+			t.Fatalf("item %d not flushed by Close (drain must not strand queued work)", i)
+		}
+	}
+	if err := c.Submit(newItem(1)); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reasons) == 0 || reasons[len(reasons)-1] != ReasonDrain {
+		t.Fatalf("flush reasons %v, want a trailing drain", reasons)
+	}
+	c.Close() // idempotent
+}
+
+func TestMetricsHooks(t *testing.T) {
+	var (
+		mu        sync.Mutex
+		flushRows []int
+		delays    int
+		depths    []int
+		reasons   = map[Reason]int{}
+	)
+	c := New(Config{MaxRows: 3, MaxDelay: time.Hour, Flush: echoFlush, Metrics: Metrics{
+		FlushRows:  func(rows int) { mu.Lock(); flushRows = append(flushRows, rows); mu.Unlock() },
+		Flushes:    func(r Reason) { mu.Lock(); reasons[r]++; mu.Unlock() },
+		QueueDelay: func(float64) { mu.Lock(); delays++; mu.Unlock() },
+		QueueDepth: func(rows int) { mu.Lock(); depths = append(depths, rows); mu.Unlock() },
+	}})
+	items := make([]*testItem, 3)
+	for i := range items {
+		items[i] = newItem(1)
+		if err := c.Submit(items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range items {
+		<-it.done
+	}
+	c.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flushRows) != 1 || flushRows[0] != 3 {
+		t.Fatalf("FlushRows observations %v, want [3]", flushRows)
+	}
+	if reasons[ReasonSize] != 1 {
+		t.Fatalf("size flushes %d, want 1 (reasons %v)", reasons[ReasonSize], reasons)
+	}
+	if reasons[ReasonDrain] == 0 {
+		t.Fatalf("Close must count a drain flush (reasons %v)", reasons)
+	}
+	if delays != 3 {
+		t.Fatalf("QueueDelay observed %d times, want 3", delays)
+	}
+	if len(depths) == 0 || depths[len(depths)-1] != 0 {
+		t.Fatalf("QueueDepth trail %v, want it to end at 0", depths)
+	}
+}
+
+// Hammer for the race detector: concurrent submitters racing flushes and a
+// final Close. Every submitted item must get exactly one result or be
+// rejected with ErrClosed.
+func TestConcurrentSubmitHammer(t *testing.T) {
+	c := New(Config{MaxRows: 8, MaxDelay: 500 * time.Microsecond, Flush: echoFlush})
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	var answered, rejected atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				it := newItem(1)
+				if err := c.Submit(it); err != nil {
+					rejected.Add(1)
+					continue
+				}
+				select {
+				case <-it.done:
+					answered.Add(1)
+				case <-time.After(10 * time.Second):
+					t.Error("item stranded")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c.Close()
+	if got := answered.Load() + rejected.Load(); got != workers*perWorker {
+		t.Fatalf("accounted for %d items, want %d", got, workers*perWorker)
+	}
+	if rejected.Load() != 0 {
+		t.Fatalf("%d submissions rejected before Close", rejected.Load())
+	}
+}

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"faction/internal/gda"
+	"faction/internal/mat"
+	"faction/internal/nn"
+	"faction/internal/obs"
+	"faction/internal/server"
+)
+
+// ServeResult is one serving-layer load run: the same worker pool firing
+// single-instance /predict requests at a server with coalescing off or on.
+type ServeResult struct {
+	Name           string  `json:"name"`
+	Requests       int     `json:"requests"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	MeanLatencyMs  float64 `json:"mean_latency_ms"`
+	P99LatencyMs   float64 `json:"p99_latency_ms"`
+	// Coalescing evidence, read from the server's metrics registry. Zero for
+	// the unbatched run; the batched run's acceptance bar is
+	// MeanBatchRows > 1 (requests actually fused into shared flushes).
+	MeanBatchRows float64        `json:"mean_batch_rows,omitempty"`
+	MaxBatchRows  float64        `json:"max_batch_rows,omitempty"`
+	Flushes       map[string]int `json:"flushes,omitempty"`
+}
+
+// ServeReport is the schema of BENCH_serve.json: the coalesced-load benchmark
+// headline plus environment metadata, committed as the serving-layer
+// performance trajectory alongside BENCH_kernel.json.
+type ServeReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Concurrency int           `json:"concurrency"`
+	PerWorker   int           `json:"requests_per_worker"`
+	Results     []ServeResult `json:"results"`
+}
+
+// RunServe measures request-coalescing under concurrency-way single-instance
+// /predict load, once with batching off and once with it on, and reports
+// throughput, latency and flushed-batch-size evidence for both.
+func RunServe(concurrency, perWorker int) (ServeReport, error) {
+	if concurrency <= 0 {
+		concurrency = 64
+	}
+	if perWorker <= 0 {
+		perWorker = 40
+	}
+	rep := ServeReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Concurrency: concurrency,
+		PerWorker:   perWorker,
+	}
+	model, est, err := serveArtifacts()
+	if err != nil {
+		return rep, err
+	}
+	for _, mode := range []struct {
+		name  string
+		delay time.Duration
+	}{
+		{"unbatched", 0},
+		{"batched", time.Millisecond},
+	} {
+		res, err := runServeLoad(model, est, mode.name, mode.delay, concurrency, perWorker)
+		if err != nil {
+			return rep, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// serveArtifacts trains the small classifier + density pair the load runs
+// serve; both modes share it so they answer identical work.
+func serveArtifacts() (*nn.Classifier, *gda.Estimator, error) {
+	rng := rand.New(rand.NewSource(11))
+	const n, dim = 256, 16
+	x := mat.NewDense(n, dim)
+	y := make([]int, n)
+	sens := make([]int, n)
+	for i := 0; i < n; i++ {
+		y[i] = i % 2
+		sens[i] = 1 - 2*((i/2)%2)
+		for j := 0; j < dim; j++ {
+			x.Set(i, j, float64(y[i])+0.5*rng.NormFloat64())
+		}
+	}
+	model := nn.NewClassifier(nn.Config{InputDim: dim, NumClasses: 2, Hidden: []int{32}, Seed: 11})
+	model.Train(x, y, sens, nn.NewAdam(0.01), nn.TrainOpts{Epochs: 5, BatchSize: 32}, rng)
+	est, err := gda.Fit(model.Features(x), y, sens, 2, []int{-1, 1}, gda.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, est, nil
+}
+
+func runServeLoad(model *nn.Classifier, est *gda.Estimator, name string, delay time.Duration, concurrency, perWorker int) (ServeResult, error) {
+	reg := obs.NewRegistry()
+	s, err := server.New(server.Config{
+		Model:             model,
+		Density:           est,
+		TrainLogDensities: est.TrainLogDensities,
+		BatchRows:         64,
+		BatchDelay:        delay,
+		MaxInflight:       2 * concurrency,
+		Logger:            slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Metrics:           reg,
+	})
+	if err != nil {
+		return ServeResult{}, err
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        concurrency,
+		MaxIdleConnsPerHost: concurrency,
+	}}
+	defer client.CloseIdleConnections()
+
+	bodies := make([][]byte, concurrency)
+	rng := rand.New(rand.NewSource(5))
+	for w := range bodies {
+		row := make([]float64, 16)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		var req struct {
+			Instances [][]float64 `json:"instances"`
+		}
+		req.Instances = [][]float64{row}
+		bodies[w], _ = json.Marshal(req)
+	}
+
+	latencies := make([][]float64, concurrency)
+	errs := make(chan error, concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]float64, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/predict", "application/json", bytes.NewReader(bodies[w]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("bench: %s predict returned %d", name, resp.StatusCode)
+					return
+				}
+				lats = append(lats, time.Since(t0).Seconds()*1e3)
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	close(errs)
+	if err := <-errs; err != nil {
+		return ServeResult{}, err
+	}
+
+	var all []float64
+	for _, lats := range latencies {
+		all = append(all, lats...)
+	}
+	sort.Float64s(all)
+	mean := 0.0
+	for _, l := range all {
+		mean += l
+	}
+	mean /= float64(len(all))
+	res := ServeResult{
+		Name:           name,
+		Requests:       len(all),
+		RequestsPerSec: float64(len(all)) / wall,
+		MeanLatencyMs:  mean,
+		P99LatencyMs:   all[(len(all)*99)/100-1],
+	}
+	if delay > 0 {
+		// Idempotent registration hands back the server's own instruments.
+		rows := reg.Histogram("faction_batch_rows", "", obs.ExpBuckets(1, 2, 10))
+		if n := rows.Count(); n > 0 {
+			res.MeanBatchRows = rows.Sum() / float64(n)
+		}
+		res.MaxBatchRows = maxFlushedRows(reg)
+		res.Flushes = map[string]int{}
+		for _, reason := range []string{"size", "deadline", "drain"} {
+			if v := reg.CounterVec("faction_batch_flushes_total", "", "reason").With(reason).Value(); v > 0 {
+				res.Flushes[reason] = int(v)
+			}
+		}
+	}
+	return res, nil
+}
+
+// maxFlushedRows recovers an upper-bound witness of the largest flushed
+// batch — the largest finite faction_batch_rows bucket bound holding any
+// observations — from the registry's text exposition (per-bucket counters
+// have no direct accessor).
+func maxFlushedRows(reg *obs.Registry) float64 {
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return 0
+	}
+	const prefix = `faction_batch_rows_bucket{le="`
+	max, prevCum := 0.0, 0.0
+	for _, raw := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(raw, prefix) {
+			continue
+		}
+		rest := raw[len(prefix):]
+		q := strings.Index(rest, `"`)
+		if q < 0 {
+			continue
+		}
+		le, err1 := strconv.ParseFloat(rest[:q], 64)
+		cum, err2 := strconv.ParseFloat(strings.TrimSpace(rest[q+2:]), 64)
+		if err1 != nil || err2 != nil { // the +Inf bucket lands here
+			continue
+		}
+		if cum > prevCum && le > max {
+			max = le
+		}
+		prevCum = cum
+	}
+	return max
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"faction/internal/obs"
+)
+
+// A scaled-down end-to-end run: both modes answer the load, and the batched
+// run produces coalescing evidence (non-zero flush accounting). The >1
+// mean-batch-rows acceptance bar belongs to the committed 64-way
+// BENCH_serve.json, not to this smoke test — at width 4 coalescing is
+// possible but not guaranteed on a loaded CI machine.
+func TestRunServeSmoke(t *testing.T) {
+	rep, err := RunServe(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	for i, name := range []string{"unbatched", "batched"} {
+		r := rep.Results[i]
+		if r.Name != name {
+			t.Fatalf("results[%d].Name = %q, want %q", i, r.Name, name)
+		}
+		if r.Requests != 12 || r.RequestsPerSec <= 0 || r.MeanLatencyMs <= 0 {
+			t.Fatalf("%s: implausible headline %+v", name, r)
+		}
+	}
+	if rep.Results[0].Flushes != nil {
+		t.Fatal("unbatched run reported flushes")
+	}
+	total := 0
+	for _, n := range rep.Results[1].Flushes {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("batched run flushed nothing")
+	}
+}
+
+func TestServeReportJSONShape(t *testing.T) {
+	rep := ServeReport{
+		GeneratedAt: "2026-01-01T00:00:00Z",
+		Concurrency: 64,
+		PerWorker:   40,
+		Results: []ServeResult{{
+			Name: "batched", MeanBatchRows: 3.5, Flushes: map[string]int{"deadline": 2},
+		}},
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"generated_at", "concurrency", "requests_per_worker", "requests_per_sec", "mean_batch_rows", "flushes"} {
+		if !strings.Contains(string(out), key) {
+			t.Fatalf("JSON missing %q: %s", key, out)
+		}
+	}
+}
+
+func TestMaxFlushedRowsParsesExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("faction_batch_rows", "rows", obs.ExpBuckets(1, 2, 10))
+	for _, v := range []float64{1, 3, 3, 7} {
+		h.Observe(v)
+	}
+	// 7 falls in the le="8" bucket: the witness is that bound.
+	if got := maxFlushedRows(reg); got != 8 {
+		t.Fatalf("maxFlushedRows = %v, want 8", got)
+	}
+	if got := maxFlushedRows(obs.NewRegistry()); got != 0 {
+		t.Fatalf("empty registry maxFlushedRows = %v, want 0", got)
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 	"time"
 
 	"faction/internal/mat"
@@ -289,6 +288,11 @@ type BatchScores struct {
 	// Section IV-H). Zero when a class has fewer than two fitted group
 	// components. All rows view one flattened n×classes backing slice.
 	Delta [][]float64
+	// LogG[i] is the unscaled log g(z_i) (Eq. 3) — the same value LogDensity
+	// returns, already computed inside the batch pass before rescaling.
+	// Consumers needing absolute densities (OOD thresholds, drift feeding)
+	// read it here instead of paying a second per-row density pass.
+	LogG []float64
 	// LogScale is M, the subtracted log-scale (exported for diagnostics).
 	LogScale float64
 }
@@ -306,44 +310,67 @@ const scoreBatchMinGrain = 8
 // component ordering, and the batch scale M is a max reduction, so the result
 // is bit-identical to a serial evaluation. Per-component log-pdfs are
 // computed once per sample and shared between the overall density and the
-// conditional gaps, and all per-sample storage views two flattened backing
+// conditional gaps, and all per-sample storage views flattened backing
 // slices — the pre-existing per-sample allocations are gone.
+//
+// ScoreBatch is Slice(0, n) over one raw log-space pass; a request coalescer
+// that concatenates several callers' rows into one ScoreBatchRaw can hand
+// each caller its own Slice and the caller observes bit-identical results to
+// scoring its rows alone.
 func (e *Estimator) ScoreBatch(features *mat.Dense) BatchScores {
+	return e.ScoreBatchRaw(features).Slice(0, features.Rows)
+}
+
+// RawScores is the scale-free half of a batch scoring pass: per-sample log
+// densities (overall and per-component) before any common-scale rescaling.
+// Because every per-row value depends only on that row, RawScores of a
+// concatenated batch carries exactly the values each sub-range would have
+// produced on its own — Slice recovers them bit-identically.
+type RawScores struct {
+	// LogG[i] is log g(z_i) (Eq. 3), identical to LogDensity(z_i).
+	LogG []float64
+
+	// logCond[(i·classes+c)·ns+k] = log g(z_i | c, SensValues[k]); nil when
+	// the estimator has a single sensitive value (no gaps to compute).
+	logCond []float64
+	// rowMax[i] is the per-row maximum over logG[i] and the row's finite
+	// component log-pdfs — the quantity a range's common scale M reduces over.
+	rowMax      []float64
+	classes, ns int
+}
+
+// ScoreBatchRaw runs the sharded density pass of ScoreBatch and returns the
+// raw log-space results without choosing a scale. One pass serves any number
+// of Slice calls.
+func (e *Estimator) ScoreBatchRaw(features *mat.Dense) *RawScores {
 	start := time.Now()
 	defer func() { scoreBatchSeconds.Observe(time.Since(start).Seconds()) }()
 	n := features.Rows
+	if n > 0 && features.Cols != e.Dim {
+		panic(fmt.Sprintf("gda: feature dim %d, want %d", features.Cols, e.Dim))
+	}
 	classes, ns := e.Classes, len(e.SensValues)
-	out := BatchScores{
-		G:     make([]float64, n),
-		Delta: make([][]float64, n),
+	raw := &RawScores{
+		LogG:    make([]float64, n),
+		rowMax:  make([]float64, n),
+		classes: classes,
+		ns:      ns,
 	}
 	if n == 0 {
-		return out
-	}
-	deltaFlat := make([]float64, n*classes)
-	for i := range out.Delta {
-		out.Delta[i] = deltaFlat[i*classes : (i+1)*classes]
+		return raw
 	}
 	multiSens := ns >= 2
-
-	logG := make([]float64, n)
-	// logCond[(i·classes+c)·ns+k] = log g(z_i | c, SensValues[k]).
-	var logCond []float64
 	if multiSens {
-		logCond = make([]float64, n*classes*ns)
+		raw.logCond = make([]float64, n*classes*ns)
 	}
-	var (
-		maxMu sync.Mutex
-		m     = math.Inf(-1)
-	)
 	mat.ParallelFor(n, scoreBatchMinGrain, func(lo, hi int) {
 		scratch := make([]float64, e.Dim)
 		terms := make([]float64, len(e.ordered))
-		localMax := math.Inf(-1)
 		for i := lo; i < hi; i++ {
 			z := features.Row(i)
+			rowMax := math.Inf(-1)
 			if multiSens {
-				row := logCond[i*classes*ns : (i+1)*classes*ns]
+				row := raw.logCond[i*classes*ns : (i+1)*classes*ns]
 				for j := range row {
 					row[j] = math.Inf(-1)
 				}
@@ -351,37 +378,83 @@ func (e *Estimator) ScoreBatch(features *mat.Dense) BatchScores {
 					lp := c.logPDFScratch(z, scratch)
 					terms[j] = c.logWeight + lp
 					row[c.Y*ns+c.sIdx] = lp
-					if lp > localMax {
-						localMax = lp
+					if lp > rowMax {
+						rowMax = lp
 					}
 				}
-				logG[i] = mat.LogSumExp(terms)
+				raw.LogG[i] = mat.LogSumExp(terms)
 			} else {
-				logG[i] = e.logDensity(z, terms, scratch)
+				raw.LogG[i] = e.logDensity(z, terms, scratch)
 			}
-			if logG[i] > localMax {
-				localMax = logG[i]
+			if raw.LogG[i] > rowMax {
+				rowMax = raw.LogG[i]
 			}
+			raw.rowMax[i] = rowMax
 		}
-		maxMu.Lock()
-		if localMax > m {
-			m = localMax
-		}
-		maxMu.Unlock()
 	})
+	return raw
+}
+
+// Slice scales rows [lo, hi) onto their own common scale M = max rowMax and
+// returns them as a BatchScores. The result is bit-identical to ScoreBatch
+// over exactly those feature rows: the per-row log values do not depend on
+// the rest of the batch, the max reduction is exact, and the rescaling
+// arithmetic is the same.
+func (r *RawScores) Slice(lo, hi int) BatchScores {
+	n := hi - lo
+	out := BatchScores{
+		G:     make([]float64, n),
+		Delta: make([][]float64, n),
+		LogG:  r.LogG[lo:hi:hi],
+	}
+	if n == 0 {
+		return out
+	}
+	deltaFlat := make([]float64, n*r.classes)
+	for i := range out.Delta {
+		out.Delta[i] = deltaFlat[i*r.classes : (i+1)*r.classes]
+	}
+	m := math.Inf(-1)
+	for _, v := range r.rowMax[lo:hi] {
+		if v > m {
+			m = v
+		}
+	}
 	if math.IsInf(m, -1) {
 		m = 0
 	}
 	out.LogScale = m
-	mat.ParallelFor(n, 4*scoreBatchMinGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.G[i] = math.Exp(logG[i] - m)
+	multiSens := r.ns >= 2
+	classes, ns := r.classes, r.ns
+	mat.ParallelFor(n, 4*scoreBatchMinGrain, func(a, b int) {
+		for i := a; i < b; i++ {
+			out.G[i] = math.Exp(r.LogG[lo+i] - m)
 			if multiSens {
 				delta := out.Delta[i]
 				for c := 0; c < classes; c++ {
-					delta[c] = maxPairwiseGap(logCond[(i*classes+c)*ns:(i*classes+c+1)*ns], m)
+					delta[c] = maxPairwiseGap(r.logCond[((lo+i)*classes+c)*ns:((lo+i)*classes+c+1)*ns], m)
 				}
 			}
+		}
+	})
+	return out
+}
+
+// LogDensityBatch returns log g(z_i) for every feature row, sharded across
+// the kernel worker pool. Each value is bit-identical to LogDensity on that
+// row (same deterministic component order, row-independent), so callers can
+// swap serial per-row loops for this without changing a single output bit.
+func (e *Estimator) LogDensityBatch(features *mat.Dense) []float64 {
+	n := features.Rows
+	if n > 0 && features.Cols != e.Dim {
+		panic(fmt.Sprintf("gda: feature dim %d, want %d", features.Cols, e.Dim))
+	}
+	out := make([]float64, n)
+	mat.ParallelFor(n, scoreBatchMinGrain, func(lo, hi int) {
+		scratch := make([]float64, e.Dim)
+		terms := make([]float64, len(e.ordered))
+		for i := lo; i < hi; i++ {
+			out[i] = e.logDensity(features.Row(i), terms, scratch)
 		}
 	})
 	return out

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+
+	"faction/internal/batching"
+	"faction/internal/gda"
+	"faction/internal/mat"
+)
+
+// The micro-batcher (DESIGN.md §9) fuses concurrent /predict and /score
+// requests into one forward pass and one density pass. Handlers decode and
+// validate as usual, then enqueue their instance rows instead of computing;
+// a single flusher drains the queue when BatchRows is reached or BatchDelay
+// elapses, runs the fused pass under one read lock, and scatters per-request
+// row ranges of the result back to the waiting handlers.
+//
+// Composition with the resilience stack:
+//
+//   - MaxInflight: a queued handler still holds its concurrency-limiter slot
+//     (it blocks inside the handler), so queued work counts against the
+//     shedding bound — the queue cannot grow past MaxInflight requests.
+//   - Timeouts / cancellation: a handler waiting on its result honours its
+//     request context; the flusher drops items whose context ended before
+//     the flush, so abandoned requests cost no compute.
+//   - /refit: the whole fused pass runs under one s.mu read lock, so a model
+//     swap (write lock) never lands mid-flush — every response in a batch
+//     comes from one coherent (model, density, threshold) generation.
+//   - Drain: Server.Close flushes the remaining queue (reason "drain") and
+//     stops the flusher; handlers drained by http.Server shutdown get real
+//     responses, and late submitters are answered 503.
+//
+// Determinism: the PR 2 kernels compute every per-row value independently of
+// the rest of the batch (row-sharded matmul with fixed accumulation order,
+// per-row density sums in sorted component order), and gda.RawScores.Slice
+// rescales each request's row range on that range's own maximum. Batched
+// responses are therefore bit-identical to unbatched ones — pinned by
+// TestBatchingBitIdentical.
+
+// reqKind discriminates which endpoint a queued item belongs to.
+type reqKind uint8
+
+const (
+	reqPredict reqKind = iota
+	reqScore
+)
+
+// batchItem is one queued request: its decoded instances plus the channel
+// its handler waits on.
+type batchItem struct {
+	kind reqKind
+	x    *mat.Dense
+	ctx  context.Context
+	res  chan flushResult // buffered(1); the flusher delivers at most once
+}
+
+func (it *batchItem) Rows() int       { return it.x.Rows }
+func (it *batchItem) Cancelled() bool { return it.ctx.Err() != nil }
+
+// deliver hands the item its result without ever blocking the flusher (the
+// channel is buffered and only the flusher sends).
+func (it *batchItem) deliver(res flushResult) {
+	select {
+	case it.res <- res:
+	default:
+	}
+}
+
+// flushResult is one request's scattered share of a fused pass.
+type flushResult struct {
+	predict predictResponse
+	score   scoreResponse
+	// logDensities feeds the drift detector per request, exactly as the
+	// unbatched path does.
+	logDensities []float64
+	err          error
+}
+
+// batcher glues the generic coalescer to the serving layer.
+type batcher struct {
+	s *Server
+	c *batching.Coalescer
+}
+
+func newBatcher(s *Server) *batcher {
+	b := &batcher{s: s}
+	m := s.metrics
+	b.c = batching.New(batching.Config{
+		MaxRows:  s.cfg.BatchRows,
+		MaxDelay: s.cfg.BatchDelay,
+		Flush:    b.flush,
+		Metrics: batching.Metrics{
+			FlushRows:  func(rows int) { m.batchRows.Observe(float64(rows)) },
+			Flushes:    func(r batching.Reason) { m.batchFlushes.With(string(r)).Inc() },
+			QueueDelay: m.batchQueueSeconds.Observe,
+			QueueDepth: func(rows int) { m.batchDepth.Set(float64(rows)) },
+		},
+	})
+	return b
+}
+
+func (b *batcher) close() { b.c.Close() }
+
+// do enqueues a decoded request and waits for its result. A non-nil error
+// means no result will ever arrive: the request's context ended while queued,
+// or the batcher is drained for shutdown. Compute failures travel inside the
+// result (res.err).
+func (b *batcher) do(ctx context.Context, kind reqKind, x *mat.Dense) (flushResult, error) {
+	it := &batchItem{kind: kind, x: x, ctx: ctx, res: make(chan flushResult, 1)}
+	if err := b.c.Submit(it); err != nil {
+		return flushResult{}, err
+	}
+	select {
+	case res := <-it.res:
+		return res, nil
+	case <-ctx.Done():
+		return flushResult{}, ctx.Err()
+	}
+}
+
+// flush runs the fused pass for one drained batch and scatters the results.
+// It executes on the coalescer's flusher goroutine; a panic here would kill
+// the process (no HTTP recoverer wraps this goroutine), so it is converted
+// into per-request 500s instead.
+func (b *batcher) flush(items []batching.Item, _ batching.Reason) {
+	s := b.s
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		s.metrics.panics.Inc()
+		s.cfg.Logger.Error("panic in batched flush",
+			slog.Any("panic", p),
+			slog.String("stack", string(debug.Stack())))
+		err := fmt.Errorf("internal error in batched pass")
+		for _, qi := range items {
+			qi.(*batchItem).deliver(flushResult{err: err})
+		}
+	}()
+
+	// Gather: concatenate every request's rows. A single-request batch
+	// reuses its decoded matrix as-is.
+	var x *mat.Dense
+	if len(items) == 1 {
+		x = items[0].(*batchItem).x
+	} else {
+		total := 0
+		for _, qi := range items {
+			total += qi.(*batchItem).x.Rows
+		}
+		x = mat.NewDense(total, s.inputDim)
+		off := 0
+		for _, qi := range items {
+			it := qi.(*batchItem)
+			copy(x.Data[off*s.inputDim:], it.x.Data)
+			off += it.x.Rows
+		}
+	}
+
+	// Compute: one forward pass and at most one density pass for the whole
+	// batch, under a single read lock so a /refit swap never straddles it.
+	s.mu.RLock()
+	logits, feats := s.cfg.Model.LogitsAndFeatures(x)
+	var raw *gda.RawScores
+	if s.cfg.Density != nil {
+		raw = s.cfg.Density.ScoreBatchRaw(feats)
+	}
+	hasOOD, thresh := s.hasOOD, s.oodThreshold
+	lambda := s.cfg.Lambda
+	s.mu.RUnlock()
+
+	// Scatter: each request gets its own row range, rescaled (for /score) on
+	// that range's own maximum so the response is bit-identical to an
+	// unbatched pass over just its rows.
+	off := 0
+	for _, qi := range items {
+		it := qi.(*batchItem)
+		lo, hi := off, off+it.x.Rows
+		off = hi
+		var res flushResult
+		switch it.kind {
+		case reqPredict:
+			var logG []float64
+			if raw != nil {
+				logG = raw.LogG[lo:hi:hi]
+			}
+			res.predict = buildPredict(logits, lo, hi, logG, hasOOD, thresh)
+			res.logDensities = logG
+		case reqScore:
+			batch := raw.Slice(lo, hi)
+			res.score = buildScore(logits, lo, hi, batch, lambda)
+			res.logDensities = batch.LogG
+		}
+		it.deliver(res)
+	}
+}
+
+// serveBatched routes a decoded request through the micro-batcher and writes
+// the scattered result.
+func (s *Server) serveBatched(w http.ResponseWriter, r *http.Request, kind reqKind, x *mat.Dense) {
+	res, err := s.batcher.do(r.Context(), kind, x)
+	if err != nil {
+		// Context ended while queued (the timeout middleware has already
+		// answered the client) or the batcher is drained for shutdown.
+		httpError(w, r, http.StatusServiceUnavailable, "request not served: %v", err)
+		return
+	}
+	if res.err != nil {
+		httpError(w, r, http.StatusInternalServerError, "%v", res.err)
+		return
+	}
+	s.feedDrift(res.logDensities)
+	if kind == reqScore {
+		writeJSON(w, res.score)
+		return
+	}
+	writeJSON(w, res.predict)
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -236,6 +237,34 @@ func TestQuantile(t *testing.T) {
 	}
 	if q := quantile(xs, 0.5); q != 3 {
 		t.Fatalf("q.5 = %g", q)
+	}
+	// Linear interpolation between adjacent order statistics (type-7): the
+	// former rank truncation returned sorted[0]=1 here, biasing small-sample
+	// OOD thresholds low.
+	if q, want := quantile(xs, 0.05), 1.2; math.Abs(q-want) > 1e-12 {
+		t.Fatalf("q.05 = %g, want %g (interpolated between ranks 0 and 1)", q, want)
+	}
+	if q, want := quantile(xs, 0.9), 4.6; math.Abs(q-want) > 1e-12 {
+		t.Fatalf("q.9 = %g, want %g", q, want)
+	}
+	// Ten points at q=0.05: pos = 0.45 → 1 + 0.45·(2−1) = 1.45, not the
+	// minimum the truncating version picked.
+	ten := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	if q, want := quantile(ten, 0.05), 1.45; math.Abs(q-want) > 1e-12 {
+		t.Fatalf("q.05 over 10 points = %g, want %g", q, want)
+	}
+	// Edges: a single sample answers every quantile; out-of-range q clamps.
+	one := []float64{7}
+	for _, q := range []float64{0, 0.05, 0.5, 1} {
+		if got := quantile(one, q); got != 7 {
+			t.Fatalf("quantile([7], %g) = %g", q, got)
+		}
+	}
+	if got := quantile(nil, 0.5); !math.IsInf(got, -1) {
+		t.Fatalf("quantile(nil) = %g, want -Inf", got)
+	}
+	if got := quantile([]float64{math.NaN(), 2}, 1); got != 2 {
+		t.Fatalf("NaNs must be dropped, got %g", got)
 	}
 }
 
