@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench-smoke
+.PHONY: build test race vet check bench-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,14 @@ vet:
 # `faction-bench -kernel results/BENCH_kernel.json`.
 bench-smoke:
 	$(GO) test -bench . -benchtime=1x ./...
+
+# bench-gate re-runs the kernel and read-path allocation suites and compares
+# them against the committed baselines in results/. It fails only on a >2x
+# ns/op regression (machine variance headroom) or on ANY allocation appearing
+# on a path whose baseline is pinned at zero allocs/op. Refresh the baselines
+# with `faction-bench -kernel ...` / `faction-bench -alloc ...` in the same
+# change that knowingly shifts them.
+bench-gate:
+	$(GO) run ./cmd/faction-bench -gate results
 
 check: vet build test race

@@ -21,6 +21,18 @@
 //
 //	faction-bench -serve results/BENCH_serve.json -clients 64
 //
+// With -alloc, it runs the read-path allocation suite (allocating entry
+// points next to their pooled replacements, plus the full /predict HTTP
+// stack) and writes the allocation trajectory:
+//
+//	faction-bench -alloc results/BENCH_alloc.json
+//
+// With -gate, it re-runs the kernel and allocation suites and compares them
+// against the committed baselines in the given directory, exiting non-zero
+// on regression (>2x ns/op, or any allocation on a pinned-zero path):
+//
+//	faction-bench -gate results
+//
 // -cpuprofile and -memprofile write pprof profiles of whichever path ran.
 package main
 
@@ -52,6 +64,8 @@ func main() {
 		outDir   = flag.String("out", "", "also write rendered outputs into this directory")
 		kernel   = flag.String("kernel", "", "run the kernel micro-benchmarks and write the JSON report to this path instead of running experiments")
 		serve    = flag.String("serve", "", "run the serving-layer coalesced-load benchmark and write the JSON report to this path instead of running experiments")
+		alloc    = flag.String("alloc", "", "run the read-path allocation suite and write the JSON report to this path instead of running experiments")
+		gate     = flag.String("gate", "", "re-run the kernel and allocation suites and compare against the committed baselines in this directory, exiting non-zero on regression")
 		clients  = flag.Int("clients", 64, "concurrent load-generator clients for -serve")
 		requests = flag.Int("requests", 40, "requests each -serve client issues")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -117,6 +131,18 @@ func main() {
 	}
 	if *serve != "" {
 		if err := runServeBench(*serve, *clients, *requests); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *alloc != "" {
+		if err := runAllocBench(*alloc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *gate != "" {
+		if err := runGate(*gate); err != nil {
 			fatal(err)
 		}
 		return
@@ -226,6 +252,52 @@ func runServeBench(path string, clients, requests int) error {
 	}
 	fmt.Printf("\nwrote %s\n", path)
 	return nil
+}
+
+// runAllocBench runs the read-path allocation suite, prints the headline
+// numbers, and writes the machine-readable report to path.
+func runAllocBench(path string) error {
+	fmt.Printf("=== read-path allocation suite (GOMAXPROCS %d) ===\n", runtime.GOMAXPROCS(0))
+	rep, err := bench.RunAlloc()
+	if err != nil {
+		return err
+	}
+	for _, k := range rep.Kernels {
+		fmt.Printf("%-36s %14.0f ns/op %10d B/op %6d allocs/op\n",
+			k.Name, k.NsPerOp, k.BytesPerOp, k.AllocsPerOp)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+// runGate re-runs the kernel and allocation suites and compares them against
+// the committed baselines in dir, failing on regression (see bench.Gate).
+func runGate(dir string) error {
+	fmt.Printf("=== benchmark regression gate vs %s ===\n", dir)
+	violations, err := bench.Gate(dir)
+	if err != nil {
+		return err
+	}
+	if len(violations) == 0 {
+		fmt.Println("gate passed: no regressions against committed baselines")
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "regression:", v)
+	}
+	return fmt.Errorf("benchmark gate failed: %d regression(s)", len(violations))
 }
 
 // renderer is the common surface of all experiment results.

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"faction/internal/testutil"
+)
+
+// RunAlloc is the source of the committed BENCH_alloc.json; this smoke test
+// pins its claims: every expected entry is present, and the pooled paths —
+// the ones the gate holds at zero — really report zero allocations here too,
+// not only in their home packages' AllocsPerRun pins.
+func TestRunAllocPinnedZeroPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full benchmark suite")
+	}
+	if testutil.RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; alloc counts not representative")
+	}
+	rep, err := RunAlloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]KernelResult, len(rep.Kernels))
+	for _, k := range rep.Kernels {
+		byName[k.Name] = k
+	}
+	for _, name := range []string{
+		"LogitsAndFeatures/alloc", "LogitsAndFeatures/scratch",
+		"GDAScoreBatch/alloc", "GDAScoreBatch/raw",
+		"LogDensityBatch/alloc", "LogDensityBatch/into",
+		"PredictHTTP/full-stack",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("report missing entry %q (have %v)", name, rep.Kernels)
+		}
+	}
+	for name, k := range byName {
+		pooled := strings.HasSuffix(name, "/scratch") ||
+			strings.HasSuffix(name, "/raw") || strings.HasSuffix(name, "/into")
+		if pooled && k.AllocsPerOp != 0 {
+			t.Errorf("%s: %d allocs/op, want 0", name, k.AllocsPerOp)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The benchmark regression gate compares a fresh run of the kernel and
+// allocation suites against the committed baselines in results/. It is built
+// for CI, where wall-clock numbers are noisy: a run fails only on
+//
+//   - ns/op more than NsRegressionFactor (2×) worse than baseline, or
+//   - allocs/op > 0 on an entry whose baseline is exactly 0 — the pinned
+//     zero-allocation paths, where any allocation is a real regression, not
+//     noise.
+//
+// Entries present on only one side are skipped (renames and new benchmarks
+// don't fail the gate; the committed baseline is refreshed in the same change
+// that adds them). Fig. 2 wall-clock and the serving-layer load benchmark are
+// deliberately not gated: both measure end-to-end concurrency behavior too
+// noisy for an automated threshold.
+
+// NsRegressionFactor is the ns/op slack the gate allows before failing:
+// machine-to-machine variance (CI runners vs the machine that committed the
+// baseline) routinely reaches tens of percent, so only a >2× slowdown is
+// treated as a genuine regression.
+const NsRegressionFactor = 2.0
+
+// GateViolation is one benchmark entry that regressed past the gate's
+// thresholds.
+type GateViolation struct {
+	Name     string
+	Metric   string // "ns/op" or "allocs/op"
+	Baseline float64
+	Current  float64
+}
+
+func (v GateViolation) String() string {
+	return fmt.Sprintf("%s: %s regressed %.1f -> %.1f", v.Name, v.Metric, v.Baseline, v.Current)
+}
+
+// CompareKernels applies the gate rules to two result sets matched by name.
+func CompareKernels(baseline, current []KernelResult) []GateViolation {
+	base := make(map[string]KernelResult, len(baseline))
+	for _, k := range baseline {
+		base[k.Name] = k
+	}
+	var out []GateViolation
+	for _, cur := range current {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > NsRegressionFactor*b.NsPerOp {
+			out = append(out, GateViolation{cur.Name, "ns/op", b.NsPerOp, cur.NsPerOp})
+		}
+		if b.AllocsPerOp == 0 && cur.AllocsPerOp > 0 {
+			out = append(out, GateViolation{cur.Name, "allocs/op", 0, float64(cur.AllocsPerOp)})
+		}
+	}
+	return out
+}
+
+// loadBaseline reads the "kernels" array out of a committed BENCH_*.json;
+// report-level metadata (generated_at, fig2_ci_seconds, ...) is ignored.
+func loadBaseline(path string) ([]KernelResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep struct {
+		Kernels []KernelResult `json:"kernels"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Kernels) == 0 {
+		return nil, fmt.Errorf("%s: no kernel entries", path)
+	}
+	return rep.Kernels, nil
+}
+
+// Gate runs the kernel and allocation suites and compares them against the
+// baselines committed in dir (BENCH_kernel.json, BENCH_alloc.json). It
+// returns every violation; an empty slice means the gate passes.
+func Gate(dir string) ([]GateViolation, error) {
+	kernelBase, err := loadBaseline(filepath.Join(dir, "BENCH_kernel.json"))
+	if err != nil {
+		return nil, err
+	}
+	allocBase, err := loadBaseline(filepath.Join(dir, "BENCH_alloc.json"))
+	if err != nil {
+		return nil, err
+	}
+	kernels := RunKernels()
+	allocRep, err := RunAlloc()
+	if err != nil {
+		return nil, err
+	}
+	violations := CompareKernels(kernelBase, kernels.Kernels)
+	violations = append(violations, CompareKernels(allocBase, allocRep.Kernels)...)
+	return violations, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompareKernelsRules(t *testing.T) {
+	baseline := []KernelResult{
+		{Name: "fast", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "alloc", NsPerOp: 100, AllocsPerOp: 3},
+		{Name: "removed", NsPerOp: 100},
+	}
+	current := []KernelResult{
+		{Name: "fast", NsPerOp: 199, AllocsPerOp: 0},  // <2x and still zero-alloc: fine
+		{Name: "alloc", NsPerOp: 150, AllocsPerOp: 7}, // alloc growth on a non-pinned entry: fine
+		{Name: "new", NsPerOp: 1e9, AllocsPerOp: 100}, // no baseline: skipped
+	}
+	if v := CompareKernels(baseline, current); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+
+	current = []KernelResult{
+		{Name: "fast", NsPerOp: 201, AllocsPerOp: 1}, // both rules trip
+		{Name: "alloc", NsPerOp: 100, AllocsPerOp: 3},
+	}
+	v := CompareKernels(baseline, current)
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want ns/op and allocs/op on %q", v, "fast")
+	}
+	if v[0].Metric != "ns/op" || v[0].Name != "fast" {
+		t.Fatalf("first violation = %v", v[0])
+	}
+	if v[1].Metric != "allocs/op" || v[1].Current != 1 {
+		t.Fatalf("second violation = %v", v[1])
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_kernel.json")
+	rep := Report{Kernels: []KernelResult{{Name: "k", NsPerOp: 5, AllocsPerOp: 0}}}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ks, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 1 || ks[0].Name != "k" {
+		t.Fatalf("loaded %v", ks)
+	}
+	if _, err := loadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected error for missing baseline")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"kernels": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(empty); err == nil {
+		t.Fatal("expected error for baseline with no entries")
+	}
+}

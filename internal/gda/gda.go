@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"faction/internal/mat"
@@ -273,6 +274,33 @@ func (e *Estimator) checkDim(z []float64) {
 	}
 }
 
+// growFloats returns buf resliced to length n, reallocating only when the
+// capacity is insufficient — the steady-state reuse primitive of the pooled
+// scoring paths.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// densScratch is the per-shard scratch of a density pass: a length-Dim
+// Mahalanobis buffer and a per-component log-pdf terms buffer. Pooled so that
+// concurrent shards (and concurrent callers) each check out their own without
+// allocating at steady state.
+type densScratch struct {
+	scratch, terms []float64
+}
+
+var densScratchPool = sync.Pool{New: func() any { return new(densScratch) }}
+
+func getDensScratch(dim, comps int) *densScratch {
+	ds := densScratchPool.Get().(*densScratch)
+	ds.scratch = growFloats(ds.scratch, dim)
+	ds.terms = growFloats(ds.terms, comps)
+	return ds
+}
+
 // BatchScores holds the relative densities of a batch on a common scale
 // (every value is multiplied by e^{−M}, where M is the batch-wide maximum
 // log density; the subsequent min–max normalization of Eq. 7 is invariant to
@@ -295,6 +323,9 @@ type BatchScores struct {
 	LogG []float64
 	// LogScale is M, the subtracted log-scale (exported for diagnostics).
 	LogScale float64
+
+	// deltaFlat is the backing of Delta, kept so SliceInto can reuse it.
+	deltaFlat []float64
 }
 
 // scoreBatchMinGrain is the smallest per-shard sample count worth a pool
@@ -313,106 +344,200 @@ const scoreBatchMinGrain = 8
 // conditional gaps, and all per-sample storage views flattened backing
 // slices — the pre-existing per-sample allocations are gone.
 //
-// ScoreBatch is Slice(0, n) over one raw log-space pass; a request coalescer
-// that concatenates several callers' rows into one ScoreBatchRaw can hand
-// each caller its own Slice and the caller observes bit-identical results to
-// scoring its rows alone.
+// ScoreBatch is SliceInto(0, n) over one raw log-space pass; a request
+// coalescer that concatenates several callers' rows into one ScoreBatchRaw
+// can hand each caller its own slice and the caller observes bit-identical
+// results to scoring its rows alone. The returned BatchScores owns its
+// storage (the raw pass is released back to the pool before returning).
 func (e *Estimator) ScoreBatch(features *mat.Dense) BatchScores {
-	return e.ScoreBatchRaw(features).Slice(0, features.Rows)
+	raw := e.ScoreBatchRaw(features)
+	var out BatchScores
+	raw.SliceInto(&out, 0, features.Rows)
+	raw.Release()
+	return out
 }
 
 // RawScores is the scale-free half of a batch scoring pass: per-sample log
 // densities (overall and per-component) before any common-scale rescaling.
 // Because every per-row value depends only on that row, RawScores of a
 // concatenated batch carries exactly the values each sub-range would have
-// produced on its own — Slice recovers them bit-identically.
+// produced on its own — Slice/SliceInto recover them bit-identically.
+//
+// RawScores are pooled: call Release when done (after the last Slice) to
+// recycle the storage. Using one after Release panics.
 type RawScores struct {
 	// LogG[i] is log g(z_i) (Eq. 3), identical to LogDensity(z_i).
 	LogG []float64
 
-	// logCond[(i·classes+c)·ns+k] = log g(z_i | c, SensValues[k]); nil when
-	// the estimator has a single sensitive value (no gaps to compute).
+	// logCond[(i·classes+c)·ns+k] = log g(z_i | c, SensValues[k]); unused
+	// when the estimator has a single sensitive value (no gaps to compute).
 	logCond []float64
 	// rowMax[i] is the per-row maximum over logG[i] and the row's finite
 	// component log-pdfs — the quantity a range's common scale M reduces over.
 	rowMax      []float64
 	classes, ns int
+	released    bool
+}
+
+var rawScoresPool = sync.Pool{New: func() any { return new(RawScores) }}
+
+// Release returns the RawScores to the pool. Every slice taken via SliceInto
+// owns its own copies, so Release is safe as soon as the slicing is done.
+// Panics on double Release.
+func (r *RawScores) Release() {
+	if r.released {
+		panic("gda: RawScores.Release twice")
+	}
+	r.released = true
+	rawScoresPool.Put(r)
+}
+
+// scoreJob carries one ScoreBatchRaw pass across the worker pool without
+// allocating: pooled jobs pre-bind fn to their run method once (at pool-New
+// time), so the hot path never constructs a closure.
+type scoreJob struct {
+	e        *Estimator
+	features *mat.Dense
+	raw      *RawScores
+	fn       func(lo, hi int)
+}
+
+var scoreJobPool = sync.Pool{New: func() any {
+	j := new(scoreJob)
+	j.fn = j.run
+	return j
+}}
+
+func (j *scoreJob) run(lo, hi int) {
+	e, features, raw := j.e, j.features, j.raw
+	classes, ns := raw.classes, raw.ns
+	multiSens := ns >= 2
+	ds := getDensScratch(e.Dim, len(e.ordered))
+	scratch, terms := ds.scratch, ds.terms
+	for i := lo; i < hi; i++ {
+		z := features.Row(i)
+		rowMax := math.Inf(-1)
+		if multiSens {
+			row := raw.logCond[i*classes*ns : (i+1)*classes*ns]
+			for j := range row {
+				row[j] = math.Inf(-1)
+			}
+			for j, c := range e.ordered {
+				lp := c.logPDFScratch(z, scratch)
+				terms[j] = c.logWeight + lp
+				row[c.Y*ns+c.sIdx] = lp
+				if lp > rowMax {
+					rowMax = lp
+				}
+			}
+			raw.LogG[i] = mat.LogSumExp(terms)
+		} else {
+			raw.LogG[i] = e.logDensity(z, terms, scratch)
+		}
+		if raw.LogG[i] > rowMax {
+			rowMax = raw.LogG[i]
+		}
+		raw.rowMax[i] = rowMax
+	}
+	densScratchPool.Put(ds)
 }
 
 // ScoreBatchRaw runs the sharded density pass of ScoreBatch and returns the
 // raw log-space results without choosing a scale. One pass serves any number
-// of Slice calls.
+// of Slice calls; Release the result when done. Storage is pooled, so a
+// steady-state loop of ScoreBatchRaw → SliceInto → Release allocates nothing.
 func (e *Estimator) ScoreBatchRaw(features *mat.Dense) *RawScores {
 	start := time.Now()
-	defer func() { scoreBatchSeconds.Observe(time.Since(start).Seconds()) }()
 	n := features.Rows
 	if n > 0 && features.Cols != e.Dim {
 		panic(fmt.Sprintf("gda: feature dim %d, want %d", features.Cols, e.Dim))
 	}
 	classes, ns := e.Classes, len(e.SensValues)
-	raw := &RawScores{
-		LogG:    make([]float64, n),
-		rowMax:  make([]float64, n),
-		classes: classes,
-		ns:      ns,
-	}
+	raw := rawScoresPool.Get().(*RawScores)
+	raw.released = false
+	raw.classes, raw.ns = classes, ns
+	raw.LogG = growFloats(raw.LogG, n)
+	raw.rowMax = growFloats(raw.rowMax, n)
 	if n == 0 {
+		scoreBatchSeconds.Observe(time.Since(start).Seconds())
 		return raw
 	}
-	multiSens := ns >= 2
-	if multiSens {
-		raw.logCond = make([]float64, n*classes*ns)
+	if ns >= 2 {
+		raw.logCond = growFloats(raw.logCond, n*classes*ns)
 	}
-	mat.ParallelFor(n, scoreBatchMinGrain, func(lo, hi int) {
-		scratch := make([]float64, e.Dim)
-		terms := make([]float64, len(e.ordered))
-		for i := lo; i < hi; i++ {
-			z := features.Row(i)
-			rowMax := math.Inf(-1)
-			if multiSens {
-				row := raw.logCond[i*classes*ns : (i+1)*classes*ns]
-				for j := range row {
-					row[j] = math.Inf(-1)
-				}
-				for j, c := range e.ordered {
-					lp := c.logPDFScratch(z, scratch)
-					terms[j] = c.logWeight + lp
-					row[c.Y*ns+c.sIdx] = lp
-					if lp > rowMax {
-						rowMax = lp
-					}
-				}
-				raw.LogG[i] = mat.LogSumExp(terms)
-			} else {
-				raw.LogG[i] = e.logDensity(z, terms, scratch)
-			}
-			if raw.LogG[i] > rowMax {
-				rowMax = raw.LogG[i]
-			}
-			raw.rowMax[i] = rowMax
-		}
-	})
+	j := scoreJobPool.Get().(*scoreJob)
+	j.e, j.features, j.raw = e, features, raw
+	mat.ParallelFor(n, scoreBatchMinGrain, j.fn)
+	j.e, j.features, j.raw = nil, nil, nil
+	scoreJobPool.Put(j)
+	scoreBatchSeconds.Observe(time.Since(start).Seconds())
 	return raw
 }
 
+// sliceJob is scoreJob's twin for the rescaling pass of SliceInto.
+type sliceJob struct {
+	raw *RawScores
+	dst *BatchScores
+	lo  int
+	m   float64
+	fn  func(a, b int)
+}
+
+var sliceJobPool = sync.Pool{New: func() any {
+	j := new(sliceJob)
+	j.fn = j.run
+	return j
+}}
+
+func (j *sliceJob) run(a, b int) {
+	r, out, lo, m := j.raw, j.dst, j.lo, j.m
+	classes, ns := r.classes, r.ns
+	multiSens := ns >= 2
+	for i := a; i < b; i++ {
+		out.G[i] = math.Exp(r.LogG[lo+i] - m)
+		if multiSens {
+			delta := out.Delta[i]
+			for c := 0; c < classes; c++ {
+				delta[c] = maxPairwiseGap(r.logCond[((lo+i)*classes+c)*ns:((lo+i)*classes+c+1)*ns], m)
+			}
+		}
+	}
+}
+
 // Slice scales rows [lo, hi) onto their own common scale M = max rowMax and
-// returns them as a BatchScores. The result is bit-identical to ScoreBatch
-// over exactly those feature rows: the per-row log values do not depend on
-// the rest of the batch, the max reduction is exact, and the rescaling
-// arithmetic is the same.
+// returns them as a freshly allocated BatchScores; see SliceInto for the
+// storage-reusing form.
 func (r *RawScores) Slice(lo, hi int) BatchScores {
+	var out BatchScores
+	r.SliceInto(&out, lo, hi)
+	return out
+}
+
+// SliceInto scales rows [lo, hi) onto their own common scale M = max rowMax,
+// reusing dst's storage (LogG is copied, not aliased, so the RawScores may be
+// Released as soon as every slice is taken). The result is bit-identical to
+// ScoreBatch over exactly those feature rows: the per-row log values do not
+// depend on the rest of the batch, the max reduction is exact, and the
+// rescaling arithmetic is the same.
+func (r *RawScores) SliceInto(dst *BatchScores, lo, hi int) {
+	if r.released {
+		panic("gda: RawScores used after Release")
+	}
 	n := hi - lo
-	out := BatchScores{
-		G:     make([]float64, n),
-		Delta: make([][]float64, n),
-		LogG:  r.LogG[lo:hi:hi],
+	dst.G = growFloats(dst.G, n)
+	dst.LogG = growFloats(dst.LogG, n)
+	copy(dst.LogG, r.LogG[lo:hi])
+	dst.deltaFlat = growFloats(dst.deltaFlat, n*r.classes)
+	if cap(dst.Delta) < n {
+		dst.Delta = make([][]float64, n)
 	}
+	dst.Delta = dst.Delta[:n]
+	for i := range dst.Delta {
+		dst.Delta[i] = dst.deltaFlat[i*r.classes : (i+1)*r.classes]
+	}
+	dst.LogScale = 0
 	if n == 0 {
-		return out
-	}
-	deltaFlat := make([]float64, n*r.classes)
-	for i := range out.Delta {
-		out.Delta[i] = deltaFlat[i*r.classes : (i+1)*r.classes]
+		return
 	}
 	m := math.Inf(-1)
 	for _, v := range r.rowMax[lo:hi] {
@@ -423,21 +548,35 @@ func (r *RawScores) Slice(lo, hi int) BatchScores {
 	if math.IsInf(m, -1) {
 		m = 0
 	}
-	out.LogScale = m
-	multiSens := r.ns >= 2
-	classes, ns := r.classes, r.ns
-	mat.ParallelFor(n, 4*scoreBatchMinGrain, func(a, b int) {
-		for i := a; i < b; i++ {
-			out.G[i] = math.Exp(r.LogG[lo+i] - m)
-			if multiSens {
-				delta := out.Delta[i]
-				for c := 0; c < classes; c++ {
-					delta[c] = maxPairwiseGap(r.logCond[((lo+i)*classes+c)*ns:((lo+i)*classes+c+1)*ns], m)
-				}
-			}
-		}
-	})
-	return out
+	dst.LogScale = m
+	j := sliceJobPool.Get().(*sliceJob)
+	j.raw, j.dst, j.lo, j.m = r, dst, lo, m
+	mat.ParallelFor(n, 4*scoreBatchMinGrain, j.fn)
+	j.raw, j.dst = nil, nil
+	sliceJobPool.Put(j)
+}
+
+// logDensJob is scoreJob's twin for LogDensityBatchInto.
+type logDensJob struct {
+	e        *Estimator
+	features *mat.Dense
+	out      []float64
+	fn       func(lo, hi int)
+}
+
+var logDensJobPool = sync.Pool{New: func() any {
+	j := new(logDensJob)
+	j.fn = j.run
+	return j
+}}
+
+func (j *logDensJob) run(lo, hi int) {
+	e := j.e
+	ds := getDensScratch(e.Dim, len(e.ordered))
+	for i := lo; i < hi; i++ {
+		j.out[i] = e.logDensity(j.features.Row(i), ds.terms, ds.scratch)
+	}
+	densScratchPool.Put(ds)
 }
 
 // LogDensityBatch returns log g(z_i) for every feature row, sharded across
@@ -445,19 +584,31 @@ func (r *RawScores) Slice(lo, hi int) BatchScores {
 // row (same deterministic component order, row-independent), so callers can
 // swap serial per-row loops for this without changing a single output bit.
 func (e *Estimator) LogDensityBatch(features *mat.Dense) []float64 {
+	out := make([]float64, features.Rows)
+	e.LogDensityBatchInto(out, features)
+	return out
+}
+
+// LogDensityBatchInto is LogDensityBatch into caller-owned storage: dst must
+// have length features.Rows. At a fixed batch shape the steady state performs
+// no heap allocation (per-shard scratch is pooled, the shard closure is
+// pre-bound).
+func (e *Estimator) LogDensityBatchInto(dst []float64, features *mat.Dense) {
 	n := features.Rows
+	if len(dst) != n {
+		panic(fmt.Sprintf("gda: dst length %d, want %d rows", len(dst), n))
+	}
 	if n > 0 && features.Cols != e.Dim {
 		panic(fmt.Sprintf("gda: feature dim %d, want %d", features.Cols, e.Dim))
 	}
-	out := make([]float64, n)
-	mat.ParallelFor(n, scoreBatchMinGrain, func(lo, hi int) {
-		scratch := make([]float64, e.Dim)
-		terms := make([]float64, len(e.ordered))
-		for i := lo; i < hi; i++ {
-			out[i] = e.logDensity(features.Row(i), terms, scratch)
-		}
-	})
-	return out
+	if n == 0 {
+		return
+	}
+	j := logDensJobPool.Get().(*logDensJob)
+	j.e, j.features, j.out = e, features, dst
+	mat.ParallelFor(n, scoreBatchMinGrain, j.fn)
+	j.e, j.features, j.out = nil, nil, nil
+	logDensJobPool.Put(j)
 }
 
 // maxPairwiseGap returns max_{k,k'} |e^{l_k−m} − e^{l_k'−m}| over the finite

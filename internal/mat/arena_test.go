@@ -1,0 +1,93 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+
+	"faction/internal/testutil"
+)
+
+func TestArenaGetShapesAndIndependence(t *testing.T) {
+	a := GetArena()
+	defer a.Release()
+	m1 := a.Get(3, 5)
+	m2 := a.Get(3, 5)
+	if m1.Rows != 3 || m1.Cols != 5 || len(m1.Data) != 15 {
+		t.Fatalf("Get(3,5) shape = %dx%d len %d", m1.Rows, m1.Cols, len(m1.Data))
+	}
+	if m1 == m2 {
+		t.Fatal("two Gets from one arena returned the same matrix")
+	}
+	// Contents are arbitrary but writable and independent.
+	for i := range m1.Data {
+		m1.Data[i] = 1
+		m2.Data[i] = 2
+	}
+	for i := range m1.Data {
+		if m1.Data[i] != 1 || m2.Data[i] != 2 {
+			t.Fatalf("matrices share storage at %d", i)
+		}
+	}
+}
+
+func TestArenaEmptyAndPanics(t *testing.T) {
+	a := GetArena()
+	if m := a.Get(0, 7); m.Rows != 0 || m.Cols != 7 || len(m.Data) != 0 {
+		t.Fatalf("Get(0,7) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	mustPanic(t, "negative dims", func() { a.Get(-1, 2) })
+	a.Release()
+	mustPanic(t, "Get after Release", func() { a.Get(2, 2) })
+	mustPanic(t, "double Release", func() { a.Release() })
+}
+
+// Pooled matrices must be fully usable as MulInto destinations even though
+// their contents are arbitrary at checkout.
+func TestArenaMatricesWorkWithKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randDense(rng, 6, 9)
+	y := randDense(rng, 9, 4)
+	want := Mul(x, y)
+	// Dirty the pool: take a matrix, scribble on it, release it.
+	a := GetArena()
+	d := a.Get(6, 4)
+	for i := range d.Data {
+		d.Data[i] = 1e30
+	}
+	a.Release()
+	// A fresh checkout of the same shape may reuse that dirty backing.
+	a2 := GetArena()
+	defer a2.Release()
+	dst := a2.Get(6, 4)
+	MulInto(dst, x, y)
+	requireSameData(t, "arena dst", want, dst)
+}
+
+// The whole point: a steady-state checkout/compute/release loop at fixed
+// shapes allocates nothing.
+func TestArenaSteadyStateZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; alloc counts not representative")
+	}
+	x := NewDense(4, 16)
+	y := NewDense(16, 32)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	for i := range y.Data {
+		y.Data[i] = float64(i) * 0.5
+	}
+	loop := func() {
+		a := GetArena()
+		h := a.Get(4, 32)
+		MulInto(h, x, y)
+		_ = a.Get(4, 2)
+		a.Release()
+	}
+	for i := 0; i < 10; i++ {
+		loop() // warm the size-class pools
+	}
+	if n := testing.AllocsPerRun(100, loop); n != 0 {
+		t.Fatalf("arena steady state allocates %.1f allocs/op, want 0", n)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
 // Dense is a row-major dense matrix.
@@ -170,11 +171,20 @@ func MulInto(dst, a, b *Dense) {
 	runSharded(n, Parallelism(), shard{kernel: mulShard, dst: dst, a: a, b: b})
 }
 
-// mulShard computes output rows [lo, hi) of dst = a × b in ikj order:
-// streams through b and dst rows sequentially.
+// mulShard computes output rows [lo, hi) of dst = a × b. Shards large enough
+// to amortize packing take the cache-blocked path; the rest run the plain ikj
+// kernel (streams through b and dst rows sequentially). Both accumulate every
+// output element in ascending-l order, so the choice never changes a bit of
+// the result. Zero A elements are NOT skipped: 0×NaN and 0×Inf must
+// contribute NaN (IEEE 754), and a data-dependent branch in the innermost
+// loop costs more than the multiply it saves on dense data.
 func mulShard(s shard) {
+	k, p := s.a.Cols, s.b.Cols
+	if rows := s.hi - s.lo; rows >= packMinRows && rows*k*p >= packFlopThreshold {
+		mulShardPacked(s)
+		return
+	}
 	a, b, dst := s.a, s.b, s.dst
-	k, p := a.Cols, b.Cols
 	for i := s.lo; i < s.hi; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		drow := dst.Data[i*p : (i+1)*p]
@@ -183,15 +193,89 @@ func mulShard(s shard) {
 		}
 		for l := 0; l < k; l++ {
 			av := arow[l]
-			if av == 0 {
-				continue
-			}
 			brow := b.Data[l*p : (l+1)*p]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
 		}
 	}
+}
+
+// Packing pays only when the shard re-reads B often enough to amortize the
+// copy: at least packMinRows output rows and packFlopThreshold multiply-adds.
+// Vars (not consts) so the property tests can force the packed path onto
+// small matrices.
+var (
+	packMinRows       = 8
+	packFlopThreshold = 1 << 18
+)
+
+// Panel tile shape: packLB (inner l) × packJB (output j) float64s = 64 KiB,
+// sized to sit in L2 while a column block of A streams past it.
+const (
+	packLB = 128
+	packJB = 64
+)
+
+var panelPool = sync.Pool{New: func() any {
+	b := make([]float64, packLB*packJB)
+	return &b
+}}
+
+// mulShardPacked computes output rows [lo, hi) of dst = a × b with a packed,
+// cache-blocked inner kernel: B is copied tile by tile (l-block × j-block)
+// into a contiguous panel that is then reused across every output row of the
+// shard, turning the strided B accesses of the plain kernel into sequential
+// reads of a hot 64 KiB buffer.
+//
+// Bit-identity with the plain kernel is structural: for any output element
+// (i, j), the j-tile containing j zeroes it exactly when the first l-block
+// (l0 == 0) arrives and then accumulates a[i,l]*b[l,j] over l-blocks in
+// ascending order and, inside each panel, over l in ascending order — the
+// exact serial accumulation sequence. Blocking changes which elements are
+// computed *near each other in time*, never the per-element operation order.
+func mulShardPacked(s shard) {
+	a, b, dst := s.a, s.b, s.dst
+	k, p := a.Cols, b.Cols
+	if k == 0 {
+		// No l-blocks would run, so zero dst explicitly (an empty sum is 0).
+		for i := s.lo; i < s.hi; i++ {
+			drow := dst.Data[i*p : (i+1)*p]
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+		return
+	}
+	panelPtr := panelPool.Get().(*[]float64)
+	panel := *panelPtr
+	for j0 := 0; j0 < p; j0 += packJB {
+		j1 := min(j0+packJB, p)
+		jw := j1 - j0
+		for l0 := 0; l0 < k; l0 += packLB {
+			l1 := min(l0+packLB, k)
+			for l := l0; l < l1; l++ {
+				copy(panel[(l-l0)*jw:(l-l0+1)*jw], b.Data[l*p+j0:l*p+j1])
+			}
+			for i := s.lo; i < s.hi; i++ {
+				arow := a.Data[i*k : (i+1)*k]
+				drow := dst.Data[i*p+j0 : i*p+j1 : i*p+j1]
+				if l0 == 0 {
+					for j := range drow {
+						drow[j] = 0
+					}
+				}
+				for l := l0; l < l1; l++ {
+					av := arow[l]
+					prow := panel[(l-l0)*jw : (l-l0+1)*jw]
+					for j, bv := range prow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+	panelPool.Put(panelPtr)
 }
 
 // MulTA returns aᵀ × b.
@@ -242,9 +326,6 @@ func mulTAShard(s shard) {
 		brow := b.Data[l*p : (l+1)*p]
 		for i := s.lo; i < s.hi; i++ {
 			av := arow[i]
-			if av == 0 {
-				continue
-			}
 			orow := dst.Data[i*p : (i+1)*p]
 			for j, bv := range brow {
 				orow[j] += av * bv

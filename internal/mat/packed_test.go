@@ -1,0 +1,185 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// withPacking runs f with the packed-path dispatch thresholds overridden,
+// restoring them afterwards. (1, 0) forces every non-empty shard onto the
+// packed kernel; (1<<30, 1<<62) forces the plain kernel.
+func withPacking(t testing.TB, minRows, flops int, f func()) {
+	t.Helper()
+	oldR, oldF := packMinRows, packFlopThreshold
+	packMinRows, packFlopThreshold = minRows, flops
+	defer func() {
+		packMinRows, packFlopThreshold = oldR, oldF
+	}()
+	f()
+}
+
+// Property: the packed cache-blocked kernel is bit-identical to the plain
+// serial kernel across shapes, including the parallelFlopThreshold boundary
+// (40³ < 2¹⁶ ≤ 41³), single-row/single-column products, empty matrices, and
+// shapes larger than one packLB×packJB panel tile in both directions.
+func TestPackedMulBitIdenticalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 64, 64}, {64, 64, 1}, {2, 3, 5},
+		{40, 40, 40}, {41, 41, 41}, // parallelFlopThreshold boundary
+		{0, 4, 4}, {4, 0, 4}, {4, 4, 0}, // empty edges
+		{8, 128, 64}, {8, 129, 65}, // exactly one panel tile, and one past it
+		{9, 300, 150}, {17, 257, 130}, // multiple tiles both directions
+		{100, 32, 7}, {7, 100, 100},
+	}
+	for _, sh := range shapes {
+		n, k, p := sh[0], sh[1], sh[2]
+		a := randDense(rng, n, k)
+		b := randDense(rng, k, p)
+		var plain, packed, packedPar *Dense
+
+		withParallelism(t, 1, 0, func() {
+			withPacking(t, 1<<30, 1<<62, func() { plain = Mul(a, b) })
+			withPacking(t, 1, 0, func() { packed = Mul(a, b) })
+		})
+		requireSameData(t, fmt.Sprintf("packed serial %v", sh), plain, packed)
+
+		// Packed inside parallel shards: every shard packs independently.
+		withParallelism(t, 4, 1, func() {
+			withPacking(t, 1, 0, func() { packedPar = Mul(a, b) })
+		})
+		requireSameData(t, fmt.Sprintf("packed parallel %v", sh), plain, packedPar)
+	}
+}
+
+// The default dispatch (no forced thresholds) must agree with the plain
+// kernel on a shape big enough to actually take the packed path:
+// 256·256·256 flops ≫ packFlopThreshold and 256 rows ≫ packMinRows.
+func TestPackedMulDefaultDispatchBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(31))
+	a := randDense(rng, 256, 256)
+	b := randDense(rng, 256, 256)
+	var plain, def *Dense
+	withParallelism(t, 1, 0, func() {
+		withPacking(t, 1<<30, 1<<62, func() { plain = Mul(a, b) })
+		def = Mul(a, b)
+	})
+	requireSameData(t, "default dispatch 256³", plain, def)
+}
+
+// Concurrent callers on the packed path share the panel pool without racing
+// (run with -race) and still produce bit-identical results.
+func TestPackedMulConcurrentCallers(t *testing.T) {
+	withParallelism(t, 4, 1, func() {
+		withPacking(t, 1, 0, func() {
+			rng := rand.New(rand.NewSource(37))
+			a := randDense(rng, 48, 80)
+			b := randDense(rng, 80, 96)
+			want := Mul(a, b)
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for rep := 0; rep < 20; rep++ {
+						got := Mul(a, b)
+						for i := range want.Data {
+							if got.Data[i] != want.Data[i] {
+								t.Errorf("concurrent packed result differs at %d", i)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	})
+}
+
+// IEEE semantics: 0 × NaN and 0 × Inf are NaN, so a zero in A must not short-
+// circuit the row. This pins the removal of the old `av == 0 { continue }`
+// skip in every matmul kernel, including the packed path.
+func TestMulZeroTimesNonFiniteIsNaN(t *testing.T) {
+	check := func(label string, got float64) {
+		t.Helper()
+		if !math.IsNaN(got) {
+			t.Fatalf("%s = %v, want NaN (0×NaN/0×Inf must propagate)", label, got)
+		}
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		// MulInto: [0 1] × [bad; 1]ᵀcol → 0·bad + 1·1 = NaN.
+		a := FromRows([][]float64{{0, 1}})
+		b := FromRows([][]float64{{bad}, {1}})
+		check(fmt.Sprintf("MulInto plain bad=%v", bad), Mul(a, b).At(0, 0))
+		withPacking(t, 1, 0, func() {
+			check(fmt.Sprintf("MulInto packed bad=%v", bad), Mul(a, b).At(0, 0))
+		})
+
+		// MulTAInto: aᵀ (2×1 → 1×2) × b, zero multiplies the bad row.
+		a2 := FromRows([][]float64{{0}, {1}})
+		b2 := FromRows([][]float64{{bad}, {1}})
+		check(fmt.Sprintf("MulTAInto bad=%v", bad), MulTA(a2, b2).At(0, 0))
+
+		// MulTBInto: a × bᵀ via Dot.
+		b3 := FromRows([][]float64{{bad, 1}})
+		check(fmt.Sprintf("MulTBInto bad=%v", bad), MulTB(a, b3).At(0, 0))
+	}
+}
+
+// The parallel kernels must propagate NaN identically to the serial ones.
+func TestParallelMulNaNPropagationMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randDense(rng, 24, 24)
+	b := randDense(rng, 24, 24)
+	// A column of zeros in A against a row of NaN/Inf in B: every output
+	// element picks up a 0×NaN term.
+	for i := 0; i < 24; i++ {
+		a.Set(i, 7, 0)
+	}
+	for j := 0; j < 24; j++ {
+		if j%2 == 0 {
+			b.Set(7, j, math.NaN())
+		} else {
+			b.Set(7, j, math.Inf(1))
+		}
+	}
+	var serial, parallel, packed *Dense
+	withParallelism(t, 1, 0, func() { serial = Mul(a, b) })
+	withParallelism(t, 4, 1, func() { parallel = Mul(a, b) })
+	withPacking(t, 1, 0, func() { packed = Mul(a, b) })
+	for i, v := range serial.Data {
+		if !math.IsNaN(v) {
+			t.Fatalf("serial element %d = %v, want NaN", i, v)
+		}
+		if !math.IsNaN(parallel.Data[i]) || !math.IsNaN(packed.Data[i]) {
+			t.Fatalf("element %d: parallel/packed lost the NaN", i)
+		}
+	}
+}
+
+func BenchmarkMulIntoPacked(b *testing.B) {
+	for _, size := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("%d/serial", size), func(b *testing.B) {
+			old := Parallelism()
+			SetParallelism(1)
+			defer SetParallelism(old)
+			rng := rand.New(rand.NewSource(1))
+			x := randDense(rng, size, size)
+			y := randDense(rng, size, size)
+			dst := NewDense(size, size)
+			b.ReportAllocs()
+			b.SetBytes(int64(size * size * size * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulInto(dst, x, y)
+			}
+		})
+	}
+}

@@ -27,7 +27,7 @@ func randDense(rng *rand.Rand, r, c int) *Dense {
 	m := NewDense(r, c)
 	for i := range m.Data {
 		m.Data[i] = rng.NormFloat64()
-		if rng.Intn(8) == 0 { // exercise the av == 0 skip branch
+		if rng.Intn(8) == 0 { // exercise exact zeros (no special-cased skip)
 			m.Data[i] = 0
 		}
 	}

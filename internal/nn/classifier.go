@@ -134,6 +134,16 @@ func (c *Classifier) LogitsAndFeatures(x *mat.Dense) (logits, features *mat.Dens
 	return c.net.ForwardTapped(x, false)
 }
 
+// LogitsAndFeaturesScratch is the zero-allocation inference entry point: the
+// same read-only pass as LogitsAndFeatures with every intermediate matrix
+// checked out of the caller-owned arena (0 allocs/op at fixed batch shape,
+// pinned by TestLogitsAndFeaturesScratchSteadyStateAllocs). Results are
+// bit-identical to LogitsAndFeatures; both returned matrices die when the
+// arena is released. Concurrent callers must each hold their own arena.
+func (c *Classifier) LogitsAndFeaturesScratch(x *mat.Dense, a *mat.Arena) (logits, features *mat.Dense) {
+	return c.net.ForwardTappedScratch(x, a)
+}
+
 // Features returns z = r(x, θ) for each row of x.
 func (c *Classifier) Features(x *mat.Dense) *mat.Dense {
 	_, f := c.LogitsAndFeatures(x)

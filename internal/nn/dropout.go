@@ -65,6 +65,17 @@ func (d *Dropout) Forward(x *mat.Dense, train bool) *mat.Dense {
 	return out
 }
 
+// ForwardScratch is the identity in pure inference (dropout off). With
+// ForceActive set (MC-dropout) it delegates to the masked Forward, which
+// mutates layer state and requires external synchronization anyway — the
+// arena buys nothing there.
+func (d *Dropout) ForwardScratch(x *mat.Dense, _ *mat.Arena) *mat.Dense {
+	if !d.ForceActive {
+		return x
+	}
+	return d.Forward(x, false)
+}
+
 // Backward routes gradients through the surviving units only.
 func (d *Dropout) Backward(gradOut *mat.Dense) *mat.Dense {
 	if d.mask == nil {

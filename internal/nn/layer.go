@@ -18,8 +18,15 @@ import (
 // (train=false) returns freshly allocated (or input-aliased, for stateless
 // layers) matrices and touches no layer state, so it stays safe for
 // concurrent callers.
+// ForwardScratch is the arena-backed inference pass: output matrices come
+// from the caller-owned arena instead of the heap, so a fixed-shape serving
+// loop runs allocation-free. Like Forward(x, false) it is read-only on layer
+// state (bit-identical results, safe for concurrent callers each holding
+// their own arena); the returned matrix either belongs to the arena or
+// aliases x, and dies when the caller releases the arena.
 type Layer interface {
 	Forward(x *mat.Dense, train bool) *mat.Dense
+	ForwardScratch(x *mat.Dense, a *mat.Arena) *mat.Dense
 	Backward(gradOut *mat.Dense) *mat.Dense
 	Params() []*Param
 }
@@ -94,6 +101,32 @@ func (l *Linear) Forward(x *mat.Dense, train bool) *mat.Dense {
 	} else {
 		out = mat.Mul(x, l.W.Value)
 	}
+	if scale != 1 {
+		out.Scale(scale)
+	}
+	b := l.B.Value.Row(0)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+	return out
+}
+
+// ForwardScratch is the arena-backed inference pass: identical arithmetic to
+// Forward(x, false) — same MulInto kernel, same scale, same bias order — with
+// the output checked out of the caller's arena.
+func (l *Linear) ForwardScratch(x *mat.Dense, a *mat.Arena) *mat.Dense {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: linear input %d cols, want %d", x.Cols, l.In))
+	}
+	scale := 1.0
+	if l.sn != nil {
+		scale = l.sn.scale(l.W.Value, false)
+	}
+	out := a.Get(x.Rows, l.Out)
+	mat.MulInto(out, x, l.W.Value)
 	if scale != 1 {
 		out.Scale(scale)
 	}
@@ -183,6 +216,21 @@ func (r *ReLU) Forward(x *mat.Dense, train bool) *mat.Dense {
 		} else {
 			r.mask[i] = false
 			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// ForwardScratch rectifies into an arena matrix with the exact semantics of
+// the inference Forward (clone then zero v ≤ 0, so NaN inputs pass through
+// unchanged either way).
+func (r *ReLU) ForwardScratch(x *mat.Dense, a *mat.Arena) *mat.Dense {
+	out := a.Get(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+		} else {
+			out.Data[i] = v
 		}
 	}
 	return out

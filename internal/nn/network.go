@@ -47,6 +47,28 @@ func (n *Network) ForwardTapped(x *mat.Dense, train bool) (out, features *mat.De
 	return h, features
 }
 
+// ForwardTappedScratch is the arena-backed twin of ForwardTapped(x, false):
+// every intermediate activation is checked out of the caller-owned arena, so
+// a fixed-shape inference loop allocates nothing. Results are bit-identical
+// to ForwardTapped (each layer's ForwardScratch runs the same kernels in the
+// same order) and the pass is read-only on network state, so any number of
+// goroutines may call it concurrently as long as each brings its own arena.
+// Both returned matrices belong to the arena (or alias x) and must not be
+// used after the arena is released.
+func (n *Network) ForwardTappedScratch(x *mat.Dense, a *mat.Arena) (out, features *mat.Dense) {
+	if len(n.Layers) == 0 {
+		panic("nn: empty network")
+	}
+	h := x
+	for i, l := range n.Layers {
+		h = l.ForwardScratch(h, a)
+		if i == n.FeatureTap {
+			features = h
+		}
+	}
+	return h, features
+}
+
 // LastFeatures returns the feature activations recorded at the tap during the
 // most recent training Forward. The returned matrix is shared with the layer
 // cache. Inference passes do not update it; use ForwardTapped instead.

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"faction/internal/data"
+	"faction/internal/gda"
+	"faction/internal/mat"
+	"faction/internal/nn"
+	"faction/internal/testutil"
+)
+
+// allocFixture builds an in-process Server (density + OOD calibration, no
+// drift detector, no batching) and a marshaled n-row request body. The alloc
+// pins call the handler methods directly — the contract is "the handler body
+// performs zero steady-state allocations", exclusive of net/http's connection
+// machinery.
+func allocFixture(t testing.TB, rows int) (*Server, []byte) {
+	t.Helper()
+	stream := data.NYSF(data.StreamConfig{Seed: 7, SamplesPerTask: 200})
+	train := stream.Tasks[0].Pool
+	model := nn.NewClassifier(nn.Config{
+		InputDim: stream.Dim, NumClasses: 2, Hidden: []int{32},
+		SpectralNorm: true, SpectralCoeff: 3, Seed: 7,
+	})
+	rng := rand.New(rand.NewSource(7))
+	model.Train(train.Matrix(), train.Labels(), train.Sensitive(), nn.NewAdam(0.01),
+		nn.TrainOpts{Epochs: 2, BatchSize: 32}, rng)
+	feats := model.Features(train.Matrix())
+	est, err := gda.Fit(feats, train.Labels(), train.Sensitive(), 2, []int{-1, 1}, gda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lds := make([]float64, feats.Rows)
+	for i := range lds {
+		lds[i] = est.LogDensity(feats.Row(i))
+	}
+	s, err := New(Config{Model: model, Density: est, TrainLogDensities: lds, Lambda: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inst := make([][]float64, rows)
+	for i := range inst {
+		inst[i] = train.Samples[i].X
+	}
+	body, err := json.Marshal(instancesRequest{Instances: inst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, body
+}
+
+// replayBody is a resettable request body, so one http.Request can serve the
+// measured loop without per-iteration reader allocations.
+type replayBody struct{ r bytes.Reader }
+
+func (b *replayBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *replayBody) Close() error               { return nil }
+
+// scratchResponseWriter is a reusable ResponseWriter writing into a buffer
+// that reaches steady capacity after warmup.
+type scratchResponseWriter struct {
+	h    http.Header
+	body []byte
+	code int
+}
+
+func (w *scratchResponseWriter) Header() http.Header { return w.h }
+func (w *scratchResponseWriter) WriteHeader(c int)   { w.code = c }
+func (w *scratchResponseWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	w.body = append(w.body, p...)
+	return len(p), nil
+}
+
+// The tentpole pin: the FULL /predict handler body — body read, hand-parsed
+// decode, arena forward pass, batched density pass, response build, JSON
+// encode — performs zero heap allocations at steady state for a fixed request
+// shape. Kernel parallelism is forced serial like the nn/gda pins (the worker
+// handoff is also allocation-free, but worker growth is one-time).
+func TestPredictHandlerSteadyStateAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; alloc counts not representative")
+	}
+	old := mat.Parallelism()
+	mat.SetParallelism(1)
+	defer mat.SetParallelism(old)
+
+	const rows = 8
+	s, body := allocFixture(t, rows)
+	req := httptest.NewRequest("POST", "/predict", nil)
+	rb := &replayBody{}
+	req.Body = rb
+	w := &scratchResponseWriter{h: http.Header{}}
+	loop := func() {
+		rb.r.Reset(body)
+		w.body, w.code = w.body[:0], 0
+		s.handlePredict(w, req)
+	}
+	for i := 0; i < 10; i++ {
+		loop()
+	}
+	if allocs := testing.AllocsPerRun(50, loop); allocs != 0 {
+		t.Fatalf("steady-state /predict handler body allocates %.1f allocs/op, want 0", allocs)
+	}
+	if w.code != http.StatusOK {
+		t.Fatalf("status %d, want 200", w.code)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(w.body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Classes) != rows || len(pr.Probs) != rows || len(pr.LogDensities) != rows || len(pr.OOD) != rows {
+		t.Fatalf("response shapes %d/%d/%d/%d, want %d each",
+			len(pr.Classes), len(pr.Probs), len(pr.LogDensities), len(pr.OOD), rows)
+	}
+}
+
+// The same pin for the /score handler body (Eqs. 6–7 via the pooled
+// ScoreBatchRaw → SliceInto → Release path).
+func TestScoreHandlerSteadyStateAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; alloc counts not representative")
+	}
+	old := mat.Parallelism()
+	mat.SetParallelism(1)
+	defer mat.SetParallelism(old)
+
+	const rows = 8
+	s, body := allocFixture(t, rows)
+	req := httptest.NewRequest("POST", "/score", nil)
+	rb := &replayBody{}
+	req.Body = rb
+	w := &scratchResponseWriter{h: http.Header{}}
+	loop := func() {
+		rb.r.Reset(body)
+		w.body, w.code = w.body[:0], 0
+		s.handleScore(w, req)
+	}
+	for i := 0; i < 10; i++ {
+		loop()
+	}
+	if allocs := testing.AllocsPerRun(50, loop); allocs != 0 {
+		t.Fatalf("steady-state /score handler body allocates %.1f allocs/op, want 0", allocs)
+	}
+	var sr scoreResponse
+	if err := json.Unmarshal(w.body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.U) != rows || len(sr.QueryProb) != rows {
+		t.Fatalf("response shapes %d/%d, want %d each", len(sr.U), len(sr.QueryProb), rows)
+	}
+}
+
+// Responses through the scratch-reusing path must be identical to the
+// pre-refactor allocating path. The reference is recomputed here from the
+// model directly (LogitsAndFeatures + LogDensityBatch + fresh softmax), which
+// is exactly what the old handler did.
+func TestScratchHandlerBitIdenticalToDirectCompute(t *testing.T) {
+	const rows = 6
+	s, body := allocFixture(t, rows)
+
+	req := httptest.NewRequest("POST", "/predict", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.handlePredict(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.Bytes())
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+
+	var reqBody instancesRequest
+	if err := json.Unmarshal(body, &reqBody); err != nil {
+		t.Fatal(err)
+	}
+	x := mat.FromRows(reqBody.Instances)
+	logits, feats := s.cfg.Model.LogitsAndFeatures(x)
+	logG := s.cfg.Density.LogDensityBatch(feats)
+	for i := 0; i < rows; i++ {
+		probs := make([]float64, logits.Cols)
+		mat.Softmax(probs, logits.Row(i))
+		if pr.Classes[i] != mat.ArgMax(probs) {
+			t.Fatalf("class %d differs", i)
+		}
+		for c, p := range probs {
+			if pr.Probs[i][c] != p {
+				t.Fatalf("prob %d/%d: %v vs %v", i, c, pr.Probs[i][c], p)
+			}
+		}
+		if pr.LogDensities[i] != logG[i] {
+			t.Fatalf("logDensity %d: %v vs %v", i, pr.LogDensities[i], logG[i])
+		}
+		if pr.OOD[i] != (logG[i] < s.oodThreshold) {
+			t.Fatalf("ood flag %d differs", i)
+		}
+	}
+}

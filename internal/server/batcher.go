@@ -36,10 +36,26 @@ import (
 //
 // Determinism: the PR 2 kernels compute every per-row value independently of
 // the rest of the batch (row-sharded matmul with fixed accumulation order,
-// per-row density sums in sorted component order), and gda.RawScores.Slice
+// per-row density sums in sorted component order), and gda's SliceInto
 // rescales each request's row range on that range's own maximum. Batched
 // responses are therefore bit-identical to unbatched ones — pinned by
 // TestBatchingBitIdentical.
+//
+// Memory discipline (DESIGN.md §10): the flusher checks intermediates out of
+// a pooled arena (the gathered matrix, every forward activation), scores
+// through the pooled gda.RawScores, and scatters each request's share
+// directly into that request's own reqScratch — so a steady-state flush, like
+// the unbatched handlers, performs no heap allocation.
+//
+// Scratch ownership handshake: a request's reqScratch travels inside its
+// batchItem. Until the flusher delivers on the item's channel, the flusher
+// owns the scratch and writes the response into it; delivery transfers
+// ownership back to the handler, which writes the response and repools the
+// scratch. A handler that gives up early (context cancelled while queued or
+// mid-flush) must therefore ABANDON its scratch — never repool it — because
+// the flusher may still write into it; the scratch is reclaimed by the GC
+// instead. That is the one leak on the read path, and it only happens for
+// requests that already paid a timeout.
 
 // reqKind discriminates which endpoint a queued item belongs to.
 type reqKind uint8
@@ -49,20 +65,24 @@ const (
 	reqScore
 )
 
-// batchItem is one queued request: its decoded instances plus the channel
-// its handler waits on.
+// batchItem is one queued request: its scratch (carrying the decoded
+// instances in sc.x and, after the flush, the response) plus the channel its
+// handler waits on. It is embedded in the reqScratch so enqueueing allocates
+// nothing.
 type batchItem struct {
 	kind reqKind
-	x    *mat.Dense
+	sc   *reqScratch
 	ctx  context.Context
 	res  chan flushResult // buffered(1); the flusher delivers at most once
 }
 
-func (it *batchItem) Rows() int       { return it.x.Rows }
+func (it *batchItem) Rows() int       { return it.sc.x.Rows }
 func (it *batchItem) Cancelled() bool { return it.ctx.Err() != nil }
 
 // deliver hands the item its result without ever blocking the flusher (the
-// channel is buffered and only the flusher sends).
+// channel is buffered and only the flusher sends). After a successful deliver
+// the flusher must not touch it.sc again — ownership has passed back to the
+// handler.
 func (it *batchItem) deliver(res flushResult) {
 	select {
 	case it.res <- res:
@@ -70,14 +90,11 @@ func (it *batchItem) deliver(res flushResult) {
 	}
 }
 
-// flushResult is one request's scattered share of a fused pass.
+// flushResult signals one request's completion: a nil err means the response
+// has been built into the item's scratch (sc.predict / sc.score); a non-nil
+// err means the fused pass failed and the handler should answer 500.
 type flushResult struct {
-	predict predictResponse
-	score   scoreResponse
-	// logDensities feeds the drift detector per request, exactly as the
-	// unbatched path does.
-	logDensities []float64
-	err          error
+	err error
 }
 
 // batcher glues the generic coalescer to the serving layer.
@@ -105,67 +122,38 @@ func newBatcher(s *Server) *batcher {
 
 func (b *batcher) close() { b.c.Close() }
 
-// do enqueues a decoded request and waits for its result. A non-nil error
-// means no result will ever arrive: the request's context ended while queued,
-// or the batcher is drained for shutdown. Compute failures travel inside the
-// result (res.err).
-func (b *batcher) do(ctx context.Context, kind reqKind, x *mat.Dense) (flushResult, error) {
-	it := &batchItem{kind: kind, x: x, ctx: ctx, res: make(chan flushResult, 1)}
-	if err := b.c.Submit(it); err != nil {
-		return flushResult{}, err
-	}
-	select {
-	case res := <-it.res:
-		return res, nil
-	case <-ctx.Done():
-		return flushResult{}, ctx.Err()
-	}
-}
-
-// flush runs the fused pass for one drained batch and scatters the results.
-// It executes on the coalescer's flusher goroutine; a panic here would kill
-// the process (no HTTP recoverer wraps this goroutine), so it is converted
-// into per-request 500s instead.
+// flush runs the fused pass for one drained batch and scatters the results
+// into each item's scratch. It executes on the coalescer's flusher goroutine;
+// a panic here would kill the process (no HTTP recoverer wraps this
+// goroutine), so recoverFlush converts it into per-request 500s.
 func (b *batcher) flush(items []batching.Item, _ batching.Reason) {
 	s := b.s
-	defer func() {
-		p := recover()
-		if p == nil {
-			return
-		}
-		s.metrics.panics.Inc()
-		s.cfg.Logger.Error("panic in batched flush",
-			slog.Any("panic", p),
-			slog.String("stack", string(debug.Stack())))
-		err := fmt.Errorf("internal error in batched pass")
-		for _, qi := range items {
-			qi.(*batchItem).deliver(flushResult{err: err})
-		}
-	}()
+	defer b.recoverFlush(items)
 
-	// Gather: concatenate every request's rows. A single-request batch
-	// reuses its decoded matrix as-is.
+	// Gather: concatenate every request's rows into an arena matrix. A
+	// single-request batch reuses its decoded matrix as-is.
+	arena := mat.GetArena()
 	var x *mat.Dense
 	if len(items) == 1 {
-		x = items[0].(*batchItem).x
+		x = &items[0].(*batchItem).sc.x
 	} else {
 		total := 0
 		for _, qi := range items {
-			total += qi.(*batchItem).x.Rows
+			total += qi.(*batchItem).sc.x.Rows
 		}
-		x = mat.NewDense(total, s.inputDim)
+		x = arena.Get(total, s.inputDim)
 		off := 0
 		for _, qi := range items {
 			it := qi.(*batchItem)
-			copy(x.Data[off*s.inputDim:], it.x.Data)
-			off += it.x.Rows
+			copy(x.Data[off*s.inputDim:], it.sc.x.Data)
+			off += it.sc.x.Rows
 		}
 	}
 
 	// Compute: one forward pass and at most one density pass for the whole
 	// batch, under a single read lock so a /refit swap never straddles it.
 	s.mu.RLock()
-	logits, feats := s.cfg.Model.LogitsAndFeatures(x)
+	logits, feats := s.cfg.Model.LogitsAndFeaturesScratch(x, arena)
 	var raw *gda.RawScores
 	if s.cfg.Density != nil {
 		raw = s.cfg.Density.ScoreBatchRaw(feats)
@@ -174,50 +162,96 @@ func (b *batcher) flush(items []batching.Item, _ batching.Reason) {
 	lambda := s.cfg.Lambda
 	s.mu.RUnlock()
 
-	// Scatter: each request gets its own row range, rescaled (for /score) on
-	// that range's own maximum so the response is bit-identical to an
-	// unbatched pass over just its rows.
+	// Scatter: each request's row range is built into that request's own
+	// scratch, rescaled (for /score) on the range's own maximum so the
+	// response is bit-identical to an unbatched pass over just its rows.
+	// SliceInto and the logG copy own their storage, so the pooled raw pass
+	// and the arena can be released after the loop.
 	off := 0
 	for _, qi := range items {
 		it := qi.(*batchItem)
-		lo, hi := off, off+it.x.Rows
+		sc := it.sc
+		lo, hi := off, off+sc.x.Rows
 		off = hi
-		var res flushResult
 		switch it.kind {
 		case reqPredict:
 			var logG []float64
 			if raw != nil {
-				logG = raw.LogG[lo:hi:hi]
+				sc.logG = growFloats(sc.logG, hi-lo)
+				copy(sc.logG, raw.LogG[lo:hi])
+				logG = sc.logG
 			}
-			res.predict = buildPredict(logits, lo, hi, logG, hasOOD, thresh)
-			res.logDensities = logG
+			buildPredictInto(sc, logits, lo, hi, logG, hasOOD, thresh)
 		case reqScore:
-			batch := raw.Slice(lo, hi)
-			res.score = buildScore(logits, lo, hi, batch, lambda)
-			res.logDensities = batch.LogG
+			raw.SliceInto(&sc.batch, lo, hi)
+			buildScoreInto(sc, logits, lo, hi, &sc.batch, lambda)
 		}
-		it.deliver(res)
+		it.deliver(flushResult{})
+	}
+	if raw != nil {
+		raw.Release()
+	}
+	arena.Release()
+}
+
+// recoverFlush converts a flush panic into per-request 500s; it runs deferred
+// on the flusher goroutine, where an unrecovered panic would kill the whole
+// process.
+func (b *batcher) recoverFlush(items []batching.Item) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	s := b.s
+	s.metrics.panics.Inc()
+	s.cfg.Logger.Error("panic in batched flush",
+		slog.Any("panic", p),
+		slog.String("stack", string(debug.Stack())))
+	err := fmt.Errorf("internal error in batched pass")
+	for _, qi := range items {
+		qi.(*batchItem).deliver(flushResult{err: err})
 	}
 }
 
 // serveBatched routes a decoded request through the micro-batcher and writes
-// the scattered result.
-func (s *Server) serveBatched(w http.ResponseWriter, r *http.Request, kind reqKind, x *mat.Dense) {
-	res, err := s.batcher.do(r.Context(), kind, x)
-	if err != nil {
-		// Context ended while queued (the timeout middleware has already
-		// answered the client) or the batcher is drained for shutdown.
+// the scattered result. It takes over ownership of sc: on every exit path the
+// scratch is either repooled (the flusher is provably done with it) or
+// abandoned to the GC (the flusher may still touch it).
+func (s *Server) serveBatched(w http.ResponseWriter, r *http.Request, kind reqKind, sc *reqScratch) {
+	it := &sc.item
+	it.kind, it.ctx = kind, r.Context()
+	// Drain any stale result: a previous owner that abandoned this scratch
+	// never consumed its delivery. (Abandoned scratches are not repooled, so
+	// this is pure insurance, but it keeps the invariant local.)
+	select {
+	case <-it.res:
+	default:
+	}
+	if err := s.batcher.c.Submit(it); err != nil {
+		// Rejected before enqueue (drained for shutdown): still sole owner.
 		httpError(w, r, http.StatusServiceUnavailable, "request not served: %v", err)
+		putReqScratch(sc)
 		return
 	}
-	if res.err != nil {
-		httpError(w, r, http.StatusInternalServerError, "%v", res.err)
-		return
+	select {
+	case res := <-it.res:
+		if res.err != nil {
+			httpError(w, r, http.StatusInternalServerError, "%v", res.err)
+			putReqScratch(sc)
+			return
+		}
+		if kind == reqScore {
+			s.feedDrift(sc.batch.LogG)
+			writeJSON(w, r, &sc.score)
+		} else {
+			s.feedDrift(sc.predict.LogDensities)
+			writeJSON(w, r, &sc.predict)
+		}
+		putReqScratch(sc)
+	case <-r.Context().Done():
+		// The timeout middleware has already answered the client; the flusher
+		// may still be writing into sc, so abandon it (see the ownership
+		// handshake above) — repooling here would be a use-after-free.
+		httpError(w, r, http.StatusServiceUnavailable, "request not served: %v", r.Context().Err())
 	}
-	s.feedDrift(res.logDensities)
-	if kind == reqScore {
-		writeJSON(w, res.score)
-		return
-	}
-	writeJSON(w, res.predict)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"strconv"
 	"time"
@@ -147,6 +148,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.inflight.Inc()
+		// Stash the server logger so response writers deep in the stack can
+		// log encode failures with the request ID (see ctxLogger).
+		r = r.WithContext(context.WithValue(r.Context(), loggerKey, s.cfg.Logger))
 		sw := &statusRecorder{ResponseWriter: w}
 		defer func() {
 			s.metrics.inflight.Dec()

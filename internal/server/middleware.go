@@ -39,7 +39,10 @@ func chain(h http.Handler, mws ...middleware) http.Handler {
 
 type ctxKey int
 
-const requestIDKey ctxKey = 0
+const (
+	requestIDKey ctxKey = 0
+	loggerKey    ctxKey = 1
+)
 
 var (
 	reqCounter atomic.Uint64
@@ -56,6 +59,16 @@ var (
 func requestIDFrom(ctx context.Context) string {
 	id, _ := ctx.Value(requestIDKey).(string)
 	return id
+}
+
+// ctxLogger returns the server logger the instrument middleware stashed in
+// the request context, so free functions like writeJSON and httpError can log
+// without threading a *Server through; slog.Default() outside the middleware.
+func ctxLogger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok {
+		return l
+	}
+	return slog.Default()
 }
 
 // reqLogger scopes a logger to the request: every record it emits carries the

@@ -142,7 +142,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	buffered := s.buffer.Len()
 	s.mu.Unlock()
 	s.metrics.feedback.Set(float64(buffered))
-	writeJSON(w, feedbackResponse{Buffered: buffered})
+	writeJSON(w, r, feedbackResponse{Buffered: buffered})
 }
 
 type refitResponse struct {
@@ -272,7 +272,7 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 		slog.Float64("trainLoss", resp.TrainLoss),
 		slog.Float64("trainAccuracy", resp.TrainAccuracy),
 		slog.Bool("densityRefit", resp.DensityRefit))
-	writeJSON(w, resp)
+	writeJSON(w, r, resp)
 }
 
 // rejectRefit records a refit failure (visible on /info) and answers 422.

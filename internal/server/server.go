@@ -266,40 +266,53 @@ func (s *Server) Handler() http.Handler {
 	return chain(outer, requestID, s.instrument, recoverer(s.cfg.Logger, s.metrics.panics))
 }
 
-// instancesRequest is the shared request body of /predict and /score.
+// instancesRequest is the shared request body of /predict and /score. The
+// read path decodes it with the hand parser in decode.go (alloc-free); the
+// type itself remains the request schema for feedback decoding and tests.
 type instancesRequest struct {
 	Instances [][]float64 `json:"instances"`
 }
 
-// decodeInstances parses and validates the request body into a matrix.
-func (s *Server) decodeInstances(w http.ResponseWriter, r *http.Request) (*mat.Dense, bool) {
-	var req instancesRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+// decodeInstances reads and parses the request body into sc.x without
+// allocating at steady state: the body lands in sc's pooled buffer, the hand
+// parser appends values into sc.flat, and — once validation proves every row
+// has exactly inputDim values — the flat slice IS the row-major matrix, so
+// the decoded values are never copied.
+func (s *Server) decodeInstances(w http.ResponseWriter, r *http.Request, sc *reqScratch) bool {
+	sc.body.Reset()
+	if _, err := sc.body.ReadFrom(r.Body); err != nil {
 		badBody(w, r, err)
-		return nil, false
+		return false
 	}
-	if len(req.Instances) == 0 {
+	if err := parseInstances(sc); err != nil {
+		badBody(w, r, err)
+		return false
+	}
+	n := len(sc.rowEnds)
+	if n == 0 {
 		httpError(w, r, http.StatusBadRequest, "no instances")
-		return nil, false
+		return false
 	}
 	dim := s.inputDim
-	x := mat.NewDense(len(req.Instances), dim)
-	for i, inst := range req.Instances {
-		if len(inst) != dim {
-			httpError(w, r, http.StatusBadRequest, "instance %d has %d features, model expects %d", i, len(inst), dim)
-			return nil, false
+	prev := 0
+	for i, end := range sc.rowEnds {
+		if end-prev != dim {
+			httpError(w, r, http.StatusBadRequest, "instance %d has %d features, model expects %d", i, end-prev, dim)
+			return false
 		}
-		for _, v := range inst {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				httpError(w, r, http.StatusBadRequest, "instance %d has a non-finite feature", i)
-				return nil, false
-			}
-		}
-		copy(x.Row(i), inst)
+		prev = end
 	}
-	return x, true
+	// Defense in depth: the parser cannot produce NaN/Inf from valid JSON
+	// (the grammar has no such literals and overflow is rejected), but the
+	// serving contract is "no non-finite features reach the model".
+	for i, v := range sc.flat {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			httpError(w, r, http.StatusBadRequest, "instance %d has a non-finite feature", i/dim)
+			return false
+		}
+	}
+	sc.x = mat.Dense{Rows: n, Cols: dim, Data: sc.flat[:n*dim]}
+	return true
 }
 
 type predictResponse struct {
@@ -310,54 +323,68 @@ type predictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	x, ok := s.decodeInstances(w, r)
-	if !ok {
+	sc := getReqScratch()
+	if !s.decodeInstances(w, r, sc) {
+		putReqScratch(sc)
 		return
 	}
 	if s.batcher != nil {
-		s.serveBatched(w, r, reqPredict, x)
+		s.serveBatched(w, r, reqPredict, sc)
 		return
 	}
+	// Every intermediate of the forward and density passes comes out of a
+	// pooled arena or the request scratch; at a fixed batch shape the whole
+	// handler body performs zero heap allocations (pinned by
+	// TestPredictHandlerSteadyStateAllocs).
+	a := mat.GetArena()
 	s.mu.RLock()
-	logits, feats := s.cfg.Model.LogitsAndFeatures(x)
+	logits, feats := s.cfg.Model.LogitsAndFeaturesScratch(&sc.x, a)
 	var logG []float64
 	if s.cfg.Density != nil {
 		// One sharded density pass over the whole request instead of a
 		// serial per-row LogDensity loop (bit-identical values).
-		logG = s.cfg.Density.LogDensityBatch(feats)
+		sc.logG = growFloats(sc.logG, feats.Rows)
+		s.cfg.Density.LogDensityBatchInto(sc.logG, feats)
+		logG = sc.logG
 	}
-	resp := buildPredict(logits, 0, logits.Rows, logG, s.hasOOD, s.oodThreshold)
+	buildPredictInto(sc, logits, 0, logits.Rows, logG, s.hasOOD, s.oodThreshold)
 	s.mu.RUnlock()
-	s.feedDrift(resp.LogDensities)
-	writeJSON(w, resp)
+	a.Release()
+	s.feedDrift(sc.predict.LogDensities)
+	writeJSON(w, r, &sc.predict)
+	putReqScratch(sc)
 }
 
-// buildPredict assembles the /predict response for logits rows [lo, hi).
-// logG, when non-nil, holds the rows' log densities, already sliced to the
-// range. Both the direct path and the batcher's scatter use this one
-// function, so the two paths cannot drift apart.
-func buildPredict(logits *mat.Dense, lo, hi int, logG []float64, hasOOD bool, oodThreshold float64) predictResponse {
+// buildPredictInto assembles the /predict response for logits rows [lo, hi)
+// into sc.predict, reusing sc's storage. logG, when non-nil, holds the rows'
+// log densities, already sliced to the range. Both the direct path and the
+// batcher's scatter use this one function, so the two paths cannot drift
+// apart.
+func buildPredictInto(sc *reqScratch, logits *mat.Dense, lo, hi int, logG []float64, hasOOD bool, oodThreshold float64) {
 	n := hi - lo
-	resp := predictResponse{
-		Classes: make([]int, n),
-		Probs:   make([][]float64, n),
+	sc.classes = growInts(sc.classes, n)
+	sc.probsFlat = growFloats(sc.probsFlat, n*logits.Cols)
+	if cap(sc.probsRows) < n {
+		sc.probsRows = make([][]float64, n)
 	}
+	sc.probsRows = sc.probsRows[:n]
 	for i := 0; i < n; i++ {
-		probs := make([]float64, logits.Cols)
+		probs := sc.probsFlat[i*logits.Cols : (i+1)*logits.Cols]
 		mat.Softmax(probs, logits.Row(lo+i))
-		resp.Probs[i] = probs
-		resp.Classes[i] = mat.ArgMax(probs)
+		sc.probsRows[i] = probs
+		sc.classes[i] = mat.ArgMax(probs)
 	}
+	sc.predict = predictResponse{Classes: sc.classes, Probs: sc.probsRows}
 	if logG != nil {
-		resp.LogDensities = logG
+		sc.predict.LogDensities = logG
 		if hasOOD {
-			resp.OOD = make([]bool, n)
+			sc.ood = growBools(sc.ood, n)
 			for i, ld := range logG {
-				resp.OOD[i] = ld < oodThreshold
+				sc.ood[i] = ld < oodThreshold
 			}
+			sc.predict.OOD = sc.ood
 		}
 	}
-	return resp
 }
 
 type scoreResponse struct {
@@ -368,31 +395,40 @@ type scoreResponse struct {
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	x, ok := s.decodeInstances(w, r)
-	if !ok {
+	sc := getReqScratch()
+	if !s.decodeInstances(w, r, sc) {
+		putReqScratch(sc)
 		return
 	}
 	if s.batcher != nil {
-		s.serveBatched(w, r, reqScore, x)
+		s.serveBatched(w, r, reqScore, sc)
 		return
 	}
+	a := mat.GetArena()
 	s.mu.RLock()
-	logits, feats := s.cfg.Model.LogitsAndFeatures(x)
-	// Exactly one GDA pass per request: the batch carries LogG, so drift
+	logits, feats := s.cfg.Model.LogitsAndFeaturesScratch(&sc.x, a)
+	// Exactly one GDA pass per request: the raw pass carries LogG, so drift
 	// feeding no longer pays a second serial per-row LogDensity loop.
-	batch := s.cfg.Density.ScoreBatch(feats)
-	resp := buildScore(logits, 0, logits.Rows, batch, s.cfg.Lambda)
+	// ScoreBatchRaw → SliceInto → Release is ScoreBatch with pooled storage
+	// (bit-identical values, zero steady-state allocations).
+	raw := s.cfg.Density.ScoreBatchRaw(feats)
+	raw.SliceInto(&sc.batch, 0, feats.Rows)
+	raw.Release()
+	buildScoreInto(sc, logits, 0, logits.Rows, &sc.batch, s.cfg.Lambda)
 	s.mu.RUnlock()
-	s.feedDrift(batch.LogG)
-	writeJSON(w, resp)
+	a.Release()
+	s.feedDrift(sc.batch.LogG)
+	writeJSON(w, r, &sc.score)
+	putReqScratch(sc)
 }
 
-// buildScore assembles the /score response (Eqs. 6–7) for logits rows
-// [lo, hi) and their BatchScores. Shared by the direct path and the
-// batcher's scatter.
-func buildScore(logits *mat.Dense, lo, hi int, batch gda.BatchScores, lambda float64) scoreResponse {
-	u := make([]float64, len(batch.G))
-	probs := make([]float64, logits.Cols)
+// buildScoreInto assembles the /score response (Eqs. 6–7) for logits rows
+// [lo, hi) and their BatchScores into sc.score, reusing sc's storage. Shared
+// by the direct path and the batcher's scatter.
+func buildScoreInto(sc *reqScratch, logits *mat.Dense, lo, hi int, batch *gda.BatchScores, lambda float64) {
+	sc.u = growFloats(sc.u, len(batch.G))
+	sc.probs = growFloats(sc.probs, logits.Cols)
+	u, probs := sc.u, sc.probs
 	for i := range u {
 		mat.Softmax(probs, logits.Row(lo+i))
 		u[i] = batch.G[i]
@@ -400,7 +436,9 @@ func buildScore(logits *mat.Dense, lo, hi int, batch gda.BatchScores, lambda flo
 			u[i] -= lambda * probs[c] * batch.Delta[i][c]
 		}
 	}
-	return scoreResponse{U: u, QueryProb: normalizeFlip(u)}
+	sc.omega = growFloats(sc.omega, len(u))
+	normalizeFlipInto(sc.omega, u)
+	sc.score = scoreResponse{U: u, QueryProb: sc.omega}
 }
 
 type driftResponse struct {
@@ -410,7 +448,7 @@ type driftResponse struct {
 	BaselineStd  float64 `json:"baselineStd"`
 }
 
-func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 	s.driftMu.Lock()
 	defer s.driftMu.Unlock()
 	var resp driftResponse
@@ -420,32 +458,32 @@ func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request) {
 		resp.Shifts = s.cfg.Drift.Shifts()
 		s.updateDriftMetricsLocked()
 	}
-	writeJSON(w, resp)
+	writeJSON(w, r, resp)
 }
 
 // handleHealth is the liveness probe: 200 whenever the process can answer.
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, r, map[string]string{"status": "ok"})
 }
 
 // handleReady is the readiness probe: 503 while draining, and 503 while a
 // refit has been running longer than RefitUnreadyAfter (the model swap is
 // imminent and latency may spike).
-func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
-		writeJSONStatus(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSONStatus(w, r, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
 	if start := s.refitStart.Load(); start != 0 {
 		if elapsed := time.Since(time.Unix(0, start)); elapsed > s.cfg.RefitUnreadyAfter {
-			writeJSONStatus(w, http.StatusServiceUnavailable, map[string]string{
+			writeJSONStatus(w, r, http.StatusServiceUnavailable, map[string]string{
 				"status": "refitting",
 				"for":    elapsed.Round(time.Millisecond).String(),
 			})
 			return
 		}
 	}
-	writeJSON(w, map[string]string{"status": "ready"})
+	writeJSON(w, r, map[string]string{"status": "ready"})
 }
 
 type infoResponse struct {
@@ -467,7 +505,7 @@ type infoResponse struct {
 	Ready          bool   `json:"ready"`
 }
 
-func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	cfg := s.cfg.Model.Config()
@@ -487,7 +525,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Density != nil {
 		resp.Components = s.cfg.Density.NumComponents()
 	}
-	writeJSON(w, resp)
+	writeJSON(w, r, resp)
 }
 
 // feedDrift folds a batch's mean log-density into the drift detector.
@@ -506,25 +544,23 @@ func (s *Server) feedDrift(logDensities []float64) {
 	s.driftMu.Unlock()
 }
 
-// normalizeFlip maps scores to ω = 1 − minmax(u); constant batches get 0.5
-// (no preference).
-func normalizeFlip(u []float64) []float64 {
-	out := make([]float64, len(u))
+// normalizeFlipInto maps scores to ω = 1 − minmax(u), written into out (which
+// must have length len(u)); constant batches get 0.5 (no preference).
+func normalizeFlipInto(out, u []float64) {
 	if len(u) == 0 {
-		return out
+		return
 	}
 	lo, hi := mat.MinMax(u)
 	if hi == lo {
 		for i := range out {
 			out[i] = 0.5
 		}
-		return out
+		return
 	}
 	span := hi - lo
 	for i, v := range u {
 		out[i] = 1 - (v-lo)/span
 	}
-	return out
 }
 
 // quantile returns the q-quantile of xs with linear interpolation between
@@ -559,18 +595,40 @@ func quantile(xs []float64, q float64) float64 {
 	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+// contentTypeJSON is the shared Content-Type header value. Assigning the map
+// entry directly instead of Header().Set avoids the per-request []string
+// allocation (net/http only reads the slice, so sharing it is safe).
+var contentTypeJSON = []string{"application/json"}
+
+// writeJSON encodes v to w. A failure here means the headers (and possibly a
+// partial body) are already on the wire, so the response cannot be repaired;
+// the error is logged at debug with the request ID instead of being dropped.
+func writeJSON(w http.ResponseWriter, r *http.Request, v any) {
+	w.Header()["Content-Type"] = contentTypeJSON
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are already sent; nothing else to do.
-		_ = err
+		logEncodeError(r, err)
 	}
 }
 
-func writeJSONStatus(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+func writeJSONStatus(w http.ResponseWriter, r *http.Request, code int, v any) {
+	w.Header()["Content-Type"] = contentTypeJSON
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logEncodeError(r, err)
+	}
+}
+
+// logEncodeError records a response-encode failure — typically the client
+// hanging up mid-write — at debug level, scoped with the request ID.
+func logEncodeError(r *http.Request, err error) {
+	if r == nil {
+		return
+	}
+	ctx := r.Context()
+	reqLogger(ctxLogger(ctx), ctx).Debug("response body encode failed",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Any("error", err))
 }
 
 // badBody answers a request-body decode failure: 413 when the MaxBytesReader
@@ -588,7 +646,7 @@ func badBody(w http.ResponseWriter, r *http.Request, err error) {
 // httpError writes a JSON error body carrying the request ID, so clients can
 // quote an ID the server log can be grepped for.
 func httpError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header()["Content-Type"] = contentTypeJSON
 	w.WriteHeader(code)
 	body := map[string]string{"error": fmt.Sprintf(format, args...)}
 	if r != nil {
@@ -596,5 +654,7 @@ func httpError(w http.ResponseWriter, r *http.Request, code int, format string, 
 			body["requestId"] = id
 		}
 	}
-	_ = json.NewEncoder(w).Encode(body)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		logEncodeError(r, err)
+	}
 }

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testutil holds tiny shared helpers for this repository's tests.
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Zero-allocation pin tests that rely on sync.Pool reuse must skip under the
+// detector: race-mode sync.Pool randomly drops Puts (to widen the schedules
+// it can observe), so steady-state allocation counts are not representative.
+const RaceEnabled = false
