@@ -10,12 +10,13 @@ test:
 
 # Race-check the packages with real concurrency: the HTTP serving layer, the
 # request-coalescing micro-batcher, the online protocol runner, the
-# snapshot/drain helpers, the network whose inference path must stay
+# snapshot/drain helpers, the write-ahead log (group-commit appenders racing
+# rotation, replay and pruning), the network whose inference path must stay
 # read-only, the sharded compute kernels in mat/gda (worker pool + parallel
 # ScoreBatch), and the metrics registry whose hot paths are lock-free atomics
 # scraped concurrently.
 race:
-	$(GO) test -race ./internal/server/... ./internal/batching/... ./internal/online/... ./internal/resilience/... ./internal/nn/... ./internal/mat/... ./internal/gda/... ./internal/obs/...
+	$(GO) test -race ./internal/server/... ./internal/batching/... ./internal/online/... ./internal/resilience/... ./internal/wal/... ./internal/nn/... ./internal/mat/... ./internal/gda/... ./internal/obs/...
 
 vet:
 	$(GO) vet ./...

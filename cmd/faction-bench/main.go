@@ -27,6 +27,12 @@
 //
 //	faction-bench -alloc results/BENCH_alloc.json
 //
+// With -wal, it runs the write-ahead-log durability benchmark (append
+// throughput with fsync off, group commit at several appender counts, and
+// per-record fsync) and writes the cost comparison:
+//
+//	faction-bench -wal results/BENCH_wal.json
+//
 // With -gate, it re-runs the kernel and allocation suites and compares them
 // against the committed baselines in the given directory, exiting non-zero
 // on regression (>2x ns/op, or any allocation on a pinned-zero path):
@@ -65,6 +71,8 @@ func main() {
 		kernel   = flag.String("kernel", "", "run the kernel micro-benchmarks and write the JSON report to this path instead of running experiments")
 		serve    = flag.String("serve", "", "run the serving-layer coalesced-load benchmark and write the JSON report to this path instead of running experiments")
 		alloc    = flag.String("alloc", "", "run the read-path allocation suite and write the JSON report to this path instead of running experiments")
+		walPath  = flag.String("wal", "", "run the WAL durability benchmark and write the JSON report to this path instead of running experiments")
+		walRecs  = flag.Int("wal-records", 20000, "records per -wal run at the widest appender count")
 		gate     = flag.String("gate", "", "re-run the kernel and allocation suites and compare against the committed baselines in this directory, exiting non-zero on regression")
 		clients  = flag.Int("clients", 64, "concurrent load-generator clients for -serve")
 		requests = flag.Int("requests", 40, "requests each -serve client issues")
@@ -137,6 +145,12 @@ func main() {
 	}
 	if *alloc != "" {
 		if err := runAllocBench(*alloc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *walPath != "" {
+		if err := runWALBench(*walPath, *walRecs); err != nil {
 			fatal(err)
 		}
 		return
@@ -265,6 +279,34 @@ func runAllocBench(path string) error {
 	for _, k := range rep.Kernels {
 		fmt.Printf("%-36s %14.0f ns/op %10d B/op %6d allocs/op\n",
 			k.Name, k.NsPerOp, k.BytesPerOp, k.AllocsPerOp)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+// runWALBench runs the WAL durability benchmark, prints the append-cost
+// comparison across fsync modes, and writes the machine-readable report.
+func runWALBench(path string, records int) error {
+	fmt.Printf("=== WAL durability benchmark (GOMAXPROCS %d) ===\n", runtime.GOMAXPROCS(0))
+	rep, err := bench.RunWAL(records)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-36s %12.0f appends/s   mean %8.1f µs   %8d records %8d fsyncs\n",
+			r.Name, r.AppendsPerSec, r.MeanLatencyUs, r.Records, r.Fsyncs)
 	}
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -27,6 +27,15 @@
 // (temp file + rename, checksummed, rotated) after refits change it; and
 // every log line is a structured log/slog record (-log-format json for
 // machine ingestion), scoped with the request ID where one exists.
+//
+// With -wal-dir, /feedback becomes durable: every accepted batch is
+// appended to a segmented, checksummed write-ahead log before the client is
+// acknowledged (-wal-fsync picks the durability/throughput trade-off), boot
+// replays uncovered records into the feedback buffer (/readyz answers 503
+// "replaying" until done), checkpoints record the covered LSN so replay is
+// incremental, and WAL segments a checkpoint covers are pruned. With
+// -async-refit, POST /refit answers 202 and training runs on a background
+// consumer, so a slow fit never occupies an HTTP worker.
 package main
 
 import (
@@ -50,6 +59,7 @@ import (
 	"faction/internal/resilience"
 	"faction/internal/rngutil"
 	"faction/internal/server"
+	"faction/internal/wal"
 )
 
 func main() {
@@ -73,6 +83,10 @@ func main() {
 		maxBody         = flag.Int64("max-body", 8<<20, "request body cap in bytes")
 		checkpoint      = flag.Duration("checkpoint", 0, "snapshot the live model at this interval when refits changed it (0 disables)")
 		checkpointKeep  = flag.Int("checkpoint-keep", 2, "rotated checkpoint generations to keep alongside each snapshot")
+
+		walDir     = flag.String("wal-dir", "", "write-ahead-log directory: /feedback appends here before acknowledging, and boot replays it into the buffer (empty disables)")
+		walFsync   = flag.String("wal-fsync", "group", "WAL durability mode: group (batched fsync, the default), always (fsync per record) or never (ack after the write syscall)")
+		asyncRefit = flag.Bool("async-refit", false, "answer POST /refit with 202 and run training on a background consumer instead of the request")
 
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -103,14 +117,51 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("loading model: %w", err))
 	}
+
+	// Open the write-ahead log before the server exists: recovery (torn-tail
+	// truncation, corruption quarantine) runs inside Open, and its verdict
+	// must be on the record before any new appends land.
+	var wlog *wal.WAL
+	if *walDir != "" {
+		mode, err := wal.ParseFsyncMode(*walFsync)
+		if err != nil {
+			fatal(err)
+		}
+		wlog, err = wal.Open(*walDir, wal.Options{
+			Fsync:   mode,
+			Metrics: wal.NewMetrics(obs.Default()),
+		})
+		if err != nil {
+			fatal(fmt.Errorf("opening WAL: %w", err))
+		}
+		defer wlog.Close()
+		rec := wlog.Recovery()
+		if rec.Err != nil {
+			// Quarantined corruption is survivable — the prefix before it was
+			// recovered and the damaged bytes are preserved for forensics —
+			// but it must be impossible to miss in the logs.
+			logger.Error("WAL recovery found corruption; records after the damage were quarantined, not replayed",
+				slog.String("error", rec.Err.Error()),
+				slog.Any("quarantined", rec.Quarantined))
+		}
+		logger.Info("WAL opened",
+			slog.String("dir", *walDir),
+			slog.String("fsync", mode.String()),
+			slog.Int("records", rec.Records),
+			slog.Uint64("lastLSN", rec.LastLSN),
+			slog.Int64("tornBytes", rec.TornBytes))
+	}
+
 	cfg := server.Config{
 		Model:  model,
 		Lambda: *lambda,
 		Drift:  drift.New(drift.Config{}),
+		WAL:    wlog,
 		Online: server.OnlineConfig{
-			Enabled: *onlineFlag,
-			Fair:    nn.FairConfig{Mu: *mu, Eps: 0.01},
-			Seed:    *seed,
+			Enabled:    *onlineFlag,
+			Fair:       nn.FairConfig{Mu: *mu, Eps: 0.01},
+			Seed:       *seed,
+			AsyncRefit: *asyncRefit,
 		},
 		BatchRows:      *batchRows,
 		BatchDelay:     *batchDelay,
@@ -132,8 +183,30 @@ func main() {
 		fatal(err)
 	}
 
+	// Boot replay: rebuild the feedback buffer from every WAL record the
+	// booted snapshot doesn't cover. /readyz answers 503 "replaying" until
+	// this finishes, so a load balancer won't route to a server whose buffer
+	// is still partial.
+	if wlog != nil {
+		s.SetReplaying(true)
+		snapLSN, err := resilience.SnapshotLSN(*modelPath)
+		if err != nil {
+			fatal(fmt.Errorf("reading snapshot LSN: %w", err))
+		}
+		start := time.Now()
+		applied, err := s.ReplayFeedback(snapLSN)
+		if err != nil {
+			fatal(fmt.Errorf("replaying WAL into feedback buffer: %w", err))
+		}
+		s.SetReplaying(false)
+		logger.Info("WAL replayed into feedback buffer",
+			slog.Uint64("fromLSN", snapLSN),
+			slog.Int("batches", applied),
+			slog.Duration("took", time.Since(start).Round(time.Millisecond)))
+	}
+
 	if *checkpoint > 0 {
-		go checkpointLoop(ctx, logger, s, *modelPath, *densPath, *checkpoint, *checkpointKeep)
+		go checkpointLoop(ctx, logger, s, wlog, *modelPath, *densPath, *checkpoint, *checkpointKeep)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -166,7 +239,14 @@ func main() {
 // advanced the generation since the last checkpoint. Writes are crash-safe
 // and retried with backoff; a persistently failing disk is logged, never
 // fatal — serving always outranks checkpointing.
-func checkpointLoop(ctx context.Context, logger *slog.Logger, s *server.Server, modelPath, densPath string, every time.Duration, keep int) {
+//
+// With a WAL, each snapshot records the consumed LSN — captured *before*
+// SaveModel, so a refit racing the save can only make the recorded LSN
+// understate what the model covers (replaying a covered record again merely
+// re-buffers it; overstating would lose records). Once the snapshot is
+// durable, WAL segments at or below that LSN are pruned, and the rotated
+// snapshot chain is trimmed to the configured depth.
+func checkpointLoop(ctx context.Context, logger *slog.Logger, s *server.Server, wlog *wal.WAL, modelPath, densPath string, every time.Duration, keep int) {
 	var lastSaved uint64
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
@@ -180,12 +260,13 @@ func checkpointLoop(ctx context.Context, logger *slog.Logger, s *server.Server, 
 		if gen == lastSaved {
 			continue
 		}
+		coveredLSN := s.ConsumedLSN()
 		err := resilience.Retry(ctx, resilience.RetryPolicy{}, func() error {
-			return resilience.SaveSnapshot(modelPath, keep, s.SaveModel)
+			return resilience.SaveSnapshotLSN(modelPath, keep, coveredLSN, s.SaveModel)
 		})
 		if err == nil && densPath != "" && s.HasDensity() {
 			err = resilience.Retry(ctx, resilience.RetryPolicy{}, func() error {
-				return resilience.SaveSnapshot(densPath, keep, s.SaveDensity)
+				return resilience.SaveSnapshotLSN(densPath, keep, coveredLSN, s.SaveDensity)
 			})
 		}
 		if err != nil {
@@ -195,7 +276,26 @@ func checkpointLoop(ctx context.Context, logger *slog.Logger, s *server.Server, 
 		}
 		lastSaved = gen
 		logger.Info("checkpointed model",
-			slog.Uint64("generation", gen), slog.String("path", modelPath))
+			slog.Uint64("generation", gen),
+			slog.Uint64("coveredLSN", coveredLSN),
+			slog.String("path", modelPath))
+		if wlog != nil {
+			if pruned, err := wlog.Prune(coveredLSN); err != nil {
+				logger.Warn("WAL prune failed", slog.String("error", err.Error()))
+			} else if pruned > 0 {
+				logger.Info("pruned WAL segments covered by checkpoint",
+					slog.Int("segments", pruned), slog.Uint64("coveredLSN", coveredLSN))
+			}
+		}
+		for _, p := range []string{modelPath, densPath} {
+			if p == "" {
+				continue
+			}
+			if _, err := resilience.PruneSnapshotChain(p, keep); err != nil {
+				logger.Warn("snapshot chain prune failed",
+					slog.String("path", p), slog.String("error", err.Error()))
+			}
+		}
 	}
 }
 

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"faction/internal/wal"
+)
+
+// WALResult is one WAL append-throughput run under a given fsync mode and
+// appender count.
+type WALResult struct {
+	Name          string  `json:"name"`
+	Fsync         string  `json:"fsync"`
+	Appenders     int     `json:"appenders"`
+	Records       int     `json:"records"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	MeanLatencyUs float64 `json:"mean_latency_us"`
+	// Fsyncs is the number of fsync syscalls the run issued; for the
+	// group-commit rows the acceptance evidence is Fsyncs << Records.
+	Fsyncs uint64 `json:"fsyncs,omitempty"`
+}
+
+// WALReport is the schema of BENCH_wal.json: durability-cost headline
+// numbers committed as the WAL performance trajectory.
+type WALReport struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	PayloadSize int         `json:"payload_bytes"`
+	Results     []WALResult `json:"results"`
+}
+
+// RunWAL measures append throughput across the three durability modes:
+// fsync off (ack after write syscall), group commit (concurrent appenders
+// share fsyncs), and per-record fsync. Group commit runs at several
+// appender counts to show the batching effect; the serial modes bound it
+// from above and below.
+func RunWAL(records int) (WALReport, error) {
+	if records <= 0 {
+		records = 20000
+	}
+	rep := WALReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		PayloadSize: 256,
+	}
+	runs := []struct {
+		name      string
+		mode      wal.FsyncMode
+		appenders int
+		records   int
+	}{
+		{"append/fsync=never", wal.FsyncNever, 1, records},
+		{"append/fsync=group/appenders=1", wal.FsyncGroup, 1, records / 10},
+		{"append/fsync=group/appenders=8", wal.FsyncGroup, 8, records / 2},
+		{"append/fsync=group/appenders=64", wal.FsyncGroup, 64, records},
+		{"append/fsync=always", wal.FsyncAlways, 1, records / 10},
+	}
+	for _, run := range runs {
+		res, err := runWALOnce(run.name, run.mode, run.appenders, run.records, rep.PayloadSize)
+		if err != nil {
+			return rep, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+func runWALOnce(name string, mode wal.FsyncMode, appenders, records, payloadSize int) (WALResult, error) {
+	dir, err := os.MkdirTemp("", "faction-wal-bench-")
+	if err != nil {
+		return WALResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	w, err := wal.Open(dir, wal.Options{Fsync: mode})
+	if err != nil {
+		return WALResult{}, err
+	}
+	defer w.Close()
+
+	if records < appenders {
+		records = appenders
+	}
+	per := records / appenders
+	total := per * appenders
+	payload := make([]byte, payloadSize)
+
+	// Warm the active segment so header creation stays out of the timing.
+	if _, err := w.Append(payload); err != nil {
+		return WALResult{}, err
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, appenders)
+	start := time.Now()
+	for g := 0; g < appenders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := make([]byte, payloadSize)
+			for i := 0; i < per; i++ {
+				if _, err := w.Append(p); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return WALResult{}, err
+	default:
+	}
+
+	secs := elapsed.Seconds()
+	res := WALResult{
+		Name:          name,
+		Fsync:         mode.String(),
+		Appenders:     appenders,
+		Records:       total,
+		AppendsPerSec: float64(total) / secs,
+		MeanLatencyUs: elapsed.Seconds() / float64(total) * 1e6 * float64(appenders),
+		Fsyncs:        w.FsyncCount(),
+	}
+	return res, nil
+}

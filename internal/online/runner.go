@@ -26,6 +26,7 @@ import (
 	"faction/internal/nn"
 	"faction/internal/obs"
 	"faction/internal/rngutil"
+	"faction/internal/wal"
 )
 
 // MethodSpec pairs a query strategy with its training-time fairness
@@ -90,6 +91,12 @@ type Config struct {
 	// spans (eval → train → select → acquire → fairness). Export the ring
 	// with Tracer.ExportJSONL.
 	Tracer *obs.Tracer
+	// WAL, when non-nil, receives one acquisition record per label purchase
+	// (task, round, picked pool indices) appended before the oracle is
+	// queried — a durable audit trail of where the label budget went. The
+	// first append failure is surfaced on RunResult.WALErr; the run itself
+	// continues, like tracing.
+	WAL *wal.WAL
 }
 
 // DefaultConfig returns the CI-scale configuration used across experiments.
@@ -200,6 +207,9 @@ type RunResult struct {
 	// TraceErr is the first error hit writing Config.Trace, if any. Tracing
 	// never aborts a run, but a truncated audit log must not pass silently.
 	TraceErr error `json:"-"`
+	// WALErr is the first error appending an acquisition record to
+	// Config.WAL, if any — same contract as TraceErr.
+	WALErr error `json:"-"`
 }
 
 // MeanReport averages the per-task metrics across the run ("mean across all
@@ -289,6 +299,23 @@ func Run(stream *data.Stream, spec MethodSpec, cfg Config) (RunResult, error) {
 	cumRegret, cumViolation := 0.0, 0.0
 
 	result := RunResult{Method: spec.Name, Stream: stream.Name}
+	// logAcquisition appends one durable audit record per label purchase,
+	// before the oracle is queried — so even a crash mid-acquisition leaves
+	// evidence of the spend. Failures are recorded once and never abort the
+	// run (the record is audit, not state).
+	logAcquisition := func(taskID, round int, picks []int) {
+		if cfg.WAL == nil {
+			return
+		}
+		p := make([]int64, len(picks))
+		for i, v := range picks {
+			p[i] = int64(v)
+		}
+		payload := wal.AppendAcquisition(nil, wal.Acquisition{Task: int64(taskID), Round: int64(round), Picks: p})
+		if _, err := cfg.WAL.Append(payload); err != nil && result.WALErr == nil {
+			result.WALErr = err
+		}
+	}
 	for ti := range stream.Tasks {
 		task := stream.Tasks[ti]
 		pool := task.Pool.Clone() // the run consumes the pool
@@ -310,6 +337,7 @@ func Run(stream *data.Stream, spec MethodSpec, cfg Config) (RunResult, error) {
 			_, warmSpan := cfg.Tracer.StartSpan(taskCtx, "online.warmstart")
 			warmSpan.SetAttr("samples", warm)
 			idx := rngutil.SampleWithoutReplacement(runRng, pool.Len(), warm)
+			logAcquisition(task.ID, 0, idx)
 			acquire(labeled, pool, idx, oracle)
 			model.Train(labeled.Matrix(), labeled.Labels(), labeled.Sensitive(), opt, trainOpts, runRng)
 			warmSpan.End()
@@ -342,7 +370,9 @@ func Run(stream *data.Stream, spec MethodSpec, cfg Config) (RunResult, error) {
 
 		taskStart := time.Now()
 		budget := cfg.Budget
+		round := 0
 		for budget > 0 && pool.Len() > 0 {
+			round++
 			// Train on everything labeled so far (Algorithm 1 lines 7–8).
 			trainStart := time.Now()
 			_, trainSpan := cfg.Tracer.StartSpan(taskCtx, "online.train")
@@ -367,6 +397,7 @@ func Run(stream *data.Stream, spec MethodSpec, cfg Config) (RunResult, error) {
 			}
 			acquireStart := time.Now()
 			_, acquireSpan := cfg.Tracer.StartSpan(taskCtx, "online.acquire")
+			logAcquisition(task.ID, round, picks)
 			acquire(labeled, pool, picks, oracle)
 			acquireSpan.End()
 			stageAcquire.Observe(time.Since(acquireStart).Seconds())

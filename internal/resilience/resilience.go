@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 )
 
@@ -24,6 +25,12 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff (default 2s).
 	MaxDelay time.Duration
+	// Jitter spreads each backoff sleep uniformly over
+	// [delay·(1−Jitter), delay·(1+Jitter)], so retry loops that failed
+	// together (several checkpointers hitting one full disk, say) don't
+	// thunder back in lockstep. Zero takes the default 0.2; a negative
+	// value disables jitter.
+	Jitter float64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -36,7 +43,33 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = 2 * time.Second
 	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	}
 	return p
+}
+
+// jitterRand is the uniform [0,1) source for backoff jitter, a package
+// variable so tests can pin it.
+var jitterRand = rand.Float64
+
+// jittered maps delay to a uniform sample of [delay·(1−j), delay·(1+j)],
+// capped at max. With j == 0 it returns delay (capped) unchanged.
+func jittered(delay, max time.Duration, j float64) time.Duration {
+	if j > 0 {
+		lo := float64(delay) * (1 - j)
+		d := time.Duration(lo + jitterRand()*(float64(delay)*(1+j)-lo))
+		if d < 1 {
+			d = 1
+		}
+		delay = d
+	}
+	if delay > max {
+		delay = max
+	}
+	return delay
 }
 
 // Retry runs fn until it succeeds, the policy's attempts are exhausted, or
@@ -57,7 +90,7 @@ func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 		if attempt >= p.Attempts {
 			return fmt.Errorf("resilience: giving up after %d attempts: %w", attempt, last)
 		}
-		timer := time.NewTimer(delay)
+		timer := time.NewTimer(jittered(delay, p.MaxDelay, p.Jitter))
 		select {
 		case <-ctx.Done():
 			timer.Stop()

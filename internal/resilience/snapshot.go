@@ -21,7 +21,19 @@ import (
 // Files without the magic header are treated as legacy raw payloads (the
 // pre-envelope .gob format) and passed through unchanged, so old artifacts
 // keep loading.
-const snapshotMagic = "FACSNAP1"
+//
+// The v2 envelope adds a WAL sequence number between magic and length:
+//
+//	"FACSNAP2" | covered LSN (uint64 BE) | payload length | CRC-32C | payload
+//
+// The LSN records how much of the feedback write-ahead log the snapshot
+// already incorporates, so boot replay can start exactly one record after
+// it. LoadSnapshot accepts both versions; SnapshotLSN reads the LSN without
+// decoding the payload.
+const (
+	snapshotMagic   = "FACSNAP1"
+	snapshotMagicV2 = "FACSNAP2"
+)
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -92,16 +104,37 @@ func publish(tmp, path string) error {
 // checkpointing path does — therefore never disturbs the current snapshot
 // or its fallback generations, and path itself is never missing.
 func SaveSnapshot(path string, keep int, save func(w io.Writer) error) error {
+	return saveSnapshot(path, keep, save, func(payload []byte) []byte {
+		header := make([]byte, len(snapshotMagic)+12)
+		copy(header, snapshotMagic)
+		binary.BigEndian.PutUint64(header[8:], uint64(len(payload)))
+		binary.BigEndian.PutUint32(header[16:], crc32.Checksum(payload, crcTable))
+		return header
+	})
+}
+
+// SaveSnapshotLSN is SaveSnapshot with a v2 envelope carrying the WAL LSN
+// the snapshot covers: every feedback record with a sequence number at or
+// below lsn is already baked into the payload, so recovery replays the log
+// strictly after it and covered segments become prunable.
+func SaveSnapshotLSN(path string, keep int, lsn uint64, save func(w io.Writer) error) error {
+	return saveSnapshot(path, keep, save, func(payload []byte) []byte {
+		header := make([]byte, len(snapshotMagicV2)+20)
+		copy(header, snapshotMagicV2)
+		binary.BigEndian.PutUint64(header[8:], lsn)
+		binary.BigEndian.PutUint64(header[16:], uint64(len(payload)))
+		binary.BigEndian.PutUint32(header[24:], crc32.Checksum(payload, crcTable))
+		return header
+	})
+}
+
+func saveSnapshot(path string, keep int, save func(w io.Writer) error, envelope func(payload []byte) []byte) error {
 	var payload bytes.Buffer
 	if err := save(&payload); err != nil {
 		return fmt.Errorf("resilience: serializing snapshot: %w", err)
 	}
 	tmp, err := stageFile(path, func(w io.Writer) error {
-		header := make([]byte, len(snapshotMagic)+12)
-		copy(header, snapshotMagic)
-		binary.BigEndian.PutUint64(header[8:], uint64(payload.Len()))
-		binary.BigEndian.PutUint32(header[16:], crc32.Checksum(payload.Bytes(), crcTable))
-		if _, err := w.Write(header); err != nil {
+		if _, err := w.Write(envelope(payload.Bytes())); err != nil {
 			return err
 		}
 		_, err := w.Write(payload.Bytes())
@@ -114,6 +147,30 @@ func SaveSnapshot(path string, keep int, save func(w io.Writer) error) error {
 		rotate(path, keep)
 	}
 	return publish(tmp, path)
+}
+
+// SnapshotLSN reads the WAL LSN a snapshot covers without decoding its
+// payload. Snapshots in the v1 envelope or the legacy raw format predate
+// the WAL and cover nothing: they return 0 with no error, so callers replay
+// the whole log. A missing file is likewise LSN 0: first boot replays
+// everything.
+func SnapshotLSN(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	header := make([]byte, len(snapshotMagicV2)+8)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return 0, nil // shorter than any v2 header: legacy or v1
+	}
+	if string(header[:len(snapshotMagicV2)]) != snapshotMagicV2 {
+		return 0, nil
+	}
+	return binary.BigEndian.Uint64(header[8:]), nil
 }
 
 // rotate shifts existing checkpoints one slot back: path.<keep-1> → .<keep>,
@@ -145,16 +202,28 @@ func LoadSnapshot(path string, load func(r io.Reader) error) error {
 	if err != nil {
 		return err
 	}
-	if len(raw) < len(snapshotMagic) || string(raw[:len(snapshotMagic)]) != snapshotMagic {
+	var wantLen uint64
+	var wantCRC uint32
+	var payload []byte
+	switch {
+	case len(raw) >= len(snapshotMagicV2) && string(raw[:len(snapshotMagicV2)]) == snapshotMagicV2:
+		if len(raw) < len(snapshotMagicV2)+20 {
+			return fmt.Errorf("resilience: %s: truncated header (%d bytes): %w", path, len(raw), ErrCorrupt)
+		}
+		wantLen = binary.BigEndian.Uint64(raw[16:])
+		wantCRC = binary.BigEndian.Uint32(raw[24:])
+		payload = raw[len(snapshotMagicV2)+20:]
+	case len(raw) >= len(snapshotMagic) && string(raw[:len(snapshotMagic)]) == snapshotMagic:
+		if len(raw) < len(snapshotMagic)+12 {
+			return fmt.Errorf("resilience: %s: truncated header (%d bytes): %w", path, len(raw), ErrCorrupt)
+		}
+		wantLen = binary.BigEndian.Uint64(raw[8:])
+		wantCRC = binary.BigEndian.Uint32(raw[16:])
+		payload = raw[len(snapshotMagic)+12:]
+	default:
 		// Legacy raw payload (pre-envelope format).
 		return load(bytes.NewReader(raw))
 	}
-	if len(raw) < len(snapshotMagic)+12 {
-		return fmt.Errorf("resilience: %s: truncated header (%d bytes): %w", path, len(raw), ErrCorrupt)
-	}
-	wantLen := binary.BigEndian.Uint64(raw[8:])
-	wantCRC := binary.BigEndian.Uint32(raw[16:])
-	payload := raw[len(snapshotMagic)+12:]
 	if uint64(len(payload)) != wantLen {
 		return fmt.Errorf("resilience: %s: truncated payload (%d of %d bytes): %w", path, len(payload), wantLen, ErrCorrupt)
 	}
@@ -162,4 +231,30 @@ func LoadSnapshot(path string, load func(r io.Reader) error) error {
 		return fmt.Errorf("resilience: %s: checksum mismatch (%08x != %08x): %w", path, got, wantCRC, ErrCorrupt)
 	}
 	return load(bytes.NewReader(payload))
+}
+
+// PruneSnapshotChain removes rotated checkpoints beyond the newest keep
+// generations: path.<keep+1> and deeper are deleted, path itself and
+// path.1 … path.<keep> are never touched. keep ≤ 0 removes the whole
+// rotation chain but still never the live file. It returns the number of
+// files removed; missing slots are not an error, and the scan stops at the
+// first gap (rotation fills slots contiguously from 1).
+func PruneSnapshotChain(path string, keep int) (int, error) {
+	if keep < 0 {
+		keep = 0
+	}
+	removed := 0
+	for i := keep + 1; ; i++ {
+		slot := path + "." + strconv.Itoa(i)
+		if _, err := os.Lstat(slot); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return removed, nil
+			}
+			return removed, fmt.Errorf("resilience: pruning %s: %w", slot, err)
+		}
+		if err := os.Remove(slot); err != nil {
+			return removed, fmt.Errorf("resilience: pruning %s: %w", slot, err)
+		}
+		removed++
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"faction/internal/mat"
 	"faction/internal/nn"
 	"faction/internal/testutil"
+	"faction/internal/wal"
 )
 
 // allocFixture builds an in-process Server (density + OOD calibration, no
@@ -40,7 +41,15 @@ func allocFixture(t testing.TB, rows int) (*Server, []byte) {
 	for i := range lds {
 		lds[i] = est.LogDensity(feats.Row(i))
 	}
-	s, err := New(Config{Model: model, Density: est, TrainLogDensities: lds, Lambda: 0.5})
+	// The WAL is enabled so the zero-alloc pins prove the read path stays
+	// allocation-free with durability wired in: only /feedback touches the
+	// log, /predict and /score must not.
+	wlog, err := wal.Open(t.TempDir(), wal.Options{Fsync: wal.FsyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wlog.Close() })
+	s, err := New(Config{Model: model, Density: est, TrainLogDensities: lds, Lambda: 0.5, WAL: wlog})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,11 @@ type serverMetrics struct {
 	feedback     *obs.Gauge   // faction_feedback_buffered
 	refitSeconds *obs.Histogram
 
+	// Durability watermarks (zero-valued without a WAL): how far refit
+	// consumption trails the acknowledged log.
+	walConsumedLSN *obs.Gauge // faction_wal_consumed_lsn
+	walReplayLag   *obs.Gauge // faction_wal_replay_lag_records
+
 	// Drift-detector state, refreshed on every observed batch and /drift read.
 	driftShifts   *obs.Gauge // faction_drift_shifts
 	driftObserved *obs.Gauge // faction_drift_observations
@@ -72,6 +77,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Labeled feedback samples buffered for the next refit."),
 		refitSeconds: reg.Histogram("faction_refit_seconds",
 			"Wall-clock duration of refit attempts (accepted and rejected).", nil),
+		walConsumedLSN: reg.Gauge("faction_wal_consumed_lsn",
+			"Highest WAL LSN consumed by a successful refit (or the booted snapshot)."),
+		walReplayLag: reg.Gauge("faction_wal_replay_lag_records",
+			"Acknowledged WAL records not yet consumed by a refit (acked LSN - consumed LSN)."),
 		driftShifts: reg.Gauge("faction_drift_shifts",
 			"Distribution shifts flagged by the log-density drift detector."),
 		driftObserved: reg.Gauge("faction_drift_observations",
@@ -89,6 +98,23 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		batchDepth: reg.Gauge("faction_batch_queued_rows",
 			"Instance rows currently queued in the micro-batcher."),
 	}
+}
+
+// updateWALLagMetrics refreshes the durability watermarks: the consumed-LSN
+// gauge and the replay lag (acknowledged records not yet trained on). A
+// no-op without a WAL.
+func (s *Server) updateWALLagMetrics() {
+	if s.cfg.WAL == nil {
+		return
+	}
+	acked := s.cfg.WAL.AckedLSN()
+	consumed := s.consumedLSN.Load()
+	s.metrics.walConsumedLSN.Set(float64(consumed))
+	lag := 0.0
+	if acked > consumed {
+		lag = float64(acked - consumed)
+	}
+	s.metrics.walReplayLag.Set(lag)
 }
 
 // updateDriftMetricsLocked refreshes the drift gauges; the caller holds

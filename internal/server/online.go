@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math"
@@ -13,6 +15,7 @@ import (
 	"faction/internal/nn"
 	"faction/internal/obs"
 	"faction/internal/rngutil"
+	"faction/internal/wal"
 )
 
 // OnlineConfig enables serving-time adaptation: labeled feedback accumulates
@@ -46,6 +49,12 @@ type OnlineConfig struct {
 	Seed int64
 	// SensValues for refitting the density estimator (default {-1, +1}).
 	SensValues []int
+	// AsyncRefit decouples training from the request path: POST /refit
+	// answers 202 immediately and a dedicated consumer goroutine runs the
+	// refit off the feedback log, so training never holds an HTTP worker
+	// and the zero-alloc read path is never stalled behind a fit. Results
+	// surface on /info and the logs instead of the /refit response.
+	AsyncRefit bool
 }
 
 func (c *OnlineConfig) setDefaults() {
@@ -90,6 +99,10 @@ type feedbackRequest struct {
 
 type feedbackResponse struct {
 	Buffered int `json:"buffered"`
+	// LSN is the write-ahead-log sequence number of this batch, present when
+	// the server runs with a WAL: by the time the client reads it, the batch
+	// is durable under the configured fsync mode.
+	LSN uint64 `json:"lsn,omitempty"`
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
@@ -132,17 +145,44 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		copy(x, inst)
 		samples[i] = data.Sample{X: x, Y: req.Labels[i], S: req.Sensitive[i]}
 	}
+
+	// Durability before acknowledgement: the batch goes to the write-ahead
+	// log first, and a log failure refuses the feedback outright — the
+	// client must never hold a 200 for a record a crash could lose.
+	var lsn uint64
+	if wlog := s.cfg.WAL; wlog != nil {
+		payload, err := wal.AppendFeedback(nil, wal.Feedback{X: req.Instances, Y: req.Labels, S: req.Sensitive})
+		if err != nil {
+			httpError(w, r, http.StatusBadRequest, "encoding feedback: %v", err)
+			return
+		}
+		lsn, err = wlog.Append(payload)
+		if err != nil {
+			httpError(w, r, http.StatusServiceUnavailable, "feedback not durable, rejected: %v", err)
+			return
+		}
+	}
+
 	s.mu.Lock()
 	s.buffer.Append(samples...)
-	if max := s.cfg.Online.MaxBuffer; max > 0 && s.buffer.Len() > max {
-		// Drop oldest (buffer is append-ordered).
-		excess := s.buffer.Len() - max
-		s.buffer.Samples = append([]data.Sample(nil), s.buffer.Samples[excess:]...)
+	s.trimBufferLocked()
+	if lsn > 0 {
+		s.bufferLSN = lsn
 	}
 	buffered := s.buffer.Len()
 	s.mu.Unlock()
 	s.metrics.feedback.Set(float64(buffered))
-	writeJSON(w, r, feedbackResponse{Buffered: buffered})
+	s.updateWALLagMetrics()
+	writeJSON(w, r, feedbackResponse{Buffered: buffered, LSN: lsn})
+}
+
+// trimBufferLocked enforces MaxBuffer by dropping the oldest samples (the
+// buffer is append-ordered). The caller holds mu.
+func (s *Server) trimBufferLocked() {
+	if max := s.cfg.Online.MaxBuffer; max > 0 && s.buffer.Len() > max {
+		excess := s.buffer.Len() - max
+		s.buffer.Samples = append([]data.Sample(nil), s.buffer.Samples[excess:]...)
+	}
 }
 
 type refitResponse struct {
@@ -154,34 +194,69 @@ type refitResponse struct {
 	Generation    uint64  `json:"generation"`
 }
 
-// handleRefit trains a candidate model on the feedback buffer and swaps it
-// in only if it validates. The expensive training happens with no server
-// lock held, so /predict and /score keep answering (from the previous
-// model) for the whole refit.
+// errNoFeedback marks a refit attempt with an empty buffer: a no-op for the
+// async consumer, a 409 for the synchronous endpoint.
+var errNoFeedback = errors.New("no feedback buffered")
+
+// handleRefit triggers a refit. Synchronously (the default) it runs the fit
+// on the request and answers with the result; in AsyncRefit mode it kicks
+// the consumer goroutine and answers 202 immediately, so training never
+// occupies an HTTP worker. Overlapping kicks coalesce — the pending run
+// consumes the latest buffer anyway.
 func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Online.AsyncRefit {
+		select {
+		case s.refitKick <- struct{}{}:
+		default: // a kick is already pending
+		}
+		writeJSONStatus(w, r, http.StatusAccepted, map[string]string{
+			"status": "scheduled",
+			"detail": "refit runs asynchronously; progress on /info",
+		})
+		return
+	}
 	if !s.refitMu.TryLock() {
 		httpError(w, r, http.StatusConflict, "refit already in progress")
 		return
 	}
 	defer s.refitMu.Unlock()
+	resp, err := s.runRefit(r.Context())
+	switch {
+	case errors.Is(err, errNoFeedback):
+		httpError(w, r, http.StatusConflict, "no feedback buffered")
+	case err != nil:
+		s.recordRefitFailure(r.Context(), err)
+		httpError(w, r, http.StatusUnprocessableEntity, "refit failed, previous model still serving: %v", err)
+	default:
+		writeJSON(w, r, resp)
+	}
+}
 
+// runRefit trains a candidate model on the feedback buffer and swaps it in
+// only if it validates. The expensive training happens with no server lock
+// held, so /predict and /score keep answering (from the previous model) for
+// the whole refit. The caller holds refitMu; both the synchronous endpoint
+// and the async consumer funnel through here, so the two paths cannot
+// drift. On success the consumed-LSN watermark advances to the buffer LSN
+// captured with the training copy, releasing covered WAL segments to the
+// checkpointer's pruning.
+func (s *Server) runRefit(ctx context.Context) (refitResponse, error) {
 	refitStart := time.Now()
 	defer func() { s.metrics.refitSeconds.Observe(time.Since(refitStart).Seconds()) }()
-	ctx, span := obs.StartSpan(r.Context(), "server.refit")
+	ctx, span := obs.StartSpan(ctx, "server.refit")
 	defer span.End()
-	r = r.WithContext(ctx)
 
 	// Snapshot the inputs under the read lock: a clone of the live model and
 	// the buffered feedback (feedback arriving mid-refit joins the next one).
 	s.mu.RLock()
 	if s.buffer.Len() == 0 {
 		s.mu.RUnlock()
-		httpError(w, r, http.StatusConflict, "no feedback buffered")
-		return
+		return refitResponse{}, errNoFeedback
 	}
 	cand := s.cfg.Model.Clone()
 	buf := data.NewDataset(s.buffer.Name, s.inputDim, s.numClasses)
 	buf.Samples = append([]data.Sample(nil), s.buffer.Samples...)
+	lsnAtCopy := s.bufferLSN
 	oc := s.cfg.Online
 	attempt := s.refits + s.failedRefits + 1
 	hadDensity := s.cfg.Density != nil
@@ -192,7 +267,7 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 
 	rng := rngutil.Derive(oc.Seed, "server-refit", fmt.Sprint(attempt))
 	opt := oc.newOptimizer()
-	_, trainSpan := obs.StartSpan(r.Context(), "server.refit.train")
+	_, trainSpan := obs.StartSpan(ctx, "server.refit.train")
 	trainSpan.SetAttr("samples", buf.Len())
 	stats := cand.Train(
 		buf.Matrix(), buf.Labels(), buf.Sensitive(),
@@ -203,14 +278,13 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	// answered 503, or the client hung up — the caller was told the refit
 	// failed, so swapping the candidate in later would contradict that
 	// answer. Abandon it (recorded on /info like any other failed refit).
-	if err := r.Context().Err(); err != nil {
-		s.rejectRefit(w, r, fmt.Errorf("request cancelled during training, candidate abandoned: %w", err))
-		return
+	// The async consumer runs on a background context and never trips this.
+	if err := ctx.Err(); err != nil {
+		return refitResponse{}, fmt.Errorf("request cancelled during training, candidate abandoned: %w", err)
 	}
 
 	if err := s.validateCandidate(cand, stats); err != nil {
-		s.rejectRefit(w, r, fmt.Errorf("candidate rejected: %w", err))
-		return
+		return refitResponse{}, fmt.Errorf("candidate rejected: %w", err)
 	}
 
 	// Refit the density estimator on the candidate's representation; a
@@ -218,28 +292,25 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	// density the paper's Eq. 3–5 machinery cannot trust.
 	var est *gda.Estimator
 	if hadDensity {
-		_, densitySpan := obs.StartSpan(r.Context(), "server.refit.density")
+		_, densitySpan := obs.StartSpan(ctx, "server.refit.density")
 		feats := cand.Features(buf.Matrix())
 		var err error
 		est, err = gda.Fit(feats, buf.Labels(), buf.Sensitive(),
 			cand.Config().NumClasses, oc.SensValues, gda.Config{})
 		densitySpan.End()
 		if err != nil {
-			s.rejectRefit(w, r, fmt.Errorf("density refit failed: %w", err))
-			return
+			return refitResponse{}, fmt.Errorf("density refit failed: %w", err)
 		}
 		if est.NumComponents() > 0 && est.DegenerateComponents() == est.NumComponents() {
-			s.rejectRefit(w, r, fmt.Errorf(
-				"density refit degenerate: all %d components fell back to pooled statistics", est.NumComponents()))
-			return
+			return refitResponse{}, fmt.Errorf(
+				"density refit degenerate: all %d components fell back to pooled statistics", est.NumComponents())
 		}
 	}
 
 	// Last cancellation check before the point of no return: the density
 	// refit above can outlive the deadline too.
-	if err := r.Context().Err(); err != nil {
-		s.rejectRefit(w, r, fmt.Errorf("request cancelled before swap, candidate abandoned: %w", err))
-		return
+	if err := ctx.Err(); err != nil {
+		return refitResponse{}, fmt.Errorf("request cancelled before swap, candidate abandoned: %w", err)
 	}
 
 	// Candidate validated: swap under the write lock (cheap pointer swaps).
@@ -264,30 +335,31 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 		Generation:    s.generation.Add(1),
 	}
 	s.mu.Unlock()
+	s.consumedLSN.Store(lsnAtCopy)
+	s.updateWALLagMetrics()
 	s.metrics.refits.Inc()
 	s.metrics.generation.Set(float64(resp.Generation))
-	reqLogger(s.cfg.Logger, r.Context()).Info("refit accepted",
+	reqLogger(s.cfg.Logger, ctx).Info("refit accepted",
 		slog.Uint64("generation", resp.Generation),
 		slog.Int("samples", resp.Samples),
 		slog.Float64("trainLoss", resp.TrainLoss),
 		slog.Float64("trainAccuracy", resp.TrainAccuracy),
 		slog.Bool("densityRefit", resp.DensityRefit))
-	writeJSON(w, r, resp)
+	return resp, nil
 }
 
-// rejectRefit records a refit failure (visible on /info) and answers 422.
-// The live model and density are untouched — the server keeps serving the
+// recordRefitFailure records a refit failure on /info and the metrics. The
+// live model and density are untouched — the server keeps serving the
 // last-good generation.
-func (s *Server) rejectRefit(w http.ResponseWriter, r *http.Request, err error) {
+func (s *Server) recordRefitFailure(ctx context.Context, err error) {
 	s.mu.Lock()
 	s.failedRefits++
 	s.lastRefitErr = err.Error()
 	s.mu.Unlock()
 	s.metrics.failedRefits.Inc()
-	reqLogger(s.cfg.Logger, r.Context()).Warn("refit rejected",
+	reqLogger(s.cfg.Logger, ctx).Warn("refit rejected",
 		slog.Uint64("keptGeneration", s.generation.Load()),
 		slog.String("error", err.Error()))
-	httpError(w, r, http.StatusUnprocessableEntity, "refit failed, previous model still serving: %v", err)
 }
 
 // defaultValidateCandidate is the acceptance gate for refit candidates: the

@@ -12,6 +12,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"faction/internal/mat"
 	"faction/internal/nn"
 	"faction/internal/obs"
+	"faction/internal/wal"
 )
 
 // Config assembles a server from its fitted components.
@@ -52,6 +54,13 @@ type Config struct {
 	// Online enables the serving-time adaptation endpoints /feedback and
 	// /refit (see OnlineConfig).
 	Online OnlineConfig
+
+	// WAL, when non-nil, makes /feedback durable: every accepted batch is
+	// appended to the write-ahead log *before* it is buffered or
+	// acknowledged, so a crash loses nothing the client was told succeeded.
+	// The server appends and drain-flushes; opening, boot replay
+	// (ReplayFeedback) and closing belong to the owner (cmd/faction-serve).
+	WAL *wal.WAL
 
 	// BatchDelay enables the request-coalescing micro-batcher: concurrent
 	// /predict and /score requests queue up to BatchDelay and are fused into
@@ -128,6 +137,20 @@ type Server struct {
 	refitStart atomic.Int64 // unix nanos of the running refit; 0 when idle
 	generation atomic.Uint64
 	ready      atomic.Bool
+	replaying  atomic.Bool // true while boot replay rebuilds the buffer
+
+	// bufferLSN (mu) is the WAL LSN of the newest record reflected in the
+	// feedback buffer; consumedLSN is the buffer LSN covered by the last
+	// successful refit — the watermark checkpoints record, making older WAL
+	// segments prunable. The gap AckedLSN−consumedLSN is the replay lag.
+	bufferLSN   uint64
+	consumedLSN atomic.Uint64
+
+	// refitKick wakes the async refit consumer (AsyncRefit mode); stopRefit
+	// ends it, consumerDone confirms it exited.
+	refitKick    chan struct{}
+	stopRefit    chan struct{}
+	consumerDone chan struct{}
 
 	driftMu sync.Mutex // guards the drift detector independently
 
@@ -172,18 +195,130 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BatchDelay > 0 {
 		s.batcher = newBatcher(s)
 	}
+	if cfg.Online.Enabled && cfg.Online.AsyncRefit {
+		s.refitKick = make(chan struct{}, 1)
+		s.stopRefit = make(chan struct{})
+		s.consumerDone = make(chan struct{})
+		go s.refitConsumer()
+	}
 	s.ready.Store(true)
 	return s, nil
 }
 
-// Close releases the server's background resources — today the micro-batcher
-// flusher, after a final drain flush answering every queued request. Safe to
-// call multiple times and on servers without batching; call it after HTTP
-// traffic has drained.
+// refitConsumer drains refit requests off the serving path: each /refit in
+// AsyncRefit mode answers 202 immediately and the training work runs here,
+// so a slow fit never holds an HTTP worker or the request deadline. Kicks
+// arriving while a refit runs coalesce into one follow-up run (the channel
+// holds one pending kick), which consumes the latest buffer anyway.
+func (s *Server) refitConsumer() {
+	defer close(s.consumerDone)
+	for {
+		select {
+		case <-s.stopRefit:
+			return
+		case <-s.refitKick:
+		}
+		s.refitMu.Lock()
+		resp, err := s.runRefit(context.Background())
+		s.refitMu.Unlock()
+		switch {
+		case err == nil:
+			s.cfg.Logger.Info("async refit accepted",
+				slog.Uint64("generation", resp.Generation),
+				slog.Int("samples", resp.Samples))
+		case errors.Is(err, errNoFeedback):
+			// Nothing buffered: a no-op, not a failure.
+		default:
+			s.recordRefitFailure(context.Background(), err)
+		}
+	}
+}
+
+// Close releases the server's background resources: the async refit
+// consumer (waiting out any refit in flight), the micro-batcher flusher
+// after a final drain flush, and a drain-flush of the write-ahead log so
+// every acknowledged feedback record is on disk before the process exits.
+// Safe to call multiple times; call it after HTTP traffic has drained.
 func (s *Server) Close() {
+	if s.stopRefit != nil {
+		select {
+		case <-s.stopRefit: // already closed by an earlier Close
+		default:
+			close(s.stopRefit)
+		}
+		<-s.consumerDone
+	}
 	if s.batcher != nil {
 		s.batcher.close()
 	}
+	if s.cfg.WAL != nil {
+		if err := s.cfg.WAL.Sync(); err != nil {
+			s.cfg.Logger.Error("WAL drain flush failed", slog.String("error", err.Error()))
+		}
+	}
+}
+
+// SetReplaying flips the boot-replay readiness state: while true, /readyz
+// answers 503 "replaying" so load balancers keep traffic away until the
+// feedback buffer is rebuilt from the log.
+func (s *Server) SetReplaying(replaying bool) { s.replaying.Store(replaying) }
+
+// ConsumedLSN returns the WAL watermark the live model covers: every
+// feedback record at or below it was consumed by a successful refit (or by
+// the snapshot the process booted from). Checkpoints persist it via
+// resilience.SaveSnapshotLSN, and WAL segments at or below it are prunable.
+func (s *Server) ConsumedLSN() uint64 { return s.consumedLSN.Load() }
+
+// ReplayFeedback rebuilds the feedback buffer from the write-ahead log,
+// applying every feedback record with LSN strictly above fromLSN (the LSN
+// the booted snapshot covers). Acquisition records are skipped — they are
+// audit history, not training data. It returns the number of batches
+// applied; a record whose shape no longer matches the model is an error,
+// not a silent skip, since it means the WAL belongs to a different model.
+func (s *Server) ReplayFeedback(fromLSN uint64) (int, error) {
+	wlog := s.cfg.WAL
+	if wlog == nil {
+		return 0, nil
+	}
+	s.consumedLSN.Store(fromLSN)
+	s.mu.Lock()
+	s.bufferLSN = fromLSN
+	s.mu.Unlock()
+	applied := 0
+	err := wlog.Replay(fromLSN, func(lsn uint64, payload []byte) error {
+		kind, err := wal.RecordKind(payload)
+		if err != nil {
+			return fmt.Errorf("wal record %d: %w", lsn, err)
+		}
+		if kind != wal.KindFeedback {
+			return nil
+		}
+		fb, err := wal.DecodeFeedback(payload)
+		if err != nil {
+			return fmt.Errorf("wal record %d: %w", lsn, err)
+		}
+		samples := make([]data.Sample, len(fb.X))
+		for i := range fb.X {
+			if len(fb.X[i]) != s.inputDim {
+				return fmt.Errorf("wal record %d: instance has %d features, model expects %d", lsn, len(fb.X[i]), s.inputDim)
+			}
+			if fb.Y[i] < 0 || fb.Y[i] >= s.numClasses {
+				return fmt.Errorf("wal record %d: label %d out of range %d", lsn, fb.Y[i], s.numClasses)
+			}
+			samples[i] = data.Sample{X: fb.X[i], Y: fb.Y[i], S: fb.S[i]}
+		}
+		s.mu.Lock()
+		s.buffer.Append(samples...)
+		s.trimBufferLocked()
+		s.bufferLSN = lsn
+		buffered := s.buffer.Len()
+		s.mu.Unlock()
+		s.metrics.feedback.Set(float64(buffered))
+		applied++
+		return nil
+	})
+	s.updateWALLagMetrics()
+	return applied, err
 }
 
 // SetReady flips the /readyz readiness gate. The shutdown path calls
@@ -470,6 +605,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // refit has been running longer than RefitUnreadyAfter (the model swap is
 // imminent and latency may spike).
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.replaying.Load() {
+		writeJSONStatus(w, r, http.StatusServiceUnavailable, map[string]string{
+			"status": "replaying",
+			"reason": "rebuilding feedback buffer from the write-ahead log",
+		})
+		return
+	}
 	if !s.ready.Load() {
 		writeJSONStatus(w, r, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return

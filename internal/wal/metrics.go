@@ -1,0 +1,44 @@
+package wal
+
+import "faction/internal/obs"
+
+// Metrics is the log's instrumentation set. Registration is idempotent per
+// registry, so several logs sharing one registry share these families.
+type Metrics struct {
+	appendSeconds *obs.Histogram // faction_wal_append_seconds
+	fsyncSeconds  *obs.Histogram // faction_wal_fsync_seconds
+	appends       *obs.Counter   // faction_wal_appends_total
+	appendErrors  *obs.Counter   // faction_wal_append_errors_total
+	fsyncs        *obs.Counter   // faction_wal_fsyncs_total
+	segments      *obs.Gauge     // faction_wal_segments
+	ackedLSN      *obs.Gauge     // faction_wal_acked_lsn
+	pruned        *obs.Counter   // faction_wal_pruned_segments_total
+	quarantined   *obs.Counter   // faction_wal_quarantined_segments_total
+}
+
+// NewMetrics registers (or re-resolves) the WAL metric families in reg.
+// Latency buckets run 1µs–262ms: appends are a buffered write syscall,
+// fsyncs dominate the upper decades.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	buckets := obs.ExpBuckets(1e-6, 4, 10)
+	return &Metrics{
+		appendSeconds: reg.Histogram("faction_wal_append_seconds",
+			"Latency of one WAL append, including its durability wait.", buckets),
+		fsyncSeconds: reg.Histogram("faction_wal_fsync_seconds",
+			"Latency of one WAL fsync (group commit batches appenders behind each).", buckets),
+		appends: reg.Counter("faction_wal_appends_total",
+			"Acknowledged WAL appends."),
+		appendErrors: reg.Counter("faction_wal_append_errors_total",
+			"WAL appends that failed (not acknowledged, surfaced to the caller)."),
+		fsyncs: reg.Counter("faction_wal_fsyncs_total",
+			"WAL fsync calls issued."),
+		segments: reg.Gauge("faction_wal_segments",
+			"Live WAL segment files on disk."),
+		ackedLSN: reg.Gauge("faction_wal_acked_lsn",
+			"Highest WAL LSN acknowledged durable."),
+		pruned: reg.Counter("faction_wal_pruned_segments_total",
+			"WAL segments removed because a snapshot covers their records."),
+		quarantined: reg.Counter("faction_wal_quarantined_segments_total",
+			"WAL segments quarantined by recovery because of interior corruption."),
+	}
+}
