@@ -166,7 +166,10 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.buffer.Append(samples...)
 	s.trimBufferLocked()
-	if lsn > 0 {
+	if lsn > s.bufferLSN {
+		// Advance-only: WAL appends happen outside s.mu, so two concurrent
+		// requests can reach this point out of LSN order. Regressing the
+		// watermark would understate coverage and replay covered records.
 		s.bufferLSN = lsn
 	}
 	buffered := s.buffer.Len()

@@ -69,6 +69,13 @@ var ErrCorrupt = errors.New("wal corrupt")
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal closed")
 
+// ErrFailed latches the log after a failed append whose partial frame could
+// not be rolled back: a further successful append would land valid data after
+// the garbage, which recovery would have to classify as interior corruption
+// and quarantine — turning a transient write error into permanent loss of
+// records acknowledged afterwards. Appends are refused instead.
+var ErrFailed = errors.New("wal failed: partial frame could not be rolled back")
+
 // FsyncMode selects when Append acknowledges durability.
 type FsyncMode int
 
@@ -173,6 +180,7 @@ type WAL struct {
 	segments []segment // sorted by firstLSN; last entry is the active one
 	scratch  []byte
 	closed   bool
+	failed   bool // a partial frame is stuck in the active file; see ErrFailed
 
 	nextLSN uint64        // next LSN to assign (mu)
 	written atomic.Uint64 // last LSN fully written to the active file
@@ -251,6 +259,14 @@ func (w *WAL) recover() error {
 		return fmt.Errorf("wal: listing %s: %w", w.dir, err)
 	}
 	expect := uint64(1)
+	if len(segs) > 0 {
+		// A chain starting past LSN 1 is the footprint of checkpoint
+		// pruning (Prune removes snapshot-covered segments from the front),
+		// not corruption. Only gaps *between* surviving segments are
+		// treated as corruption below.
+		expect = segs[0].firstLSN
+		w.nextLSN = expect
+	}
 	for i, seg := range segs {
 		last := i == len(segs)-1
 		if seg.firstLSN != expect {
@@ -582,6 +598,10 @@ func (w *WAL) append(payload []byte) (uint64, error) {
 		w.mu.Unlock()
 		return 0, ErrClosed
 	}
+	if w.failed {
+		w.mu.Unlock()
+		return 0, ErrFailed
+	}
 	lsn := w.nextLSN
 	frameLen := frameHeader + len(payload)
 	if cap(w.scratch) < frameLen {
@@ -593,7 +613,13 @@ func (w *WAL) append(payload []byte) (uint64, error) {
 	copy(frame[frameHeader:], payload)
 	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(frame[8:], crcTable))
 	if _, err := w.active.Write(frame); err != nil {
-		// The file may now hold a partial frame; recovery will truncate it.
+		// The file may now hold a partial frame. Roll it back so a later
+		// successful append cannot bury it mid-segment — recovery would read
+		// that as interior corruption and quarantine the acknowledged records
+		// after it. If the rollback itself fails, latch the log instead.
+		if terr := w.active.Truncate(w.activeSz); terr != nil {
+			w.failed = true
+		}
 		w.mu.Unlock()
 		return 0, fmt.Errorf("wal: appending record %d: %w", lsn, err)
 	}
@@ -743,6 +769,12 @@ func (w *WAL) Replay(fromLSN uint64, fn func(lsn uint64, payload []byte) error) 
 		}
 		done, err := replaySegment(seg.path, fromLSN, bound, fn)
 		if err != nil {
+			// A concurrent Prune may have unlinked this segment after we
+			// copied the list; its records are snapshot-covered (Prune's
+			// precondition), so skip it rather than failing the replay.
+			if errors.Is(err, os.ErrNotExist) && !w.segmentLive(seg.firstLSN) {
+				continue
+			}
 			return err
 		}
 		if done {
@@ -750,6 +782,19 @@ func (w *WAL) Replay(fromLSN uint64, fn func(lsn uint64, payload []byte) error) 
 		}
 	}
 	return nil
+}
+
+// segmentLive reports whether a segment with the given first LSN is still in
+// the live chain (i.e. has not been pruned since the caller observed it).
+func (w *WAL) segmentLive(firstLSN uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, s := range w.segments {
+		if s.firstLSN == firstLSN {
+			return true
+		}
+	}
+	return false
 }
 
 // replaySegment delivers the segment's records in (fromLSN, bound] to fn.

@@ -173,6 +173,128 @@ func TestPruneKeepsUncoveredAndActive(t *testing.T) {
 	}
 }
 
+// TestPruneThenReopenReplay pins the checkpoint-prune restart path: a chain
+// whose oldest segments were pruned must reopen cleanly (a missing prefix is
+// a prune footprint, not corruption), keep its LSN sequence, and replay every
+// surviving record past the snapshot horizon.
+func TestPruneThenReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, w, 0, 200)
+	covered := uint64(100)
+	if n, err := w.Prune(covered); err != nil || n == 0 {
+		t.Fatalf("prune(%d) = %d, %v", covered, n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	rec := w2.Recovery()
+	if rec.Err != nil || len(rec.Quarantined) != 0 {
+		t.Fatalf("reopen after prune quarantined the survivors: %+v", rec)
+	}
+	if rec.LastLSN != 200 {
+		t.Fatalf("recovered LastLSN = %d, want 200", rec.LastLSN)
+	}
+	got := replayAll(t, w2, covered)
+	for lsn := covered + 1; lsn <= 200; lsn++ {
+		if !bytes.Equal(got[lsn], want[lsn]) {
+			t.Fatalf("LSN %d lost across prune+reopen", lsn)
+		}
+	}
+	for lsn := range got {
+		if lsn <= covered {
+			t.Fatalf("replay delivered covered LSN %d", lsn)
+		}
+	}
+	// LSNs continue where they left off — no reset-to-1 collision with the
+	// snapshot's covered horizon.
+	if lsn, err := w2.Append([]byte("after prune+reopen")); err != nil || lsn != 201 {
+		t.Fatalf("append after prune+reopen: lsn=%d err=%v, want 201", lsn, err)
+	}
+}
+
+// TestReplaySkipsConcurrentlyPrunedSegments pins the replay/prune race: a
+// segment unlinked after Replay copied the chain is skipped (its records are
+// snapshot-covered by Prune's contract), not surfaced as an I/O error.
+func TestReplaySkipsConcurrentlyPrunedSegments(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 0, 100)
+	if w.SegmentCount() < 3 {
+		t.Fatalf("need several segments, got %d", w.SegmentCount())
+	}
+	pruned := false
+	var seen []uint64
+	err = w.Replay(0, func(lsn uint64, _ []byte) error {
+		if !pruned {
+			pruned = true
+			// Unlink everything prunable while the replay is mid-flight.
+			if n, err := w.Prune(w.LastLSN()); err != nil || n == 0 {
+				return fmt.Errorf("prune during replay: n=%d err=%v", n, err)
+			}
+		}
+		seen = append(seen, lsn)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay across concurrent prune: %v", err)
+	}
+	if len(seen) == 0 || seen[len(seen)-1] != 100 {
+		t.Fatalf("replay did not reach the active segment: saw %d records, last %v", len(seen), seen)
+	}
+}
+
+// TestAppendWriteFailureDoesNotCorrupt pins the failed-append contract: after
+// a write error the log either rolls the partial frame back or latches shut —
+// it never lets a later append bury garbage mid-segment, and reopening
+// recovers exactly the acknowledged prefix with no corruption verdict.
+func TestAppendWriteFailureDoesNotCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, w, 0, 5)
+
+	// Inject a write failure: close the active file out from under append.
+	// Both the write and the rollback truncate fail, so the log must latch.
+	w.mu.Lock()
+	w.active.Close()
+	w.mu.Unlock()
+	if _, err := w.Append([]byte("boom")); err == nil {
+		t.Fatal("append on a closed file succeeded")
+	}
+	if _, err := w.Append([]byte("after failure")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append after unrecovered write failure: %v, want ErrFailed", err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	rec := w2.Recovery()
+	if rec.Err != nil {
+		t.Fatalf("write failure left the log corrupt: %v", rec.Err)
+	}
+	if rec.Records != 5 {
+		t.Fatalf("recovered %d records, want the 5 acknowledged", rec.Records)
+	}
+	assertRecords(t, replayAll(t, w2, 0), want)
+}
+
 func TestFsyncModes(t *testing.T) {
 	for _, mode := range []FsyncMode{FsyncGroup, FsyncAlways, FsyncNever} {
 		t.Run(mode.String(), func(t *testing.T) {
