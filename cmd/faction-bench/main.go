@@ -56,6 +56,7 @@ import (
 
 	"faction/internal/bench"
 	"faction/internal/experiments"
+	"faction/internal/mat"
 )
 
 func main() {
@@ -69,6 +70,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel protocol runs (0 = GOMAXPROCS, the shared kernel default)")
 		outDir   = flag.String("out", "", "also write rendered outputs into this directory")
 		kernel   = flag.String("kernel", "", "run the kernel micro-benchmarks and write the JSON report to this path instead of running experiments")
+		par      = flag.Int("parallelism", 0, "force the mat worker-pool width for -kernel (0 = GOMAXPROCS default); the report records the width used")
 		serve    = flag.String("serve", "", "run the serving-layer coalesced-load benchmark and write the JSON report to this path instead of running experiments")
 		alloc    = flag.String("alloc", "", "run the read-path allocation suite and write the JSON report to this path instead of running experiments")
 		walPath  = flag.String("wal", "", "run the WAL durability benchmark and write the JSON report to this path instead of running experiments")
@@ -131,6 +133,12 @@ func main() {
 		datasets := opt.Datasets
 		if len(datasets) == 0 {
 			datasets = []string{"nysf"}
+		}
+		if *par > 0 {
+			// Force the worker-pool width for the whole suite. Suite entries
+			// that pin their own width (the .../serial variants) still do;
+			// the .../parallel variants and the Fig. 2 wall-clock inherit it.
+			mat.SetParallelism(*par)
 		}
 		if err := runKernelBench(*kernel, datasets, *workers); err != nil {
 			fatal(err)

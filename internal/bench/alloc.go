@@ -88,13 +88,13 @@ func RunAlloc() (AllocReport, error) {
 	feats := model.Features(probe)
 
 	add := func(name string, fn func(b *testing.B)) {
-		rep.Kernels = append(rep.Kernels, toResult(name, testing.Benchmark(fn)))
+		rep.Kernels = append(rep.Kernels, toResult(name, stableBench(fn)))
 	}
 
 	// Forward pass: fresh activation matrices per call vs the pooled arena.
 	add("LogitsAndFeatures/alloc", func(b *testing.B) {
 		b.ReportAllocs()
-		b.ResetTimer()
+		quiesce(b)
 		for i := 0; i < b.N; i++ {
 			model.LogitsAndFeatures(probe)
 		}
@@ -106,7 +106,7 @@ func RunAlloc() (AllocReport, error) {
 			a.Release()
 		}
 		b.ReportAllocs()
-		b.ResetTimer()
+		quiesce(b)
 		for i := 0; i < b.N; i++ {
 			a := mat.GetArena()
 			model.LogitsAndFeaturesScratch(probe, a)
@@ -118,7 +118,7 @@ func RunAlloc() (AllocReport, error) {
 	// raw pass sliced into a caller-owned buffer.
 	add("GDAScoreBatch/alloc", func(b *testing.B) {
 		b.ReportAllocs()
-		b.ResetTimer()
+		quiesce(b)
 		for i := 0; i < b.N; i++ {
 			est.ScoreBatch(feats)
 		}
@@ -131,7 +131,7 @@ func RunAlloc() (AllocReport, error) {
 			raw.Release()
 		}
 		b.ReportAllocs()
-		b.ResetTimer()
+		quiesce(b)
 		for i := 0; i < b.N; i++ {
 			raw := est.ScoreBatchRaw(feats)
 			raw.SliceInto(&batch, 0, feats.Rows)
@@ -142,7 +142,7 @@ func RunAlloc() (AllocReport, error) {
 	// Log-density batch (Eq. 3): fresh slice per call vs caller-owned dst.
 	add("LogDensityBatch/alloc", func(b *testing.B) {
 		b.ReportAllocs()
-		b.ResetTimer()
+		quiesce(b)
 		for i := 0; i < b.N; i++ {
 			est.LogDensityBatch(feats)
 		}
@@ -153,7 +153,7 @@ func RunAlloc() (AllocReport, error) {
 			est.LogDensityBatchInto(dst, feats)
 		}
 		b.ReportAllocs()
-		b.ResetTimer()
+		quiesce(b)
 		for i := 0; i < b.N; i++ {
 			est.LogDensityBatchInto(dst, feats)
 		}
@@ -202,7 +202,7 @@ func benchPredictHTTP(model *nn.Classifier, est *gda.Estimator, probe *mat.Dense
 	rb := &allocReplayBody{}
 	req.Body = rb
 	w := &allocResponseWriter{h: http.Header{}}
-	return toResult("PredictHTTP/full-stack", testing.Benchmark(func(b *testing.B) {
+	return toResult("PredictHTTP/full-stack", stableBench(func(b *testing.B) {
 		serve := func() {
 			rb.r.Reset(body)
 			w.body, w.code = w.body[:0], 0
@@ -215,7 +215,7 @@ func benchPredictHTTP(model *nn.Classifier, est *gda.Estimator, probe *mat.Dense
 			serve()
 		}
 		b.ReportAllocs()
-		b.ResetTimer()
+		quiesce(b)
 		for i := 0; i < b.N; i++ {
 			serve()
 		}

@@ -71,16 +71,14 @@ type Component struct {
 	logNormBase float64 // −(d/2)·log(2π) − ½·log|Σ|
 	logWeight   float64 // log(Weight), precomputed by finalize
 	sIdx        int     // index of S in the estimator's SensValues
+	ordIdx      int     // index in the estimator's ordered list / whitened stack
 }
 
-// logPDF returns log N(z; mean, Σ).
-func (c *Component) logPDF(z []float64) float64 {
-	return c.logNormBase - 0.5*c.chol.Mahalanobis(z, c.Mean)
-}
-
-// logPDFScratch is logPDF with a caller-provided length-Dim scratch buffer,
-// so batch loops run allocation-free.
-func (c *Component) logPDFScratch(z, scratch []float64) float64 {
+// logPDFSolve is log N(z; mean, Σ) via the per-row triangular solve. The hot
+// paths all use the whitened kernel (mat.WhitenedStack); this is kept as the
+// independent reference the differential tests compare against. scratch must
+// have length Dim.
+func (c *Component) logPDFSolve(z, scratch []float64) float64 {
 	return c.logNormBase - 0.5*c.chol.MahalanobisScratch(z, c.Mean, scratch)
 }
 
@@ -101,10 +99,18 @@ type Estimator struct {
 	// order would otherwise perturb the floating-point sum run to run) — the
 	// property the parallel-equals-serial ScoreBatch guarantee rests on.
 	ordered []*Component
+	// wstack holds the precomputed whitening (W_k = L_k⁻¹, m̃_k = W_k·μ_k) of
+	// every ordered component, the operand of the batch Mahalanobis kernel.
+	// Derived from the Cholesky factor bits in finalize, so Fit and a Load of
+	// its snapshot build bit-identical stacks.
+	wstack *mat.WhitenedStack
 }
 
-// finalize (re)builds the deterministic component ordering and the cached
-// per-component terms. Called at the end of Fit and Load.
+// finalize (re)builds the deterministic component ordering, the cached
+// per-component terms, and the whitened scoring stack. Called at the end of
+// Fit and Load — the snapshot persists only the Cholesky factors, and because
+// mat.(*Cholesky).InvLower is deterministic in the factor bits, the
+// Load-derived whitening matches the Fit-derived one exactly.
 func (e *Estimator) finalize() {
 	sensIdx := make(map[int]int, len(e.SensValues))
 	for k, v := range e.SensValues {
@@ -122,7 +128,16 @@ func (e *Estimator) finalize() {
 		}
 		return e.ordered[a].S < e.ordered[b].S
 	})
+	e.wstack = mat.NewWhitenedStack(e.Dim)
+	for j, c := range e.ordered {
+		c.ordIdx = j
+		e.wstack.AddFactor(c.chol, c.Mean)
+	}
 }
+
+// WhitenedStack exposes the precomputed whitening stack (component order
+// matches the (Y, S)-sorted iteration). For persistence round-trip tests.
+func (e *Estimator) WhitenedStack() *mat.WhitenedStack { return e.wstack }
 
 // Fit builds the (class × sensitive) mixture of Section IV-B from feature
 // vectors (one row per sample), labels y ∈ [0, classes) and sensitive values
@@ -202,11 +217,7 @@ func Fit(features *mat.Dense, y, s []int, classes int, sensValues []int, cfg Con
 	}
 	e.finalize()
 	e.TrainLogDensities = make([]float64, n)
-	scratch := make([]float64, d)
-	terms := make([]float64, len(e.ordered))
-	for i := 0; i < n; i++ {
-		e.TrainLogDensities[i] = e.logDensity(features.Row(i), terms, scratch)
-	}
+	e.LogDensityBatchInto(e.TrainLogDensities, features)
 	return e, nil
 }
 
@@ -242,30 +253,41 @@ func (e *Estimator) DegenerateComponents() int {
 }
 
 // LogDensity returns log g(z) = log Σ_{y,s} p(y,s)·g(z|y,s) (Eq. 3),
-// computed stably in log space. Components are summed in (Y, S) order, so
-// the value is deterministic and bit-identical to ScoreBatch's internal sum.
+// computed stably in log space. It is a one-row whitened batch: lane
+// independence of the kernel makes the value bit-identical to the same row
+// scored inside any larger batch, and the (Y, S)-ordered sum makes it
+// bit-identical to ScoreBatch's internal sum.
 func (e *Estimator) LogDensity(z []float64) float64 {
 	e.checkDim(z)
-	return e.logDensity(z, make([]float64, len(e.ordered)), make([]float64, e.Dim))
+	var out [1]float64
+	e.LogDensityBatchInto(out[:], mat.NewDenseData(1, e.Dim, z))
+	return out[0]
 }
 
-// logDensity is LogDensity on caller-owned scratch: terms must have length
-// NumComponents and scratch length Dim.
-func (e *Estimator) logDensity(z, terms, scratch []float64) float64 {
+// logDensitySolve is LogDensity via per-component triangular solves, on
+// caller-owned scratch (terms length NumComponents, scratch length Dim).
+// Retained as the reference the whitened path is differentially tested
+// against; not bit-identical to LogDensity (different accumulation order of
+// the same products).
+func (e *Estimator) logDensitySolve(z, terms, scratch []float64) float64 {
 	for j, c := range e.ordered {
-		terms[j] = c.logWeight + c.logPDFScratch(z, scratch)
+		terms[j] = c.logWeight + c.logPDFSolve(z, scratch)
 	}
 	return mat.LogSumExp(terms)
 }
 
 // LogCondDensity returns log g(z|y,s), or −Inf when the component is absent.
+// Evaluated through the whitened kernel, so it bit-matches the conditional
+// log-pdfs inside ScoreBatchRaw.
 func (e *Estimator) LogCondDensity(z []float64, y, s int) float64 {
 	e.checkDim(z)
 	c := e.Component(y, s)
 	if c == nil {
 		return math.Inf(-1)
 	}
-	return c.logPDF(z)
+	quads := make([]float64, len(e.ordered))
+	e.wstack.MahalanobisInto(quads, mat.NewDenseData(1, e.Dim, z))
+	return c.logNormBase - 0.5*quads[c.ordIdx]
 }
 
 func (e *Estimator) checkDim(z []float64) {
@@ -284,22 +306,26 @@ func growFloats(buf []float64, n int) []float64 {
 	return buf[:n]
 }
 
-// densScratch is the per-shard scratch of a density pass: a length-Dim
-// Mahalanobis buffer and a per-component log-pdf terms buffer. Pooled so that
+// densScratch is the per-shard scratch of a density reduction pass: the
+// per-component log-pdf terms buffer fed to LogSumExp. Pooled so that
 // concurrent shards (and concurrent callers) each check out their own without
 // allocating at steady state.
 type densScratch struct {
-	scratch, terms []float64
+	terms []float64
 }
 
 var densScratchPool = sync.Pool{New: func() any { return new(densScratch) }}
 
-func getDensScratch(dim, comps int) *densScratch {
+func getDensScratch(comps int) *densScratch {
 	ds := densScratchPool.Get().(*densScratch)
-	ds.scratch = growFloats(ds.scratch, dim)
 	ds.terms = growFloats(ds.terms, comps)
 	return ds
 }
+
+// quadsPool recycles the n×NumComponents Mahalanobis buffer of density passes
+// that do not keep it (LogDensityBatchInto); ScoreBatchRaw keeps its own on
+// the pooled RawScores.
+var quadsPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // BatchScores holds the relative densities of a batch on a common scale
 // (every value is multiplied by e^{−M}, where M is the batch-wide maximum
@@ -329,20 +355,23 @@ type BatchScores struct {
 }
 
 // scoreBatchMinGrain is the smallest per-shard sample count worth a pool
-// handoff when ScoreBatch shards a batch (each sample costs
-// O(components·Dim²), so even small batches amortize the dispatch).
+// handoff when the log-space reduction shards a batch (the O(components·Dim²)
+// Mahalanobis work runs in the whitened kernel pass beforehand; the reduction
+// is O(components) per sample, so shards are kept coarser).
 const scoreBatchMinGrain = 8
 
 // ScoreBatch evaluates the overall density and the per-class fairness gaps
 // for each feature row, on a shared numeric scale (see BatchScores).
 //
-// Samples are sharded across the kernel worker pool (mat.ParallelFor); every
-// per-sample value is computed by exactly one shard with the deterministic
-// component ordering, and the batch scale M is a max reduction, so the result
-// is bit-identical to a serial evaluation. Per-component log-pdfs are
-// computed once per sample and shared between the overall density and the
-// conditional gaps, and all per-sample storage views flattened backing
-// slices — the pre-existing per-sample allocations are gone.
+// The quadratic forms are evaluated by the whitened batch kernel
+// (mat.WhitenedStack.MahalanobisInto) — one packed pass over all rows ×
+// components instead of per-row triangular solves — then a sharded log-space
+// reduction turns them into densities and gaps. Kernel lanes and reduction
+// rows are row-independent with a fixed accumulation order, so the result is
+// bit-identical to a serial evaluation at any parallelism. Per-component
+// log-pdfs are computed once per sample and shared between the overall
+// density and the conditional gaps, and all per-sample storage views
+// flattened backing slices.
 //
 // ScoreBatch is SliceInto(0, n) over one raw log-space pass; a request
 // coalescer that concatenates several callers' rows into one ScoreBatchRaw
@@ -374,7 +403,11 @@ type RawScores struct {
 	logCond []float64
 	// rowMax[i] is the per-row maximum over logG[i] and the row's finite
 	// component log-pdfs — the quantity a range's common scale M reduces over.
-	rowMax      []float64
+	rowMax []float64
+	// quads[i·K+j] is the whitened Mahalanobis distance of row i to ordered
+	// component j, filled by one batch kernel pass and reduced to log-pdfs by
+	// the sharded reduction.
+	quads       []float64
 	classes, ns int
 	released    bool
 }
@@ -396,10 +429,9 @@ func (r *RawScores) Release() {
 // allocating: pooled jobs pre-bind fn to their run method once (at pool-New
 // time), so the hot path never constructs a closure.
 type scoreJob struct {
-	e        *Estimator
-	features *mat.Dense
-	raw      *RawScores
-	fn       func(lo, hi int)
+	e   *Estimator
+	raw *RawScores
+	fn  func(lo, hi int)
 }
 
 var scoreJobPool = sync.Pool{New: func() any {
@@ -409,13 +441,14 @@ var scoreJobPool = sync.Pool{New: func() any {
 }}
 
 func (j *scoreJob) run(lo, hi int) {
-	e, features, raw := j.e, j.features, j.raw
+	e, raw := j.e, j.raw
 	classes, ns := raw.classes, raw.ns
+	nc := len(e.ordered)
 	multiSens := ns >= 2
-	ds := getDensScratch(e.Dim, len(e.ordered))
-	scratch, terms := ds.scratch, ds.terms
+	ds := getDensScratch(nc)
+	terms := ds.terms
 	for i := lo; i < hi; i++ {
-		z := features.Row(i)
+		qrow := raw.quads[i*nc : (i+1)*nc]
 		rowMax := math.Inf(-1)
 		if multiSens {
 			row := raw.logCond[i*classes*ns : (i+1)*classes*ns]
@@ -423,17 +456,22 @@ func (j *scoreJob) run(lo, hi int) {
 				row[j] = math.Inf(-1)
 			}
 			for j, c := range e.ordered {
-				lp := c.logPDFScratch(z, scratch)
+				lp := c.logNormBase - 0.5*qrow[j]
 				terms[j] = c.logWeight + lp
 				row[c.Y*ns+c.sIdx] = lp
 				if lp > rowMax {
 					rowMax = lp
 				}
 			}
-			raw.LogG[i] = mat.LogSumExp(terms)
 		} else {
-			raw.LogG[i] = e.logDensity(z, terms, scratch)
+			// Same expression shape as the multi-sens branch and as
+			// logDensJob.run, so LogG bits agree across every path.
+			for j, c := range e.ordered {
+				lp := c.logNormBase - 0.5*qrow[j]
+				terms[j] = c.logWeight + lp
+			}
 		}
+		raw.LogG[i] = mat.LogSumExp(terms)
 		if raw.LogG[i] > rowMax {
 			rowMax = raw.LogG[i]
 		}
@@ -465,10 +503,15 @@ func (e *Estimator) ScoreBatchRaw(features *mat.Dense) *RawScores {
 	if ns >= 2 {
 		raw.logCond = growFloats(raw.logCond, n*classes*ns)
 	}
+	// One batch kernel pass fills every (row, component) Mahalanobis distance;
+	// the sharded reduction below only does the O(n·K) log-space arithmetic.
+	nc := len(e.ordered)
+	raw.quads = growFloats(raw.quads, n*nc)
+	e.wstack.MahalanobisInto(raw.quads, features)
 	j := scoreJobPool.Get().(*scoreJob)
-	j.e, j.features, j.raw = e, features, raw
+	j.e, j.raw = e, raw
 	mat.ParallelFor(n, scoreBatchMinGrain, j.fn)
-	j.e, j.features, j.raw = nil, nil, nil
+	j.e, j.raw = nil, nil
 	scoreJobPool.Put(j)
 	scoreBatchSeconds.Observe(time.Since(start).Seconds())
 	return raw
@@ -558,10 +601,10 @@ func (r *RawScores) SliceInto(dst *BatchScores, lo, hi int) {
 
 // logDensJob is scoreJob's twin for LogDensityBatchInto.
 type logDensJob struct {
-	e        *Estimator
-	features *mat.Dense
-	out      []float64
-	fn       func(lo, hi int)
+	e     *Estimator
+	quads []float64
+	out   []float64
+	fn    func(lo, hi int)
 }
 
 var logDensJobPool = sync.Pool{New: func() any {
@@ -572,9 +615,16 @@ var logDensJobPool = sync.Pool{New: func() any {
 
 func (j *logDensJob) run(lo, hi int) {
 	e := j.e
-	ds := getDensScratch(e.Dim, len(e.ordered))
+	nc := len(e.ordered)
+	ds := getDensScratch(nc)
+	terms := ds.terms
 	for i := lo; i < hi; i++ {
-		j.out[i] = e.logDensity(j.features.Row(i), ds.terms, ds.scratch)
+		qrow := j.quads[i*nc : (i+1)*nc]
+		for k, c := range e.ordered {
+			lp := c.logNormBase - 0.5*qrow[k]
+			terms[k] = c.logWeight + lp
+		}
+		j.out[i] = mat.LogSumExp(terms)
 	}
 	densScratchPool.Put(ds)
 }
@@ -604,11 +654,17 @@ func (e *Estimator) LogDensityBatchInto(dst []float64, features *mat.Dense) {
 	if n == 0 {
 		return
 	}
+	nc := len(e.ordered)
+	qp := quadsPool.Get().(*[]float64)
+	quads := growFloats(*qp, n*nc)
+	e.wstack.MahalanobisInto(quads, features)
 	j := logDensJobPool.Get().(*logDensJob)
-	j.e, j.features, j.out = e, features, dst
+	j.e, j.quads, j.out = e, quads, dst
 	mat.ParallelFor(n, scoreBatchMinGrain, j.fn)
-	j.e, j.features, j.out = nil, nil, nil
+	j.e, j.quads, j.out = nil, nil, nil
 	logDensJobPool.Put(j)
+	*qp = quads
+	quadsPool.Put(qp)
 }
 
 // maxPairwiseGap returns max_{k,k'} |e^{l_k−m} − e^{l_k'−m}| over the finite

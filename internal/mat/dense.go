@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"sync"
 )
 
 // Dense is a row-major dense matrix.
@@ -168,7 +167,7 @@ func MulInto(dst, a, b *Dense) {
 		mulShard(shard{dst: dst, a: a, b: b, lo: 0, hi: n})
 		return
 	}
-	runSharded(n, Parallelism(), shard{kernel: mulShard, dst: dst, a: a, b: b})
+	runSharded(n, shardCount(n*k*p), shard{kernel: mulShard, dst: dst, a: a, b: b})
 }
 
 // mulShard computes output rows [lo, hi) of dst = a × b. Shards large enough
@@ -217,11 +216,6 @@ const (
 	packJB = 64
 )
 
-var panelPool = sync.Pool{New: func() any {
-	b := make([]float64, packLB*packJB)
-	return &b
-}}
-
 // mulShardPacked computes output rows [lo, hi) of dst = a × b with a packed,
 // cache-blocked inner kernel: B is copied tile by tile (l-block × j-block)
 // into a contiguous panel that is then reused across every output row of the
@@ -234,6 +228,12 @@ var panelPool = sync.Pool{New: func() any {
 // ascending order and, inside each panel, over l in ascending order — the
 // exact serial accumulation sequence. Blocking changes which elements are
 // computed *near each other in time*, never the per-element operation order.
+//
+// The panel lives on the stack (not a sync.Pool): a pool entry evicted by a
+// GC cycle mid-benchmark re-allocates and shows up as spurious allocs/op on a
+// path the bench gate pins at zero. A stack array is structurally
+// allocation-free; its one-time zeroing on frame entry is noise next to the
+// ≥packFlopThreshold multiply–adds a packed shard is guaranteed to run.
 func mulShardPacked(s shard) {
 	a, b, dst := s.a, s.b, s.dst
 	k, p := a.Cols, b.Cols
@@ -247,8 +247,8 @@ func mulShardPacked(s shard) {
 		}
 		return
 	}
-	panelPtr := panelPool.Get().(*[]float64)
-	panel := *panelPtr
+	var panelBuf [packLB * packJB]float64
+	panel := panelBuf[:]
 	for j0 := 0; j0 < p; j0 += packJB {
 		j1 := min(j0+packJB, p)
 		jw := j1 - j0
@@ -275,7 +275,6 @@ func mulShardPacked(s shard) {
 			}
 		}
 	}
-	panelPool.Put(panelPtr)
 }
 
 // MulTA returns aᵀ × b.
@@ -306,7 +305,7 @@ func MulTAInto(dst, a, b *Dense) {
 		mulTAShard(shard{dst: dst, a: a, b: b, lo: 0, hi: k})
 		return
 	}
-	runSharded(k, Parallelism(), shard{kernel: mulTAShard, dst: dst, a: a, b: b})
+	runSharded(k, shardCount(n*k*p), shard{kernel: mulTAShard, dst: dst, a: a, b: b})
 }
 
 // mulTAShard computes output rows [lo, hi) of dst = aᵀ × b. The outer loop
@@ -361,7 +360,7 @@ func MulTBInto(dst, a, b *Dense) {
 		mulTBShard(shard{dst: dst, a: a, b: b, lo: 0, hi: n})
 		return
 	}
-	runSharded(n, Parallelism(), shard{kernel: mulTBShard, dst: dst, a: a, b: b})
+	runSharded(n, shardCount(n*k*p), shard{kernel: mulTBShard, dst: dst, a: a, b: b})
 }
 
 // mulTBShard computes output rows [lo, hi) of dst = a × bᵀ (a dot product

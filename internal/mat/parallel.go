@@ -51,6 +51,33 @@ func SetParallelism(n int) {
 // arithmetic saves. A var (not const) so the boundary is testable.
 var parallelFlopThreshold = 1 << 16
 
+// shardCount caps the target shard count so that every shard carries at
+// least parallelFlopThreshold multiply–adds: sharding a product into pieces
+// below the handoff break-even just moves work behind channel sends. At
+// parallelism 1 the result is always 1, so the "parallel" entry points run
+// the very same inline code path as the serial ones — parallel can never
+// lose to serial there (asserted by TestParallelNeverLosesAtOneCPU).
+func shardCount(flops int) int {
+	p := Parallelism()
+	if maxShards := flops / parallelFlopThreshold; p > maxShards {
+		p = maxShards
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// poolDispatches counts shards actually handed to pool workers (not run
+// inline). Observability for the scheduling tests: at parallelism 1 the
+// counter must not move, proving serial and parallel calls share one code
+// path rather than merely producing equal results.
+var poolDispatches atomic.Uint64
+
+// PoolDispatches returns the cumulative number of shards executed by pool
+// workers since process start.
+func PoolDispatches() uint64 { return poolDispatches.Load() }
+
 // shard is one unit of pool work: rows [Lo, Hi) of an operation. Matmul
 // kernels read the operands from the descriptor itself so that no closure is
 // allocated; ParallelFor carries a closure in fn for generic callers.
@@ -113,6 +140,7 @@ func runSharded(n, p int, tmpl shard) {
 		wg.Add(1)
 		select {
 		case shardCh <- s:
+			poolDispatches.Add(1)
 		default:
 			s.kernel(s)
 			wg.Done()

@@ -1,0 +1,260 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Whitened batch Mahalanobis scoring.
+//
+// For an SPD covariance Σ = L·Lᵀ the Mahalanobis distance of z from mean μ is
+//
+//	(z−μ)ᵀ Σ⁻¹ (z−μ) = ‖L⁻¹(z−μ)‖² = ‖Wz − m̃‖²,  W = L⁻¹,  m̃ = Wμ.
+//
+// Per-row triangular solves (Cholesky.MahalanobisScratch) serialize on the
+// forward-substitution dependency chain and pay a division per element. The
+// whitened form has neither: W and m̃ are computed once per factor, and a
+// batch of rows against a stack of K factors becomes K packed triangular
+// matmuls fused with a per-row squared-distance reduction — the shape the
+// packed kernel eats. A WhitenedStack holds those precomputed factors;
+// MahalanobisInto evaluates a whole batch against all of them.
+//
+// The batch is processed in lane blocks: whitenLanes rows are transposed into
+// a column-major tile (tile[r·lanes+lane] = z_lane[r]) so the inner kernel
+// reads one W element and feeds all lanes — on amd64 with AVX2+FMA a single
+// broadcast and two fused multiply-adds per W element (whiten_amd64.s), and a
+// lane-unrolled pure-Go kernel everywhere else. Lanes are fully independent:
+// a row's result depends only on its own tile column, never on which rows
+// share the block (padding lanes are zero-filled), so per-row outputs are
+// bit-identical whatever the batch composition, block grouping, or shard
+// layout — the property the serving layer's batching bit-identity and the
+// determinism pins rest on. Results are NOT bit-identical to the solve path
+// (different accumulation order of the same products); callers that need the
+// solve bits keep using MahalanobisScratch.
+
+// whitenLanes is the lane-block width: rows scored together by one kernel
+// call. 8 doubles = two 4-wide vectors, matching the AVX2 microkernel.
+const whitenLanes = 8
+
+// InvLower returns W = L⁻¹ for the lower-triangular Cholesky factor L, itself
+// lower triangular, computed by deterministic column-wise forward
+// substitution. The same factor bits always produce the same inverse bits, so
+// whitening derived from a persisted factor matches the one derived at fit
+// time exactly.
+func (c *Cholesky) InvLower() *Dense {
+	n := c.n
+	w := NewDense(n, n)
+	l := c.l.Data
+	for col := 0; col < n; col++ {
+		// Solve L·x = e_col; x fills W[col:, col].
+		for i := col; i < n; i++ {
+			sum := 0.0
+			if i == col {
+				sum = 1.0
+			}
+			for k := col; k < i; k++ {
+				sum -= l[i*n+k] * w.Data[k*n+col]
+			}
+			w.Data[i*n+col] = sum / l[i*n+i]
+		}
+	}
+	return w
+}
+
+// WhitenedStack is a packed stack of K whitening factors (W_k = L_k⁻¹, row
+// major, lower triangular) and whitened means m̃_k = W_k·μ_k, ready for batch
+// Mahalanobis evaluation against every factor at once. Build it once per fit
+// (or snapshot load) with AddFactor; it is immutable afterwards and safe for
+// concurrent MahalanobisInto calls.
+type WhitenedStack struct {
+	d, k int
+	w    []float64 // k panels of d×d row-major W
+	mtil []float64 // k rows of m̃
+}
+
+// NewWhitenedStack creates an empty stack for dimension-d factors.
+func NewWhitenedStack(d int) *WhitenedStack {
+	if d < 0 {
+		panic(fmt.Sprintf("mat: negative whitened dimension %d", d))
+	}
+	return &WhitenedStack{d: d}
+}
+
+// Dim returns the feature dimension d.
+func (s *WhitenedStack) Dim() int { return s.d }
+
+// Components returns the number of stacked factors.
+func (s *WhitenedStack) Components() int { return s.k }
+
+// AddFactor appends the whitening of one Cholesky factor and mean, returning
+// its index in the stack. The derivation is deterministic in the factor bits.
+func (s *WhitenedStack) AddFactor(c *Cholesky, mean []float64) int {
+	d := s.d
+	if c.Size() != d || len(mean) != d {
+		panic(fmt.Sprintf("mat: whitened factor dim %d / mean %d, want %d", c.Size(), len(mean), d))
+	}
+	w := c.InvLower()
+	s.w = append(s.w, w.Data...)
+	// m̃_j = Σ_{r≤j} W[j,r]·μ_r (W is lower triangular).
+	for j := 0; j < d; j++ {
+		sum := 0.0
+		wrow := w.Data[j*d : j*d+j+1]
+		for r, wv := range wrow {
+			sum += wv * mean[r]
+		}
+		s.mtil = append(s.mtil, sum)
+	}
+	k := s.k
+	s.k++
+	return k
+}
+
+// WhitenedMean returns a view of m̃_k (do not modify). Exposed for the
+// persistence round-trip tests proving Load-derived whitening matches
+// Fit-derived bits.
+func (s *WhitenedStack) WhitenedMean(k int) []float64 {
+	return s.mtil[k*s.d : (k+1)*s.d]
+}
+
+// Factor returns a view of W_k's row-major data (do not modify).
+func (s *WhitenedStack) Factor(k int) []float64 {
+	return s.w[k*s.d*s.d : (k+1)*s.d*s.d]
+}
+
+// tileScratch is the per-shard scratch of a whitened pass: one column-major
+// lane tile plus the per-kernel-call output. Pooled so concurrent shards and
+// concurrent callers run allocation-free at steady state.
+type tileScratch struct {
+	tile []float64
+	q    [whitenLanes]float64
+}
+
+var tileScratchPool = sync.Pool{New: func() any { return new(tileScratch) }}
+
+func getTileScratch(d int) *tileScratch {
+	ts := tileScratchPool.Get().(*tileScratch)
+	if cap(ts.tile) < d*whitenLanes {
+		ts.tile = make([]float64, d*whitenLanes)
+	}
+	ts.tile = ts.tile[:d*whitenLanes]
+	return ts
+}
+
+// whitenJob carries one MahalanobisInto pass across the worker pool without
+// allocating (fn pre-bound at pool-New time, like gda's score jobs).
+type whitenJob struct {
+	s   *WhitenedStack
+	z   *Dense
+	dst []float64
+	fn  func(lo, hi int)
+}
+
+var whitenJobPool = sync.Pool{New: func() any {
+	j := new(whitenJob)
+	j.fn = j.run
+	return j
+}}
+
+// run processes lane blocks [lob, hib): packs each block's rows into the
+// column-major tile and scores it against every stacked factor.
+func (j *whitenJob) run(lob, hib int) {
+	s, z, dst := j.s, j.z, j.dst
+	d, k, n := s.d, s.k, z.Rows
+	ts := getTileScratch(d)
+	tile := ts.tile
+	for b := lob; b < hib; b++ {
+		lo := b * whitenLanes
+		rows := min(whitenLanes, n-lo)
+		for lane := 0; lane < rows; lane++ {
+			zrow := z.Data[(lo+lane)*d : (lo+lane+1)*d]
+			for r, v := range zrow {
+				tile[r*whitenLanes+lane] = v
+			}
+		}
+		// Zero padding lanes: garbage from a previous block must not feed the
+		// kernel (lane independence keeps it out of real rows' results, but
+		// Inf/NaN garbage could fault-free still produce spurious FP flags and
+		// the zero fill is what makes block grouping provably irrelevant).
+		for lane := rows; lane < whitenLanes; lane++ {
+			for r := 0; r < d; r++ {
+				tile[r*whitenLanes+lane] = 0
+			}
+		}
+		for f := 0; f < k; f++ {
+			whitenQuadTile(&ts.q, tile, s.w[f*d*d:(f+1)*d*d], s.mtil[f*d:(f+1)*d], d)
+			for lane := 0; lane < rows; lane++ {
+				dst[(lo+lane)*k+f] = ts.q[lane]
+			}
+		}
+	}
+	tileScratchPool.Put(ts)
+}
+
+// MahalanobisInto computes dst[i·K+f] = ‖W_f·z_i − m̃_f‖², the Mahalanobis
+// distance of every row i to every stacked factor f, sharding lane blocks
+// across the kernel worker pool. dst must have length z.Rows·Components().
+// Per-row results are bit-identical across batch compositions, shard counts
+// and repeated runs (see the package comment above); a steady-state loop at
+// fixed shape performs no heap allocation.
+func (s *WhitenedStack) MahalanobisInto(dst []float64, z *Dense) {
+	n := z.Rows
+	if n > 0 && z.Cols != s.d {
+		panic(fmt.Sprintf("mat: whitened batch dim %d, want %d", z.Cols, s.d))
+	}
+	if len(dst) != n*s.k {
+		panic(fmt.Sprintf("mat: whitened dst length %d, want %d", len(dst), n*s.k))
+	}
+	if n == 0 || s.k == 0 {
+		return
+	}
+	nb := (n + whitenLanes - 1) / whitenLanes
+	j := whitenJobPool.Get().(*whitenJob)
+	j.s, j.z, j.dst = s, z, dst
+	ParallelFor(nb, 1, j.fn)
+	j.s, j.z, j.dst = nil, nil, nil
+	whitenJobPool.Put(j)
+}
+
+// whitenQuadTileGo is the portable lane-unrolled kernel: for each of the 8
+// tile lanes, q[lane] = Σ_j (u_j − m̃_j)² with u_j = Σ_{r≤j} W[j,r]·tile[r·8+lane].
+// Eight independent accumulator chains keep the scalar FMA pipeline full; the
+// 4-wide halves mirror the two vector registers of the AVX2 kernel. Per-lane
+// accumulation order is fixed (ascending r inside ascending j), so results
+// are deterministic and independent of which rows share the tile.
+func whitenQuadTileGo(q *[whitenLanes]float64, tile, w, mtil []float64, d int) {
+	var q0, q1, q2, q3, q4, q5, q6, q7 float64
+	for j := 0; j < d; j++ {
+		wrow := w[j*d : j*d+j+1]
+		var u0, u1, u2, u3, u4, u5, u6, u7 float64
+		for r, wv := range wrow {
+			t := tile[r*whitenLanes : r*whitenLanes+whitenLanes : r*whitenLanes+whitenLanes]
+			u0 += wv * t[0]
+			u1 += wv * t[1]
+			u2 += wv * t[2]
+			u3 += wv * t[3]
+			u4 += wv * t[4]
+			u5 += wv * t[5]
+			u6 += wv * t[6]
+			u7 += wv * t[7]
+		}
+		m := mtil[j]
+		u0 -= m
+		u1 -= m
+		u2 -= m
+		u3 -= m
+		u4 -= m
+		u5 -= m
+		u6 -= m
+		u7 -= m
+		q0 += u0 * u0
+		q1 += u1 * u1
+		q2 += u2 * u2
+		q3 += u3 * u3
+		q4 += u4 * u4
+		q5 += u5 * u5
+		q6 += u6 * u6
+		q7 += u7 * u7
+	}
+	q[0], q[1], q[2], q[3] = q0, q1, q2, q3
+	q[4], q[5], q[6], q[7] = q4, q5, q6, q7
+}

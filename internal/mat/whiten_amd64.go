@@ -1,0 +1,59 @@
+//go:build amd64
+
+package mat
+
+// AVX2+FMA fast path for the whitened Mahalanobis kernel. The microkernel in
+// whiten_amd64.s processes all 8 tile lanes as two 4-wide vectors: one
+// VBROADCASTSD per W element feeds two fused multiply-adds, so the triangular
+// matvec and the squared-distance reduction run entirely on vertical vector
+// ops — no horizontal sums, and lane independence is structural.
+//
+// The fast path is gated at startup by CPUID/XGETBV feature detection (AVX2,
+// FMA, and OS ymm-state support). Whichever kernel is selected is used for
+// every call in the process, so outputs are bit-deterministic across runs,
+// shard counts and batch compositions on a given machine. FMA contraction
+// means the AVX2 kernel's bits differ from the pure-Go kernel's — the
+// differential tests compare them under relative tolerance, never equality.
+
+// whitenUseAVX selects the assembly kernel. A variable (not const) so tests
+// can force the portable kernel and differentially compare the two.
+var whitenUseAVX = detectAVX2FMA()
+
+// cpuidex and xgetbv0 are implemented in whiten_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+func whitenQuadAVX(q, tile, w, mtil *float64, d int)
+
+// detectAVX2FMA reports whether the CPU and OS support the AVX2+FMA kernel:
+// CPUID.1:ECX advertises FMA, AVX and OSXSAVE; XCR0 confirms the OS saves
+// xmm+ymm state; CPUID.7.0:EBX advertises AVX2.
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const fma, osxsave, avx = 1 << 12, 1 << 27, 1 << 28
+	_, _, c1, _ := cpuidex(1, 0)
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&0x6 != 0x6 { // xmm and ymm state enabled
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}
+
+// whitenQuadTile dispatches one 8-lane tile against one factor.
+func whitenQuadTile(q *[whitenLanes]float64, tile, w, mtil []float64, d int) {
+	if d == 0 {
+		*q = [whitenLanes]float64{}
+		return
+	}
+	if whitenUseAVX {
+		whitenQuadAVX(&q[0], &tile[0], &w[0], &mtil[0], d)
+		return
+	}
+	whitenQuadTileGo(q, tile, w, mtil, d)
+}

@@ -1,0 +1,83 @@
+//go:build amd64
+
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential test of the AVX2+FMA microkernel against the portable Go
+// kernel on the same tiles. FMA contracts the multiply-add, so bits differ;
+// agreement is asserted under relative tolerance. Skipped (vacuous) on
+// machines without AVX2+FMA, where whitenQuadTile always runs the Go kernel.
+func TestWhitenQuadAVXMatchesGo(t *testing.T) {
+	if !whitenUseAVX {
+		t.Skip("no AVX2+FMA on this machine")
+	}
+	rng := rand.New(rand.NewSource(43))
+	for _, d := range []int{1, 2, 3, 7, 8, 15, 24, 64, 65} {
+		tile := make([]float64, d*whitenLanes)
+		for i := range tile {
+			tile[i] = 2 * rng.NormFloat64()
+		}
+		w := make([]float64, d*d)
+		mtil := make([]float64, d)
+		for j := 0; j < d; j++ {
+			for r := 0; r <= j; r++ {
+				w[j*d+r] = rng.NormFloat64()
+			}
+			mtil[j] = rng.NormFloat64()
+		}
+		var qAsm, qGo [whitenLanes]float64
+		whitenQuadAVX(&qAsm[0], &tile[0], &w[0], &mtil[0], d)
+		whitenQuadTileGo(&qGo, tile, w, mtil, d)
+		for lane := 0; lane < whitenLanes; lane++ {
+			rel := math.Abs(qAsm[lane]-qGo[lane]) / (1 + math.Abs(qGo[lane]))
+			if rel > 1e-12 || math.IsNaN(qAsm[lane]) != math.IsNaN(qGo[lane]) {
+				t.Fatalf("d=%d lane %d: asm %v vs go %v (rel %g)", d, lane, qAsm[lane], qGo[lane], rel)
+			}
+		}
+		// The assembly kernel must be deterministic call to call.
+		var again [whitenLanes]float64
+		whitenQuadAVX(&again[0], &tile[0], &w[0], &mtil[0], d)
+		if again != qAsm {
+			t.Fatalf("d=%d: asm kernel not deterministic across calls", d)
+		}
+	}
+}
+
+// Forcing the portable kernel through the dispatch flag must keep
+// MahalanobisInto within tolerance of the AVX path on a full batch — the
+// whole-pipeline version of the per-tile differential above.
+func TestMahalanobisIntoAVXvsGo(t *testing.T) {
+	if !whitenUseAVX {
+		t.Skip("no AVX2+FMA on this machine")
+	}
+	// Serial for the duration: the dispatch flag is read by shard kernels,
+	// and flipping it must not race with a parked pool worker picking up a
+	// whitened shard.
+	old := Parallelism()
+	SetParallelism(1)
+	defer SetParallelism(old)
+	const d, k, n = 40, 3, 53
+	stack, _, _ := whitenFixtureStack(t, d, k, 10, 47)
+	rng := rand.New(rand.NewSource(53))
+	z := NewDense(n, d)
+	for i := range z.Data {
+		z.Data[i] = rng.NormFloat64()
+	}
+	avx := make([]float64, n*k)
+	stack.MahalanobisInto(avx, z)
+	whitenUseAVX = false
+	defer func() { whitenUseAVX = true }()
+	pure := make([]float64, n*k)
+	stack.MahalanobisInto(pure, z)
+	for i := range avx {
+		rel := math.Abs(avx[i]-pure[i]) / (1 + math.Abs(pure[i]))
+		if rel > 1e-10 {
+			t.Fatalf("dst[%d]: avx %v vs go %v (rel %g)", i, avx[i], pure[i], rel)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package mat
+
+// whitenQuadTile on non-amd64 platforms always runs the portable
+// lane-unrolled kernel.
+func whitenQuadTile(q *[whitenLanes]float64, tile, w, mtil []float64, d int) {
+	if d == 0 {
+		*q = [whitenLanes]float64{}
+		return
+	}
+	whitenQuadTileGo(q, tile, w, mtil, d)
+}
