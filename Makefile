@@ -14,7 +14,9 @@ test:
 # rotation, replay and pruning), the network whose inference path must stay
 # read-only, the sharded compute kernels in mat/gda (worker pool + parallel
 # ScoreBatch), and the metrics registry whose hot paths are lock-free atomics
-# scraped concurrently.
+# scraped concurrently — ./internal/obs/... recursively includes the
+# metric-history sampler and SLO burn-rate engine (tickers racing manual
+# SampleNow/Evaluate and the HTTP snapshots).
 race:
 	$(GO) test -race ./internal/server/... ./internal/batching/... ./internal/online/... ./internal/resilience/... ./internal/wal/... ./internal/nn/... ./internal/mat/... ./internal/gda/... ./internal/obs/...
 
@@ -22,8 +24,10 @@ vet:
 	$(GO) vet ./...
 
 # bench-smoke runs every benchmark for exactly one iteration: a cheap guard
-# that the benchmark harness never rots. Record real numbers with
-# `faction-bench -kernel results/BENCH_kernel.json`.
+# that the benchmark harness never rots (this includes the observability
+# benchmarks: history SampleNow, SLO Evaluate, histogram quantile). Record
+# real numbers with `faction-bench -kernel results/BENCH_kernel.json` /
+# `-alloc` / `-serve` / `-wal` / `-obs`.
 bench-smoke:
 	$(GO) test -bench . -benchtime=1x ./...
 

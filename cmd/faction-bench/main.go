@@ -33,6 +33,13 @@
 //
 //	faction-bench -wal results/BENCH_wal.json
 //
+// With -obs, it runs the fairness-observability benchmark (metric-history
+// sampling tick, SLO evaluation tick, histogram quantile read, the /predict
+// stack with the fairness layer off vs on, and an audit-trail snapshot) and
+// writes the overhead trajectory:
+//
+//	faction-bench -obs results/BENCH_obs.json
+//
 // With -gate, it re-runs the kernel and allocation suites and compares them
 // against the committed baselines in the given directory, exiting non-zero
 // on regression (>2x ns/op, or any allocation on a pinned-zero path):
@@ -74,6 +81,7 @@ func main() {
 		serve    = flag.String("serve", "", "run the serving-layer coalesced-load benchmark and write the JSON report to this path instead of running experiments")
 		alloc    = flag.String("alloc", "", "run the read-path allocation suite and write the JSON report to this path instead of running experiments")
 		walPath  = flag.String("wal", "", "run the WAL durability benchmark and write the JSON report to this path instead of running experiments")
+		obsPath  = flag.String("obs", "", "run the fairness-observability overhead benchmark and write the JSON report to this path instead of running experiments")
 		walRecs  = flag.Int("wal-records", 20000, "records per -wal run at the widest appender count")
 		gate     = flag.String("gate", "", "re-run the kernel and allocation suites and compare against the committed baselines in this directory, exiting non-zero on regression")
 		clients  = flag.Int("clients", 64, "concurrent load-generator clients for -serve")
@@ -159,6 +167,12 @@ func main() {
 	}
 	if *walPath != "" {
 		if err := runWALBench(*walPath, *walRecs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *obsPath != "" {
+		if err := runObsBench(*obsPath); err != nil {
 			fatal(err)
 		}
 		return
@@ -315,6 +329,34 @@ func runWALBench(path string, records int) error {
 	for _, r := range rep.Results {
 		fmt.Printf("%-36s %12.0f appends/s   mean %8.1f µs   %8d records %8d fsyncs\n",
 			r.Name, r.AppendsPerSec, r.MeanLatencyUs, r.Records, r.Fsyncs)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+// runObsBench runs the fairness-observability overhead benchmark, prints the
+// per-surface costs, and writes the machine-readable report to path.
+func runObsBench(path string) error {
+	fmt.Printf("=== fairness observability overhead (GOMAXPROCS %d) ===\n", runtime.GOMAXPROCS(0))
+	rep, err := bench.RunObs()
+	if err != nil {
+		return err
+	}
+	for _, k := range rep.Kernels {
+		fmt.Printf("%-36s %14.0f ns/op %10d B/op %6d allocs/op\n",
+			k.Name, k.NsPerOp, k.BytesPerOp, k.AllocsPerOp)
 	}
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -13,6 +13,9 @@
 //
 // Endpoints: GET /healthz (liveness), GET /readyz (readiness: 503 while
 // draining or mid-refit), GET /metrics (Prometheus text format),
+// GET /metrics/history (in-process metric timeline, with -history-interval),
+// GET /slo (burn-rate objective status, unless -slo-config off),
+// GET /debug/decisions (recent-decision audit trail, with -sensitive-col),
 // GET /debug/pprof/* (live profiling), GET /info, POST /predict,
 // POST /score, GET /drift, and with -online also POST /feedback and
 // POST /refit.
@@ -47,6 +50,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,6 +60,7 @@ import (
 	"faction/internal/gda"
 	"faction/internal/nn"
 	"faction/internal/obs"
+	"faction/internal/obs/slo"
 	"faction/internal/online"
 	"faction/internal/resilience"
 	"faction/internal/rngutil"
@@ -88,6 +94,16 @@ func main() {
 		walFsync   = flag.String("wal-fsync", "group", "WAL durability mode: group (batched fsync, the default), always (fsync per record) or never (ack after the write syscall)")
 		asyncRefit = flag.Bool("async-refit", false, "answer POST /refit with 202 and run training on a background consumer instead of the request")
 
+		sensitiveCol  = flag.Int("sensitive-col", -1, "feature column carrying the sensitive attribute: enables per-group decision metrics, the fairness-gap gauge and the /debug/decisions audit trail (-1 disables)")
+		groupValues   = flag.String("group-values", "-1,1", "comma-separated sensitive values expected in -sensitive-col; unmatched values count as group \"other\"")
+		positiveClass = flag.Int("positive-class", 1, "predicted class counted as the positive outcome for the demographic-parity rates")
+		fairWindow    = flag.Int("fairness-window", 1024, "per-group sliding-window length behind the positive rates and the fairness gap")
+		auditSize     = flag.Int("audit-decisions", 256, "decision audit-ring capacity served on GET /debug/decisions")
+
+		historyInterval = flag.Duration("history-interval", 10*time.Second, "sampling interval of the in-process metric history on GET /metrics/history (0 disables)")
+		historyPoints   = flag.Int("history-points", 512, "points retained per metric-history series")
+		sloConfig       = flag.String("slo-config", "", "SLO spec JSON file for the burn-rate engine; empty uses built-in defaults, \"off\" disables GET /slo")
+
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
@@ -102,7 +118,7 @@ func main() {
 	// Register the online protocol's metric families up front so /metrics
 	// exposes them (zero-valued) from the first scrape, not only after the
 	// first refit exercises the training path.
-	online.RegisterMetrics(obs.Default())
+	onlineMetrics := online.RegisterMetrics(obs.Default())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -178,9 +194,45 @@ func main() {
 		cfg.Density = est
 		cfg.TrainLogDensities = est.TrainLogDensities
 	}
+	if *sensitiveCol >= 0 {
+		groups, err := parseGroupValues(*groupValues)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.FairObs = &server.FairObsConfig{
+			SensitiveCol:  *sensitiveCol,
+			GroupValues:   groups,
+			PositiveClass: *positiveClass,
+			Window:        *fairWindow,
+			AuditSize:     *auditSize,
+		}
+	}
+	cfg.HistoryInterval = *historyInterval
+	cfg.HistoryPoints = *historyPoints
+	switch *sloConfig {
+	case "off":
+	case "":
+		spec := slo.DefaultSpec()
+		cfg.SLO = &spec
+	default:
+		raw, err := os.ReadFile(*sloConfig)
+		if err != nil {
+			fatal(fmt.Errorf("reading SLO config: %w", err))
+		}
+		spec, err := slo.ParseSpec(raw)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.SLO = &spec
+	}
 	s, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	// Join the online protocol's regret/violation curves to the metric
+	// history, so /metrics/history carries the paper's trajectories too.
+	if h := s.History(); h != nil {
+		onlineMetrics.TrackHistory(h)
 	}
 
 	// Boot replay: rebuild the feedback buffer from every WAL record the
@@ -337,6 +389,28 @@ func trainAndSave(logger *slog.Logger, streamName, modelPath, densPath string, s
 		}
 	}
 	return nil
+}
+
+// parseGroupValues parses the -group-values flag ("-1,1") into the expected
+// sensitive values.
+func parseGroupValues(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad -group-values %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-group-values %q names no groups", s)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

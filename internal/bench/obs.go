@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"faction/internal/obs"
+	"faction/internal/obs/history"
+	"faction/internal/obs/slo"
+	"faction/internal/server"
+)
+
+// ObsReport is the schema of BENCH_obs.json: the cost of the fairness
+// observability layer, committed so the bench gate can catch it growing.
+// The two PredictHTTP rows are the headline — the same full-stack request
+// with attribution/audit/history/SLO off versus on; their difference is the
+// per-request price of the whole layer. The remaining kernels are the
+// background surfaces (history tick, SLO evaluation tick, histogram
+// quantile read, audit-trail snapshot) that run off the request path.
+type ObsReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// Rows is the /predict request shape both HTTP rows measure; Series is
+	// the tracked-series count behind the history kernels.
+	Rows    int            `json:"rows"`
+	Series  int            `json:"series"`
+	Kernels []KernelResult `json:"kernels"`
+}
+
+// RunObs measures the observability layer introduced with the fairness SLO
+// engine. All tickers are constructed but never started — each kernel drives
+// its tick function by hand, so the numbers are per-operation costs, not
+// scheduling artifacts.
+func RunObs() (ObsReport, error) {
+	rep := ObsReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Rows:        8,
+		Series:      8,
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		rep.Kernels = append(rep.Kernels, toResult(name, stableBench(fn)))
+	}
+	anchor := time.Unix(1700000000, 0)
+
+	// One history tick: read every tracked source and push a point into each
+	// ring. This is what the self-scraper pays every interval, forever.
+	add("HistorySampleNow", func(b *testing.B) {
+		sp := history.New(time.Second, 512)
+		for i := 0; i < rep.Series; i++ {
+			v := float64(i)
+			sp.Track(fmt.Sprintf("series_%d", i), func() (float64, bool) { return v, true })
+		}
+		now := anchor
+		sample := func() {
+			now = now.Add(time.Second)
+			sp.SampleNow(now)
+		}
+		for i := 0; i < 10; i++ {
+			sample()
+		}
+		b.ReportAllocs()
+		quiesce(b)
+		for i := 0; i < b.N; i++ {
+			sample()
+		}
+	})
+
+	// One SLO evaluation tick across the default objectives: sample each
+	// target, advance the violation rings, update the gauges. Steady state
+	// (no burning transition) is pinned at zero allocs in internal/obs/slo.
+	add("SLOEvaluate", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		spec := slo.DefaultSpec()
+		spec.Interval = slo.Duration(time.Second)
+		targets := map[string]slo.TargetFunc{}
+		for _, o := range spec.Objectives {
+			targets[o.Target] = func() float64 { return 0 }
+		}
+		eng, err := slo.NewEngine(reg, spec, targets, discardLogger())
+		if err != nil {
+			b.Fatal(err)
+		}
+		now := anchor
+		tick := func() {
+			now = now.Add(time.Second)
+			eng.Evaluate(now)
+		}
+		for i := 0; i < 10; i++ {
+			tick()
+		}
+		b.ReportAllocs()
+		quiesce(b)
+		for i := 0; i < b.N; i++ {
+			tick()
+		}
+	})
+
+	// The bucket-interpolated quantile read the p99 SLO target performs each
+	// tick, against a realistically populated latency histogram.
+	add("HistogramQuantile", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		h := reg.Histogram("faction_bench_quantile_seconds", "bench fixture", obs.DefBuckets)
+		for i := 0; i < 4096; i++ {
+			h.Observe(0.001 * float64(i%700))
+		}
+		b.ReportAllocs()
+		quiesce(b)
+		for i := 0; i < b.N; i++ {
+			h.Quantile(0.99)
+		}
+	})
+
+	// The request path, with and without the fairness layer.
+	base, err := benchObsPredict("PredictHTTP/baseline", rep.Rows, false)
+	if err != nil {
+		return rep, err
+	}
+	full, err := benchObsPredict("PredictHTTP/fairobs", rep.Rows, true)
+	if err != nil {
+		return rep, err
+	}
+	rep.Kernels = append(rep.Kernels, base, full)
+
+	// Serving the audit trail: snapshot a full ring and render it as JSON.
+	// This is a debug endpoint, so it is allowed to allocate — the number
+	// here bounds what an operator pays per /debug/decisions hit.
+	audit, err := benchAuditSnapshot()
+	if err != nil {
+		return rep, err
+	}
+	rep.Kernels = append(rep.Kernels, audit)
+	return rep, nil
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// obsServer builds the benchmark server, optionally with the full fairness
+// observability layer (per-group attribution with the sensitive column in
+// the request, audit ring, history sampler, SLO engine — tickers hour-long
+// so they never fire mid-measurement).
+func obsServer(fair bool) (*server.Server, error) {
+	model, est, err := serveArtifacts()
+	if err != nil {
+		return nil, err
+	}
+	cfg := server.Config{
+		Model:             model,
+		Density:           est,
+		TrainLogDensities: est.TrainLogDensities,
+		Lambda:            0.5,
+		Logger:            discardLogger(),
+		Metrics:           obs.NewRegistry(),
+	}
+	if fair {
+		spec := slo.DefaultSpec()
+		spec.Interval = slo.Duration(time.Hour)
+		cfg.FairObs = &server.FairObsConfig{SensitiveCol: 0, GroupValues: []int{-1, 1}}
+		cfg.HistoryInterval = time.Hour
+		cfg.SLO = &spec
+	}
+	return server.New(cfg)
+}
+
+// benchObsPredict measures the full /predict HTTP stack (middleware chain
+// included) for an identical rows-row request. With fair=true the rows carry
+// ±1 in the sensitive column so the group windows and gap recomputation run
+// on every request, and each decision lands in the audit ring.
+func benchObsPredict(name string, rows int, fair bool) (KernelResult, error) {
+	s, err := obsServer(fair)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	defer s.Close()
+	h := s.Handler()
+	body := obsPredictBody(rows)
+
+	req := httptest.NewRequest("POST", "/predict", nil)
+	rb := &allocReplayBody{}
+	req.Body = rb
+	w := &allocResponseWriter{h: http.Header{}}
+	return toResult(name, stableBench(func(b *testing.B) {
+		serve := func() {
+			rb.r.Reset(body)
+			w.body, w.code = w.body[:0], 0
+			h.ServeHTTP(w, req)
+			if w.code != http.StatusOK {
+				b.Fatalf("%s returned %d: %s", name, w.code, w.body)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			serve()
+		}
+		b.ReportAllocs()
+		quiesce(b)
+		for i := 0; i < b.N; i++ {
+			serve()
+		}
+	})), nil
+}
+
+// obsPredictBody marshals a rows-row request over the 16-wide serveArtifacts
+// feature space, column 0 alternating -1/+1 so both groups see traffic.
+func obsPredictBody(rows int) []byte {
+	inst := make([][]float64, rows)
+	for i := range inst {
+		row := make([]float64, 16)
+		row[0] = float64(1 - 2*(i%2))
+		for j := 1; j < len(row); j++ {
+			row[j] = 0.1 * float64((i+j)%7)
+		}
+		inst[i] = row
+	}
+	var req struct {
+		Instances [][]float64 `json:"instances"`
+	}
+	req.Instances = inst
+	body, _ := json.Marshal(req)
+	return body
+}
+
+func benchAuditSnapshot() (KernelResult, error) {
+	s, err := obsServer(true)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	defer s.Close()
+	h := s.Handler()
+
+	// Fill the audit ring past capacity so the snapshot walks a full ring.
+	body := obsPredictBody(8)
+	fillReq := httptest.NewRequest("POST", "/predict", nil)
+	rb := &allocReplayBody{}
+	fillReq.Body = rb
+	fw := &allocResponseWriter{h: http.Header{}}
+	for i := 0; i < 200; i++ {
+		rb.r.Reset(body)
+		fw.body, fw.code = fw.body[:0], 0
+		h.ServeHTTP(fw, fillReq)
+		if fw.code != http.StatusOK {
+			return KernelResult{}, fmt.Errorf("bench: audit fill returned %d", fw.code)
+		}
+	}
+
+	req := httptest.NewRequest("GET", "/debug/decisions?n=512", nil)
+	req.Body = http.NoBody
+	w := &allocResponseWriter{h: http.Header{}}
+	return toResult("AuditSnapshot/512", stableBench(func(b *testing.B) {
+		get := func() {
+			w.body, w.code = w.body[:0], 0
+			h.ServeHTTP(w, req)
+			if w.code != http.StatusOK {
+				b.Fatalf("decisions returned %d: %s", w.code, w.body)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			get()
+		}
+		b.ReportAllocs()
+		quiesce(b)
+		for i := 0; i < b.N; i++ {
+			get()
+		}
+	})), nil
+}

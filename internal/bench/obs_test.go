@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"faction/internal/testutil"
+)
+
+// RunObs is the source of the committed BENCH_obs.json; this smoke test pins
+// its claims: every expected entry is present, the off-request-path surfaces
+// (history tick, SLO tick, quantile read) stay allocation-free at steady
+// state, and the fairness layer does not add allocations to the /predict
+// stack — the fairobs row must not report more allocs/op than the baseline.
+func TestRunObsSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full benchmark suite")
+	}
+	if testutil.RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; alloc counts not representative")
+	}
+	rep, err := RunObs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]KernelResult, len(rep.Kernels))
+	for _, k := range rep.Kernels {
+		byName[k.Name] = k
+	}
+	for _, name := range []string{
+		"HistorySampleNow", "SLOEvaluate", "HistogramQuantile",
+		"PredictHTTP/baseline", "PredictHTTP/fairobs", "AuditSnapshot/512",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("report missing entry %q (have %v)", name, rep.Kernels)
+		}
+	}
+	for _, name := range []string{"HistorySampleNow", "SLOEvaluate", "HistogramQuantile"} {
+		if k := byName[name]; k.AllocsPerOp != 0 {
+			t.Errorf("%s: %d allocs/op, want 0", name, k.AllocsPerOp)
+		}
+	}
+	if base, fair := byName["PredictHTTP/baseline"], byName["PredictHTTP/fairobs"]; fair.AllocsPerOp > base.AllocsPerOp {
+		t.Errorf("fairness layer adds allocations to /predict: %d vs %d allocs/op",
+			fair.AllocsPerOp, base.AllocsPerOp)
+	}
+}
+
+func TestObsReportJSONShape(t *testing.T) {
+	rep := ObsReport{
+		GeneratedAt: "2026-01-01T00:00:00Z",
+		Rows:        8,
+		Series:      8,
+		Kernels:     []KernelResult{{Name: "SLOEvaluate"}},
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"generated_at", "go_version", "gomaxprocs", "rows", "series", "kernels"} {
+		if !strings.Contains(string(out), key) {
+			t.Fatalf("JSON missing %q: %s", key, out)
+		}
+	}
+}

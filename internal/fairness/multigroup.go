@@ -76,6 +76,14 @@ func EODMulti(pred, y, s []int) float64 {
 	return math.Max(maxRateGap(pos[1], cnt[1]), maxRateGap(pos[0], cnt[0]))
 }
 
+// MaxRateGap returns the largest pairwise difference of pos/cnt rates over
+// groups with nonzero counts; it returns 0 with fewer than two nonzero
+// groups. The serving layer's windowed fairness-gap gauge shares this
+// reduction with DDPMulti/EODMulti, so the offline evaluation metric and the
+// served demographic-parity gap agree by construction. It performs no
+// allocation — safe on the per-decision path.
+func MaxRateGap(pos, cnt []float64) float64 { return maxRateGap(pos, cnt) }
+
 // maxRateGap returns the largest pairwise difference of pos/cnt rates over
 // groups with nonzero counts.
 func maxRateGap(pos, cnt []float64) float64 {

@@ -55,6 +55,17 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	}
 }
 
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist_q", "", nil)
+	for i := 0; i < 4096; i++ {
+		h.Observe(float64(i%700) * 0.001)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.99)
+	}
+}
+
 func BenchmarkCounterVecWith(b *testing.B) {
 	v := NewRegistry().CounterVec("bench_vec_total", "", "route")
 	b.ReportAllocs()

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExpositionLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("faction_esc_total", "escaping", "k")
+	cv.With("line1\nline2").Add(1)
+	cv.With(`quote"inside`).Add(2)
+	cv.With(`back\slash`).Add(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`faction_esc_total{k="line1\nline2"} 1`,
+		`faction_esc_total{k="quote\"inside"} 2`,
+		`faction_esc_total{k="back\\slash"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// A raw (unescaped) newline inside a label value would split the sample
+	// line and corrupt the scrape.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "faction_esc_total{") {
+			t.Errorf("sample line corrupted by unescaped newline: %q", line)
+		}
+	}
+}
+
+func TestExpositionNonFiniteGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("faction_nan", "").Set(math.NaN())
+	r.Gauge("faction_pinf", "").Set(math.Inf(1))
+	r.Gauge("faction_ninf", "").Set(math.Inf(-1))
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"faction_nan NaN\n",
+		"faction_pinf +Inf\n",
+		"faction_ninf -Inf\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionDeterministicWithGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	// Families registered out of name order, including a GaugeFunc (evaluated
+	// at scrape time) and a labeled histogram — two scrapes of identical
+	// state must be byte-identical.
+	r.GaugeFunc("faction_zfn", "func gauge", func() float64 { return 42.5 })
+	hv := r.HistogramVec("faction_lat", "latency", []float64{0.1, 1}, "route")
+	hv.With("/predict").Observe(0.05)
+	hv.With("/score").Observe(2)
+	r.Counter("faction_reqs", "requests").Add(9)
+	r.Gauge("faction_mid", "gauge").Set(-1)
+
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("consecutive scrapes differ:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	// Families must appear sorted by name.
+	var order []int
+	for _, name := range []string{"faction_lat", "faction_mid", "faction_reqs", "faction_zfn"} {
+		idx := strings.Index(a.String(), "# TYPE "+name+" ")
+		if idx < 0 {
+			t.Fatalf("family %s missing from exposition", name)
+		}
+		order = append(order, idx)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("families not sorted by name: offsets %v", order)
+		}
+	}
+	if !strings.Contains(a.String(), "faction_zfn 42.5\n") {
+		t.Errorf("GaugeFunc value missing:\n%s", a.String())
+	}
+}
+
+func TestExpositionHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("faction_help_total", "first\nsecond with \\ backslash")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP faction_help_total first\nsecond with \\ backslash`
+	if !strings.Contains(buf.String(), want+"\n") {
+		t.Errorf("help line not escaped, want %q in:\n%s", want, buf.String())
+	}
+}

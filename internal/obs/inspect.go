@@ -1,0 +1,76 @@
+package obs
+
+import "sort"
+
+// Registry introspection: the metric-history sampler reads live values by
+// family name (Sample), and the metrics-hygiene check walks the registered
+// families (Families) to enforce naming and cardinality discipline.
+
+// Sample returns the current value of the named unlabeled family: a
+// counter's count, a gauge's value, or a gauge function's result. It
+// reports false for histograms, labeled families and unregistered names —
+// callers that need a histogram quantile or a specific child should hold
+// the instrument handle instead.
+func (r *Registry) Sample(name string) (float64, bool) {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	switch c := f.col.(type) {
+	case *counterCol:
+		return float64(c.c.Value()), true
+	case *gaugeCol:
+		return c.g.Value(), true
+	case gaugeFuncCol:
+		return c.fn(), true
+	}
+	return 0, false
+}
+
+// FamilyInfo describes one registered metric family.
+type FamilyInfo struct {
+	Name       string
+	Type       string // "counter", "gauge" or "histogram"
+	Help       string
+	LabelNames []string
+	// Series is the number of label combinations currently materialized
+	// (1 for unlabeled families). A series count growing without bound is
+	// the signature of an unbounded-cardinality label source.
+	Series int
+}
+
+// Families snapshots every registered family, sorted by name.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.RLock()
+	out := make([]FamilyInfo, 0, len(r.families))
+	for _, f := range r.families {
+		info := FamilyInfo{
+			Name:       f.name,
+			Type:       f.col.typ(),
+			Help:       f.help,
+			LabelNames: append([]string(nil), f.labelNames...),
+			Series:     1,
+		}
+		switch c := f.col.(type) {
+		case *CounterVec:
+			info.Series = c.vec.count()
+		case *GaugeVec:
+			info.Series = c.vec.count()
+		case *HistogramVec:
+			info.Series = c.vec.count()
+		}
+		out = append(out, info)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// count returns the number of materialized children.
+func (v *vec) count() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.children)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import "math"
+
+// Quantile returns the bucket-interpolated q-quantile of the histogram's
+// observations — the in-process equivalent of PromQL's histogram_quantile,
+// shared by the SLO engine (p99-latency objectives) and the metric-history
+// sampler, so tail latency is watchable without an external Prometheus.
+//
+// Semantics match the Prometheus estimator:
+//
+//   - the rank q·count is located in the cumulative bucket counts and
+//     linearly interpolated inside the bucket that contains it;
+//   - the first finite bucket interpolates from a lower bound of 0 when its
+//     upper bound is positive (and returns its upper bound otherwise — there
+//     is no information about the distribution below it);
+//   - a rank landing in the +Inf bucket clamps to the highest finite upper
+//     bound (the estimator cannot exceed what the buckets resolve);
+//   - an empty histogram, a NaN q, or a histogram with no finite buckets
+//     returns NaN.
+//
+// q is clamped into [0, 1]. The scan reads the bucket atomics directly —
+// no locking, no allocation — so a concurrent Observe can skew the estimate
+// by at most its own observation; counts are monotone, so the rank derived
+// from the first pass is always reachable by the second.
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	total := uint64(0)
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total == 0 || len(h.upper) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.counts {
+		prev := cum
+		cum += h.counts[i].Load()
+		if float64(cum) < rank || cum == prev {
+			continue
+		}
+		if i == len(h.upper) {
+			// +Inf bucket: clamp to the highest finite bound.
+			return h.upper[len(h.upper)-1]
+		}
+		upper := h.upper[i]
+		lo := 0.0
+		if i > 0 {
+			lo = h.upper[i-1]
+		} else if upper <= 0 {
+			// Nothing is known about the distribution below the first
+			// bucket's bound when that bound is non-positive.
+			return upper
+		}
+		return lo + (upper-lo)*(rank-float64(prev))/float64(cum-prev)
+	}
+	// Observations that raced in after the total snapshot pushed the rank
+	// past every cumulative count; the +Inf clamp is still the answer.
+	return h.upper[len(h.upper)-1]
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Fatalf("empty histogram Quantile(%g) = %g, want NaN", q, v)
+		}
+	}
+}
+
+func TestQuantileNaNQ(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(0.5)
+	if v := h.Quantile(math.NaN()); !math.IsNaN(v) {
+		t.Fatalf("Quantile(NaN) = %g, want NaN", v)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// One finite bucket [0, 10]: interpolation is linear in rank from 0.
+	h := newHistogram([]float64{10})
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if v := h.Quantile(0.5); v != 5 {
+		t.Fatalf("Quantile(0.5) = %g, want 5 (midpoint of [0,10])", v)
+	}
+	if v := h.Quantile(1); v != 10 {
+		t.Fatalf("Quantile(1) = %g, want 10", v)
+	}
+	if v := h.Quantile(0); v != 0 {
+		t.Fatalf("Quantile(0) = %g, want 0", v)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	// 50 observations in (1,2], 50 in (2,4]: the median sits exactly at the
+	// boundary, p75 halfway through the second bucket.
+	h := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 50; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	if v := h.Quantile(0.5); v != 2 {
+		t.Fatalf("Quantile(0.5) = %g, want 2", v)
+	}
+	if v := h.Quantile(0.75); v != 3 {
+		t.Fatalf("Quantile(0.75) = %g, want 3", v)
+	}
+}
+
+func TestQuantileInfBucket(t *testing.T) {
+	// Observations beyond the highest finite bound land in +Inf and clamp.
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100)
+	h.Observe(200)
+	for _, q := range []float64{0.1, 0.9, 1} {
+		if v := h.Quantile(q); v != 2 {
+			t.Fatalf("Quantile(%g) = %g, want clamp to 2", q, v)
+		}
+	}
+}
+
+func TestQuantileOnlyInfBucket(t *testing.T) {
+	// An explicit trailing +Inf is dropped at construction; a histogram with
+	// no finite bounds cannot estimate anything.
+	h := newHistogram([]float64{math.Inf(1)})
+	h.Observe(1)
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("Quantile over only +Inf bucket = %g, want NaN", v)
+	}
+}
+
+func TestQuantileNegativeFirstBucket(t *testing.T) {
+	// A non-positive first bound cannot interpolate from 0; the bound itself
+	// is returned.
+	h := newHistogram([]float64{-1, 1})
+	h.Observe(-5)
+	if v := h.Quantile(0.5); v != -1 {
+		t.Fatalf("Quantile(0.5) = %g, want -1", v)
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if v := h.Quantile(-3); v != h.Quantile(0) {
+		t.Fatalf("Quantile(-3) = %g, want Quantile(0) = %g", v, h.Quantile(0))
+	}
+	if v := h.Quantile(7); v != h.Quantile(1) {
+		t.Fatalf("Quantile(7) = %g, want Quantile(1) = %g", v, h.Quantile(1))
+	}
+}
+
+func TestQuantileZeroAllocs(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = h.Quantile(0.99) }); allocs != 0 {
+		t.Fatalf("Quantile allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestRegistrySample(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("faction_test_c", "")
+	g := r.Gauge("faction_test_g", "")
+	r.GaugeFunc("faction_test_gf", "", func() float64 { return 7 })
+	r.Histogram("faction_test_h", "", nil)
+	r.CounterVec("faction_test_cv", "", "k")
+
+	c.Add(3)
+	g.Set(2.5)
+	if v, ok := r.Sample("faction_test_c"); !ok || v != 3 {
+		t.Fatalf("Sample(counter) = %g, %v", v, ok)
+	}
+	if v, ok := r.Sample("faction_test_g"); !ok || v != 2.5 {
+		t.Fatalf("Sample(gauge) = %g, %v", v, ok)
+	}
+	if v, ok := r.Sample("faction_test_gf"); !ok || v != 7 {
+		t.Fatalf("Sample(gaugefunc) = %g, %v", v, ok)
+	}
+	if _, ok := r.Sample("faction_test_h"); ok {
+		t.Fatal("Sample(histogram) should report false")
+	}
+	if _, ok := r.Sample("faction_test_cv"); ok {
+		t.Fatal("Sample(labeled family) should report false")
+	}
+	if _, ok := r.Sample("nope"); ok {
+		t.Fatal("Sample(unregistered) should report false")
+	}
+}
+
+func TestRegistryFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("faction_b", "second")
+	cv := r.CounterVec("faction_a", "first", "route", "code")
+	cv.With("/x", "200")
+	cv.With("/y", "500")
+
+	fams := r.Families()
+	if len(fams) != 2 {
+		t.Fatalf("got %d families, want 2", len(fams))
+	}
+	if fams[0].Name != "faction_a" || fams[1].Name != "faction_b" {
+		t.Fatalf("families not sorted: %v, %v", fams[0].Name, fams[1].Name)
+	}
+	if fams[0].Series != 2 || len(fams[0].LabelNames) != 2 {
+		t.Fatalf("faction_a: series=%d labels=%v", fams[0].Series, fams[0].LabelNames)
+	}
+	if fams[1].Series != 1 || fams[1].Type != "counter" {
+		t.Fatalf("faction_b: series=%d type=%s", fams[1].Series, fams[1].Type)
+	}
+}

@@ -1,6 +1,9 @@
 package online
 
-import "faction/internal/obs"
+import (
+	"faction/internal/obs"
+	"faction/internal/obs/history"
+)
 
 // Metrics is the online protocol's instrumentation set: the live /metrics
 // view of Algorithm 1's bookkeeping — cumulative regret (Eq. 2), cumulative
@@ -50,6 +53,24 @@ func RegisterMetrics(reg *obs.Registry) *Metrics {
 		stageSeconds: reg.HistogramVec("faction_online_stage_seconds",
 			"Wall-clock time per protocol stage.", obs.DefBuckets, "stage"),
 	}
+}
+
+// TrackHistory joins the protocol's trajectory gauges to an in-process
+// metric-history sampler, so /metrics/history can serve the regret,
+// violation and budget curves the paper plots (Figs. 2–3) straight from the
+// serving process. Safe to call before or during a run; the sampler skips
+// ticks while the gauges are still zero-valued only in the sense that it
+// records the zeros — the curves simply start flat.
+func (m *Metrics) TrackHistory(h *history.Sampler) {
+	gauge := func(name string, g *obs.Gauge) {
+		h.Track(name, func() (float64, bool) { return g.Value(), true })
+	}
+	gauge("online_cumulative_regret", m.cumRegret)
+	gauge("online_cumulative_violation", m.cumViolation)
+	gauge("online_budget_spent", m.budgetSpent)
+	gauge("online_last_accuracy", m.lastAccuracy)
+	gauge("online_last_ddp", m.lastDDP)
+	gauge("online_env", m.env)
 }
 
 // observeTask folds one finished task record into the run-level instruments.

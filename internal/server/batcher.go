@@ -240,6 +240,10 @@ func (s *Server) serveBatched(w http.ResponseWriter, r *http.Request, kind reqKi
 			putReqScratch(sc)
 			return
 		}
+		// Decision attribution runs handler-side (not in the flusher), so the
+		// flush loop stays free of per-request metric work and the audit
+		// record carries this request's own ID.
+		s.observeDecisions(r, sc, kind, true)
 		if kind == reqScore {
 			s.feedDrift(sc.batch.LogG)
 			writeJSON(w, r, &sc.score)

@@ -40,6 +40,7 @@ type reqScratch struct {
 	logG      []float64
 	batch     gda.BatchScores
 	classes   []int
+	margins   []float64 // top-1 minus top-2 probability per row (audit trail)
 	probsFlat []float64
 	probsRows [][]float64
 	ood       []bool

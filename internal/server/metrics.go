@@ -21,6 +21,22 @@ type serverMetrics struct {
 	requests *obs.CounterVec   // faction_http_requests_total{route,code}
 	latency  *obs.HistogramVec // faction_http_request_seconds{route}
 
+	// Whole-surface accounting backing the SLO engine: an unlabeled latency
+	// histogram (merging the labeled children for a p99 would allocate per
+	// evaluation) and total/5xx response counters for the windowed error
+	// rate.
+	latencyAll   *obs.Histogram // faction_http_request_seconds_all
+	responsesAll *obs.Counter   // faction_http_responses_total
+	responses5xx *obs.Counter   // faction_http_responses_5xx_total
+
+	// Fairness serving metrics (fairobs.go). Registered unconditionally so
+	// the family set is stable; the gap gauge stays 0 and the labeled
+	// families stay empty until FairObs attribution is enabled.
+	fairnessGap  *obs.Gauge      // faction_fairness_gap
+	decisions    *obs.CounterVec // faction_decisions_total{group,class}
+	groupPosRate *obs.GaugeVec   // faction_group_positive_rate{group}
+	groupWindow  *obs.GaugeVec   // faction_group_window_decisions{group}
+
 	// Resilience-state instruments, updated by the middleware.
 	inflight *obs.Gauge   // faction_http_inflight_requests
 	shed     *obs.Counter // faction_http_shed_total
@@ -59,6 +75,20 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"HTTP requests by route and terminal status code.", "route", "code"),
 		latency: reg.HistogramVec("faction_http_request_seconds",
 			"End-to-end request latency by route.", obs.DefBuckets, "route"),
+		latencyAll: reg.Histogram("faction_http_request_seconds_all",
+			"End-to-end request latency across every route (backs the in-process p99).", nil),
+		responsesAll: reg.Counter("faction_http_responses_total",
+			"Responses sent, any route and status."),
+		responses5xx: reg.Counter("faction_http_responses_5xx_total",
+			"Responses sent with a 5xx status."),
+		fairnessGap: reg.Gauge("faction_fairness_gap",
+			"Max pairwise demographic-parity gap across sensitive groups over the serving window."),
+		decisions: reg.CounterVec("faction_decisions_total",
+			"Served decisions by sensitive group and predicted class.", "group", "class"),
+		groupPosRate: reg.GaugeVec("faction_group_positive_rate",
+			"Windowed positive-decision rate per sensitive group.", "group"),
+		groupWindow: reg.GaugeVec("faction_group_window_decisions",
+			"Decisions currently inside each group's sliding window.", "group"),
 		inflight: reg.Gauge("faction_http_inflight_requests",
 			"Requests currently being served."),
 		shed: reg.Counter("faction_http_shed_total",
@@ -124,7 +154,9 @@ func (s *Server) updateDriftMetricsLocked() {
 		return
 	}
 	mean, std := s.cfg.Drift.Baseline()
-	s.metrics.driftShifts.Set(float64(s.cfg.Drift.Shifts()))
+	shifts := s.cfg.Drift.Shifts()
+	s.driftShiftsNow.Store(int64(shifts))
+	s.metrics.driftShifts.Set(float64(shifts))
 	s.metrics.driftObserved.Set(float64(len(s.cfg.Drift.History())))
 	s.metrics.driftMean.Set(mean)
 	s.metrics.driftStd.Set(std)
@@ -185,8 +217,14 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				code = http.StatusOK
 			}
 			route := s.routeLabel(r.URL.Path)
+			elapsed := time.Since(start).Seconds()
 			s.metrics.requests.With(route, strconv.Itoa(code)).Inc()
-			s.metrics.latency.With(route).Observe(time.Since(start).Seconds())
+			s.metrics.latency.With(route).Observe(elapsed)
+			s.metrics.latencyAll.Observe(elapsed)
+			s.metrics.responsesAll.Inc()
+			if code >= 500 {
+				s.metrics.responses5xx.Inc()
+			}
 		}()
 		next.ServeHTTP(sw, r)
 	})

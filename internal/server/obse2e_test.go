@@ -1,0 +1,314 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"faction/internal/data"
+	"faction/internal/drift"
+	"faction/internal/gda"
+	"faction/internal/nn"
+	"faction/internal/obs"
+	"faction/internal/obs/slo"
+)
+
+// timeAnchor is the fixed wall-clock origin for manually pumped samplers and
+// SLO evaluations — the tests never depend on the real clock advancing.
+var timeAnchor = time.Unix(1700000000, 0)
+
+// fairObsFixture is a fully observability-enabled server: per-group attribution,
+// decision audit, metric history and the SLO engine, plus a deliberately
+// twitchy drift detector so a synthetic covariate shift flags within a few
+// requests. History and SLO tickers are an hour long; tests pump SampleNow
+// and Evaluate by hand for determinism.
+type fairObsFixture struct {
+	*Server
+	rows [][]float64 // template instances; column 0 alternates -1 / +1
+}
+
+func newObsTestServer(t testing.TB, reg *obs.Registry) *fairObsFixture {
+	t.Helper()
+	stream := data.NYSF(data.StreamConfig{Seed: 11, SamplesPerTask: 160})
+	train := stream.Tasks[0].Pool
+	model := nn.NewClassifier(nn.Config{
+		InputDim: stream.Dim, NumClasses: 2, Hidden: []int{16},
+		SpectralNorm: true, SpectralCoeff: 3, Seed: 11,
+	})
+	rng := rand.New(rand.NewSource(11))
+	model.Train(train.Matrix(), train.Labels(), train.Sensitive(), nn.NewAdam(0.01),
+		nn.TrainOpts{Epochs: 1, BatchSize: 32}, rng)
+	feats := model.Features(train.Matrix())
+	est, err := gda.Fit(feats, train.Labels(), train.Sensitive(), 2, []int{-1, 1}, gda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lds := make([]float64, feats.Rows)
+	for i := range lds {
+		lds[i] = est.LogDensity(feats.Row(i))
+	}
+	spec := slo.DefaultSpec()
+	spec.Interval = slo.Duration(time.Hour)
+	s, err := New(Config{
+		Model: model, Density: est, TrainLogDensities: lds, Lambda: 0.5,
+		Metrics:         reg,
+		Drift:           drift.New(drift.Config{MinBaseline: 3, ZThreshold: 2, MinStd: 0.01}),
+		FairObs:         &FairObsConfig{SensitiveCol: 0, GroupValues: []int{-1, 1}, Window: 64},
+		HistoryInterval: time.Hour,
+		HistoryPoints:   64,
+		SLO:             &spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	f := &fairObsFixture{Server: s}
+	for i := 0; i < 16; i++ {
+		row := append([]float64(nil), train.Samples[i].X...)
+		if i%2 == 0 {
+			row[0] = -1
+		} else {
+			row[0] = 1
+		}
+		f.rows = append(f.rows, row)
+	}
+	return f
+}
+
+// body marshals a rows-row request; scale≠1 shifts every non-sensitive
+// feature to simulate a covariate-drift episode.
+func (f *fairObsFixture) body(t testing.TB, rows int, scale float64) []byte {
+	t.Helper()
+	inst := make([][]float64, rows)
+	for i := range inst {
+		row := append([]float64(nil), f.rows[i%len(f.rows)]...)
+		for j := 1; j < len(row); j++ {
+			row[j] *= scale
+		}
+		inst[i] = row
+	}
+	b, err := json.Marshal(instancesRequest{Instances: inst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postPredict(t testing.TB, h http.Handler, body []byte) {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/predict", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", w.Code, w.Body.Bytes())
+	}
+}
+
+func getJSON(t testing.TB, h http.Handler, url string, out any) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET %s status %d: %s", url, w.Code, w.Body.Bytes())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+// The end-to-end observability pass of DESIGN.md §13: group-skewed traffic
+// plus a synthetic drift episode, then every new surface is checked —
+// /metrics families, /slo status, the /metrics/history fairness-gap
+// timeline, the /debug/decisions audit trail, and /drift.
+func TestFairnessObservabilityEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := newObsTestServer(t, reg)
+	h := f.Handler()
+
+	// Phase 1: in-distribution traffic establishes the drift baseline and
+	// fills the per-group windows; the history sampler is pumped after every
+	// request so the gap timeline has one point per request.
+	now := timeAnchor
+	for i := 0; i < 6; i++ {
+		postPredict(t, h, f.body(t, 8, 1))
+		now = now.Add(time.Second)
+		f.History().SampleNow(now)
+	}
+	// Phase 2: the environment changes — scaled features push the feature-
+	// space log-density far below the baseline and the detector flags shifts.
+	for i := 0; i < 3; i++ {
+		postPredict(t, h, f.body(t, 8, 6))
+		now = now.Add(time.Second)
+		f.History().SampleNow(now)
+	}
+	f.SLOEngine().Evaluate(now)
+
+	// /metrics: the per-group families, the gap gauge and the SLO gauges are
+	// all present with real values.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	exposition := w.Body.String()
+	for _, want := range []string{
+		"faction_fairness_gap ",
+		`faction_decisions_total{group="-1",class="`,
+		`faction_decisions_total{group="1",class="`,
+		`faction_group_positive_rate{group="-1"}`,
+		`faction_slo_budget_remaining{slo="fairness_gap"}`,
+		`faction_slo_burning{slo="fairness_gap",window="fast"}`,
+		"faction_drift_shifts ",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /slo: one evaluated tick across the default objectives.
+	var st slo.Status
+	getJSON(t, h, "/slo", &st)
+	if len(st.Objectives) != 4 {
+		t.Fatalf("/slo objectives = %d, want 4", len(st.Objectives))
+	}
+	names := map[string]bool{}
+	for _, o := range st.Objectives {
+		names[o.Name] = true
+		if o.Ticks != 1 {
+			t.Errorf("objective %s ticks = %d, want 1", o.Name, o.Ticks)
+		}
+	}
+	for _, want := range []string{"fairness_gap", "p99_latency", "error_rate", "wal_replay_lag"} {
+		if !names[want] {
+			t.Errorf("/slo missing objective %q", want)
+		}
+	}
+
+	// /metrics/history: the fairness-gap timeline has one point per pump and
+	// the drift-shift series ends above zero (the episode is visible).
+	var hist struct {
+		Series map[string][]struct {
+			T int64   `json:"t"`
+			V float64 `json:"v"`
+		} `json:"series"`
+	}
+	getJSON(t, h, "/metrics/history?series=fairness_gap,drift_shifts", &hist)
+	gap := hist.Series["fairness_gap"]
+	if len(gap) != 9 {
+		t.Fatalf("fairness_gap timeline has %d points, want 9", len(gap))
+	}
+	for _, p := range gap {
+		if p.V < 0 || p.V > 1 {
+			t.Errorf("fairness gap %v outside [0,1]", p.V)
+		}
+	}
+	shifts := hist.Series["drift_shifts"]
+	if len(shifts) == 0 || shifts[len(shifts)-1].V < 1 {
+		t.Errorf("drift_shifts timeline does not show the episode: %+v", shifts)
+	}
+
+	// /drift agrees that the synthetic episode was flagged.
+	var dr driftResponse
+	getJSON(t, h, "/drift", &dr)
+	if dr.Shifts < 1 {
+		t.Errorf("drift shifts = %d, want >= 1", dr.Shifts)
+	}
+
+	// /debug/decisions: the audit ring links decisions back to request IDs,
+	// groups and model generations, newest first.
+	var audit struct {
+		Capacity  int            `json:"capacity"`
+		Decisions []decisionJSON `json:"decisions"`
+	}
+	getJSON(t, h, "/debug/decisions?n=100", &audit)
+	if audit.Capacity == 0 || len(audit.Decisions) == 0 {
+		t.Fatalf("audit trail empty: capacity=%d decisions=%d", audit.Capacity, len(audit.Decisions))
+	}
+	if want := 9 * 8; len(audit.Decisions) != want {
+		t.Errorf("audit holds %d decisions, want %d", len(audit.Decisions), want)
+	}
+	seen := map[string]bool{}
+	for i, d := range audit.Decisions {
+		if d.RequestID == "" {
+			t.Fatalf("decision %d has no request ID", i)
+		}
+		seen[d.RequestID] = true
+		if d.Route != "/predict" {
+			t.Errorf("decision %d route %q", i, d.Route)
+		}
+		if d.Group != "-1" && d.Group != "1" {
+			t.Errorf("decision %d group %q, want -1 or 1", i, d.Group)
+		}
+		if d.Margin < 0 || d.Margin > 1 {
+			t.Errorf("decision %d margin %v outside [0,1]", i, d.Margin)
+		}
+		if i > 0 && d.Seq >= audit.Decisions[i-1].Seq {
+			t.Errorf("audit not newest-first at %d: %d >= %d", i, d.Seq, audit.Decisions[i-1].Seq)
+		}
+	}
+	if len(seen) != 9 {
+		t.Errorf("audit covers %d distinct requests, want 9", len(seen))
+	}
+
+	// The gap and rate gauges carry the served windows: with the alternating
+	// ±1 column every group saw traffic, so both window gauges are nonzero.
+	for _, g := range []string{"-1", "1"} {
+		if !strings.Contains(exposition, `faction_group_window_decisions{group="`+g+`"} 36`) {
+			t.Errorf("group %s window gauge missing or not 36 decisions", g)
+		}
+	}
+}
+
+// A zero-config server keeps the old behavior: no attribution, no sampler,
+// no SLO engine, the observability routes absent (404), and the per-group
+// families exposed as zero-valued placeholders so scrape configs never see
+// families appear and disappear across deploys.
+func TestObservabilityDisabledByDefault(t *testing.T) {
+	reg := obs.NewRegistry()
+	stream := data.NYSF(data.StreamConfig{Seed: 11, SamplesPerTask: 120})
+	train := stream.Tasks[0].Pool
+	model := nn.NewClassifier(nn.Config{
+		InputDim: stream.Dim, NumClasses: 2, Hidden: []int{16}, Seed: 11,
+	})
+	rng := rand.New(rand.NewSource(11))
+	model.Train(train.Matrix(), train.Labels(), train.Sensitive(), nn.NewAdam(0.01),
+		nn.TrainOpts{Epochs: 1, BatchSize: 32}, rng)
+	s, err := New(Config{Model: model, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if s.History() != nil {
+		t.Fatal("history sampler should be off without an interval")
+	}
+	if s.SLOEngine() != nil {
+		t.Fatal("SLO engine should be off without a spec")
+	}
+	h := s.Handler()
+
+	inst := make([][]float64, 2)
+	for i := range inst {
+		inst[i] = train.Samples[i].X
+	}
+	body, _ := json.Marshal(instancesRequest{Instances: inst})
+	postPredict(t, h, body)
+
+	for _, url := range []string{"/debug/decisions", "/metrics/history", "/slo"} {
+		req := httptest.NewRequest("GET", url, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusNotFound {
+			t.Errorf("GET %s = %d with observability disabled, want 404", url, w.Code)
+		}
+	}
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if !strings.Contains(w.Body.String(), "faction_fairness_gap 0") {
+		t.Error("fairness gap family should expose zero when disabled")
+	}
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"faction/internal/obs"
+	"faction/internal/obs/slo"
+	"faction/internal/online"
+	"faction/internal/wal"
+)
+
+// allowedLabelNames is the closed set of label names the serving stack may
+// use. Every one is bounded by construction: route comes from the mux table,
+// code from the HTTP status codes the handlers emit, reason/stage/window/to
+// are small enums, group is the configured value set plus "other", class is
+// the model's class count, and slo is the objective list.
+var allowedLabelNames = map[string]bool{
+	"route": true, "code": true, "reason": true, "stage": true,
+	"group": true, "class": true, "slo": true, "window": true, "to": true,
+}
+
+// maxSeriesPerFamily is a generous ceiling: the widest family is
+// faction_http_requests_total{route,code} at |routes| x |emitted codes|,
+// well under this. A family that blows past it has an unbounded label.
+const maxSeriesPerFamily = 128
+
+// The metrics-hygiene static check: register every family the serving binary
+// registers (server + online protocol + WAL) on one registry and walk it.
+// Names must carry the faction_ prefix, label names must come from the
+// bounded allowlist, per-family series counts must stay small, and repeating
+// the registration must resolve to the same families instead of duplicating
+// or panicking (the idempotency /refit and restart paths rely on).
+func TestMetricsHygiene(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newObsTestServer(t, reg)
+	online.RegisterMetrics(reg)
+	wal.NewMetrics(reg)
+
+	// Drive a little traffic so the dynamic label values (route, code, group,
+	// class) actually materialise as series before the walk.
+	h := s.Handler()
+	for i := 0; i < 4; i++ {
+		postPredict(t, h, s.body(t, 4, 1))
+	}
+	s.SLOEngine().Evaluate(timeAnchor)
+
+	fams := reg.Families()
+	if len(fams) == 0 {
+		t.Fatal("registry has no families")
+	}
+	byName := map[string]obs.FamilyInfo{}
+	for _, f := range fams {
+		byName[f.Name] = f
+		if !strings.HasPrefix(f.Name, "faction_") {
+			t.Errorf("family %q lacks the faction_ prefix", f.Name)
+		}
+		for _, l := range f.LabelNames {
+			if !allowedLabelNames[l] {
+				t.Errorf("family %q uses label %q outside the bounded allowlist", f.Name, l)
+			}
+		}
+		if f.Series > maxSeriesPerFamily {
+			t.Errorf("family %q has %d series (max %d) — unbounded label cardinality?",
+				f.Name, f.Series, maxSeriesPerFamily)
+		}
+		if f.Help == "" {
+			t.Errorf("family %q has no help text", f.Name)
+		}
+	}
+	for _, want := range []string{
+		"faction_fairness_gap",
+		"faction_decisions_total",
+		"faction_group_positive_rate",
+		"faction_slo_budget_remaining",
+		"faction_slo_burning",
+		"faction_online_tasks_total",
+		"faction_wal_appends_total",
+		"faction_http_requests_total",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("family %q missing from registry", want)
+		}
+	}
+
+	// Idempotent re-registration: resolving the same families again must not
+	// panic and must not mint duplicates.
+	before := len(fams)
+	newServerMetrics(reg)
+	online.RegisterMetrics(reg)
+	wal.NewMetrics(reg)
+	if after := len(reg.Families()); after != before {
+		t.Fatalf("re-registration changed family count: %d -> %d", before, after)
+	}
+}
+
+// Registering the same name with a different shape must panic rather than
+// silently corrupt the exposition — the other half of "no duplicate
+// registration".
+func TestMetricsHygieneShapeConflictPanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("faction_conflict_total", "a counter")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("faction_conflict_total", "now a gauge")
+}
+
+var _ = slo.DefaultSpec // keep the import pinned for the shared test helpers

@@ -32,6 +32,8 @@ import (
 	"faction/internal/mat"
 	"faction/internal/nn"
 	"faction/internal/obs"
+	"faction/internal/obs/history"
+	"faction/internal/obs/slo"
 	"faction/internal/wal"
 )
 
@@ -91,6 +93,27 @@ type Config struct {
 	// the process-wide registry that nn/gda/online instrumentation also
 	// records into; tests pass their own for isolation.
 	Metrics *obs.Registry
+
+	// FairObs, when non-nil, attributes every /predict and /score decision
+	// to its sensitive group (read from a feature column of the request),
+	// maintaining per-group decision counters, windowed positive rates, the
+	// live faction_fairness_gap gauge, and the /debug/decisions audit ring
+	// (see fairobs.go and DESIGN.md §13). nil disables attribution; the
+	// fairness families still register (zero-valued) so the metric surface
+	// is stable.
+	FairObs *FairObsConfig
+	// HistoryInterval enables the in-process metric-history sampler: every
+	// interval, selected series (fairness gap, drift stats, p99 latency,
+	// replay lag, generation) are sampled into fixed rings served on
+	// GET /metrics/history. 0 — the default — disables it.
+	HistoryInterval time.Duration
+	// HistoryPoints is the per-series history ring capacity. Default 512.
+	HistoryPoints int
+	// SLO, when non-nil, runs the multi-window burn-rate engine over the
+	// spec's objectives, exposing faction_slo_* series and GET /slo.
+	// slo.DefaultSpec() covers fairness gap, p99 latency, error rate and
+	// WAL replay lag.
+	SLO *slo.Spec
 }
 
 func (c *Config) setResilienceDefaults() {
@@ -153,11 +176,24 @@ type Server struct {
 	consumerDone chan struct{}
 
 	driftMu sync.Mutex // guards the drift detector independently
+	// driftShiftsNow mirrors the detector's shift count for lock-free reads
+	// on the decision-audit path (updated in updateDriftMetricsLocked).
+	driftShiftsNow atomic.Int64
 
 	// metrics is the serving-layer instrumentation (see metrics.go); routes
 	// is the known-route set bounding the route label's cardinality.
 	metrics *serverMetrics
 	routes  map[string]bool
+
+	// Fairness observability (fairobs.go): per-group attribution and the
+	// decision audit ring, nil unless Config.FairObs is set.
+	fairobs *groupTracker
+	audit   *auditRing
+
+	// history and sloEngine are the self-scraper and burn-rate engine
+	// (slohistory.go), nil unless configured.
+	history   *history.Sampler
+	sloEngine *slo.Engine
 
 	// batcher is the request-coalescing micro-batcher; nil when
 	// Config.BatchDelay is 0 and handlers take the direct path.
@@ -184,9 +220,45 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	cfg.setResilienceDefaults()
+	if cfg.FairObs != nil {
+		fo := *cfg.FairObs // normalize a copy; the caller's config is theirs
+		fo.setDefaults()
+		dim := cfg.Model.Config().InputDim
+		if fo.SensitiveCol < 0 || fo.SensitiveCol >= dim {
+			return nil, fmt.Errorf("server: FairObs.SensitiveCol %d outside model input dim %d", fo.SensitiveCol, dim)
+		}
+		if k := cfg.Model.Config().NumClasses; fo.PositiveClass < 0 || fo.PositiveClass >= k {
+			return nil, fmt.Errorf("server: FairObs.PositiveClass %d outside %d classes", fo.PositiveClass, k)
+		}
+		cfg.FairObs = &fo
+	}
 	s := &Server{cfg: cfg, inputDim: cfg.Model.Config().InputDim, numClasses: cfg.Model.Config().NumClasses}
 	s.metrics = newServerMetrics(cfg.Metrics)
 	s.validateCandidate = s.defaultValidateCandidate
+	if cfg.FairObs != nil {
+		s.fairobs = newGroupTracker(*cfg.FairObs, s.numClasses, s.metrics)
+		s.audit = newAuditRing(cfg.FairObs.AuditSize)
+	}
+	if cfg.HistoryInterval > 0 {
+		points := cfg.HistoryPoints
+		if points <= 0 {
+			points = 512
+		}
+		s.history = history.New(cfg.HistoryInterval, points)
+		s.trackDefaultSeries()
+		s.history.Start()
+	}
+	if cfg.SLO != nil {
+		eng, err := slo.NewEngine(cfg.Metrics, *cfg.SLO, s.sloTargets(), cfg.Logger)
+		if err != nil {
+			if s.history != nil {
+				s.history.Stop()
+			}
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.sloEngine = eng
+		s.sloEngine.Start()
+	}
 	if cfg.Density != nil && len(cfg.TrainLogDensities) > 0 {
 		s.oodThreshold = quantile(cfg.TrainLogDensities, cfg.OODQuantile)
 		s.hasOOD = true
@@ -250,6 +322,12 @@ func (s *Server) Close() {
 	}
 	if s.batcher != nil {
 		s.batcher.close()
+	}
+	if s.history != nil {
+		s.history.Stop()
+	}
+	if s.sloEngine != nil {
+		s.sloEngine.Stop()
 	}
 	if s.cfg.WAL != nil {
 		if err := s.cfg.WAL.Sync(); err != nil {
@@ -392,6 +470,20 @@ func (s *Server) Handler() http.Handler {
 	outer.HandleFunc("GET /healthz", s.handleHealth)
 	outer.HandleFunc("GET /readyz", s.handleReady)
 	outer.Handle("GET /metrics", s.cfg.Metrics.Handler())
+	// Observability surfaces live on the admin mux — like /metrics, they
+	// must keep answering while the service sheds or drains.
+	if s.history != nil {
+		outer.Handle("GET /metrics/history", s.history.Handler())
+		s.routes["/metrics/history"] = true
+	}
+	if s.sloEngine != nil {
+		outer.Handle("GET /slo", s.sloEngine.Handler())
+		s.routes["/slo"] = true
+	}
+	if s.audit != nil {
+		outer.HandleFunc("GET /debug/decisions", s.handleDecisions)
+		s.routes["/debug/decisions"] = true
+	}
 	outer.HandleFunc("GET /debug/pprof/", pprof.Index)
 	outer.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	outer.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -486,6 +578,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	a.Release()
 	s.feedDrift(sc.predict.LogDensities)
+	s.observeDecisions(r, sc, reqPredict, false)
 	writeJSON(w, r, &sc.predict)
 	putReqScratch(sc)
 }
@@ -498,6 +591,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 func buildPredictInto(sc *reqScratch, logits *mat.Dense, lo, hi int, logG []float64, hasOOD bool, oodThreshold float64) {
 	n := hi - lo
 	sc.classes = growInts(sc.classes, n)
+	sc.margins = growFloats(sc.margins, n)
 	sc.probsFlat = growFloats(sc.probsFlat, n*logits.Cols)
 	if cap(sc.probsRows) < n {
 		sc.probsRows = make([][]float64, n)
@@ -508,6 +602,7 @@ func buildPredictInto(sc *reqScratch, logits *mat.Dense, lo, hi int, logG []floa
 		mat.Softmax(probs, logits.Row(lo+i))
 		sc.probsRows[i] = probs
 		sc.classes[i] = mat.ArgMax(probs)
+		sc.margins[i] = topMargin(probs, sc.classes[i])
 	}
 	sc.predict = predictResponse{Classes: sc.classes, Probs: sc.probsRows}
 	if logG != nil {
@@ -553,6 +648,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	a.Release()
 	s.feedDrift(sc.batch.LogG)
+	s.observeDecisions(r, sc, reqScore, false)
 	writeJSON(w, r, &sc.score)
 	putReqScratch(sc)
 }
@@ -563,9 +659,17 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 func buildScoreInto(sc *reqScratch, logits *mat.Dense, lo, hi int, batch *gda.BatchScores, lambda float64) {
 	sc.u = growFloats(sc.u, len(batch.G))
 	sc.probs = growFloats(sc.probs, logits.Cols)
+	// /score responses carry no classes, but the decision audit trail and the
+	// per-group attribution need the argmax and its margin; the softmax is
+	// already computed per row, so the extra scan is a few comparisons.
+	sc.classes = growInts(sc.classes, len(batch.G))
+	sc.margins = growFloats(sc.margins, len(batch.G))
 	u, probs := sc.u, sc.probs
 	for i := range u {
 		mat.Softmax(probs, logits.Row(lo+i))
+		top := mat.ArgMax(probs)
+		sc.classes[i] = top
+		sc.margins[i] = topMargin(probs, top)
 		u[i] = batch.G[i]
 		for c := 0; c < logits.Cols && c < len(batch.Delta[i]); c++ {
 			u[i] -= lambda * probs[c] * batch.Delta[i][c]
@@ -684,6 +788,21 @@ func (s *Server) feedDrift(logDensities []float64) {
 	s.cfg.Drift.Observe(mean)
 	s.updateDriftMetricsLocked()
 	s.driftMu.Unlock()
+}
+
+// topMargin returns the top-1 minus top-2 probability — the decision margin
+// retained by the audit trail. One pass over the (few) classes.
+func topMargin(probs []float64, top int) float64 {
+	second := math.Inf(-1)
+	for i, p := range probs {
+		if i != top && p > second {
+			second = p
+		}
+	}
+	if math.IsInf(second, -1) {
+		return probs[top] // single-class model: no runner-up
+	}
+	return probs[top] - second
 }
 
 // normalizeFlipInto maps scores to ω = 1 − minmax(u), written into out (which

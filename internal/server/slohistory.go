@@ -1,0 +1,74 @@
+package server
+
+import (
+	"faction/internal/obs"
+	"faction/internal/obs/history"
+	"faction/internal/obs/slo"
+)
+
+// Wiring between the server's instruments and the in-process metric-history
+// sampler (internal/obs/history) and SLO engine (internal/obs/slo). Both run
+// on their own timers; the serving hot path never touches them — they *read*
+// the same atomic gauges and histograms the handlers already update.
+
+// trackDefaultSeries registers the serving-layer series every deployment
+// wants on the /metrics/history timeline. The online runner adds its
+// regret/violation gauges via online.Metrics.TrackHistory.
+func (s *Server) trackDefaultSeries() {
+	m := s.metrics
+	h := s.history
+	gauge := func(name string, g *obs.Gauge) {
+		h.Track(name, func() (float64, bool) { return g.Value(), true })
+	}
+	gauge("fairness_gap", m.fairnessGap)
+	gauge("drift_shifts", m.driftShifts)
+	gauge("drift_baseline_mean", m.driftMean)
+	gauge("wal_replay_lag", m.walReplayLag)
+	gauge("model_generation", m.generation)
+	h.Track("p99_latency", func() (float64, bool) {
+		if m.latencyAll.Count() == 0 {
+			return 0, false // no traffic yet: no point, not a zero
+		}
+		return m.latencyAll.Quantile(0.99), true
+	})
+}
+
+// History returns the metric-history sampler, or nil when
+// Config.HistoryInterval is 0. faction-serve hands it to
+// online.Metrics.TrackHistory so protocol-level series join the timeline.
+func (s *Server) History() *history.Sampler { return s.history }
+
+// SLOEngine returns the burn-rate engine, or nil when Config.SLO is nil.
+func (s *Server) SLOEngine() *slo.Engine { return s.sloEngine }
+
+// sloTargets resolves the default objective targets against the server's own
+// instruments. Targets not in this map fall back to unlabeled registry
+// families by name, and to NaN (always violating) when nothing resolves —
+// an objective that cannot be measured fails loud.
+func (s *Server) sloTargets() map[string]slo.TargetFunc {
+	m := s.metrics
+	// error_rate is a windowed rate derived from cumulative counters: the
+	// closure keeps the previous counts and returns the 5xx fraction of the
+	// responses since the last evaluation. The engine serializes Evaluate
+	// calls under its own mutex, so the captured state is race-free.
+	var lastTotal, lastErr uint64
+	return map[string]slo.TargetFunc{
+		"fairness_gap": m.fairnessGap.Value,
+		"p99_latency": func() float64 {
+			if m.latencyAll.Count() == 0 {
+				return 0 // an idle server meets its latency objective
+			}
+			return m.latencyAll.Quantile(0.99)
+		},
+		"error_rate": func() float64 {
+			total, errs := m.responsesAll.Value(), m.responses5xx.Value()
+			dTotal, dErr := total-lastTotal, errs-lastErr
+			lastTotal, lastErr = total, errs
+			if dTotal == 0 {
+				return 0
+			}
+			return float64(dErr) / float64(dTotal)
+		},
+		"wal_replay_lag": m.walReplayLag.Value,
+	}
+}
