@@ -16,9 +16,11 @@ test:
 # ScoreBatch), and the metrics registry whose hot paths are lock-free atomics
 # scraped concurrently — ./internal/obs/... recursively includes the
 # metric-history sampler and SLO burn-rate engine (tickers racing manual
-# SampleNow/Evaluate and the HTTP snapshots).
+# SampleNow/Evaluate and the HTTP snapshots). ./internal/fleet/... is the
+# multi-replica router: the proxy hot path, probe loop and reconciler all
+# share per-replica atomics.
 race:
-	$(GO) test -race ./internal/server/... ./internal/batching/... ./internal/online/... ./internal/resilience/... ./internal/wal/... ./internal/nn/... ./internal/mat/... ./internal/gda/... ./internal/obs/...
+	$(GO) test -race ./internal/server/... ./internal/batching/... ./internal/online/... ./internal/resilience/... ./internal/wal/... ./internal/nn/... ./internal/mat/... ./internal/gda/... ./internal/obs/... ./internal/fleet/...
 
 vet:
 	$(GO) vet ./...

@@ -86,6 +86,7 @@ func main() {
 		gate     = flag.String("gate", "", "re-run the kernel and allocation suites and compare against the committed baselines in this directory, exiting non-zero on regression")
 		clients  = flag.Int("clients", 64, "concurrent load-generator clients for -serve")
 		requests = flag.Int("requests", 40, "requests each -serve client issues")
+		replicas = flag.Int("replicas", 1, "with -serve, also measure this many in-process replicas behind a fleet router (1 disables)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
@@ -154,7 +155,7 @@ func main() {
 		return
 	}
 	if *serve != "" {
-		if err := runServeBench(*serve, *clients, *requests); err != nil {
+		if err := runServeBench(*serve, *clients, *requests, *replicas); err != nil {
 			fatal(err)
 		}
 		return
@@ -261,9 +262,9 @@ func runKernelBench(path string, datasets []string, workers int) error {
 // runServeBench runs the serving-layer coalesced-load benchmark (N concurrent
 // single-instance /predict clients, batching off then on), prints the headline
 // comparison, and writes the machine-readable report to path.
-func runServeBench(path string, clients, requests int) error {
+func runServeBench(path string, clients, requests, replicas int) error {
 	fmt.Printf("=== serving-layer coalesced load (%d clients × %d requests) ===\n", clients, requests)
-	rep, err := bench.RunServe(clients, requests)
+	rep, err := bench.RunServe(clients, requests, replicas)
 	if err != nil {
 		return err
 	}

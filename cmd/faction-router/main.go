@@ -1,0 +1,124 @@
+// Command faction-router is the fleet front tier for sharded FACTION serving:
+// it fans /predict, /score and /feedback across N faction-serve replicas,
+// ejects replicas that fail health probes (retrying in-flight requests on the
+// next replica), and converges the fleet to one model generation by pushing
+// the freshest replica's checksummed snapshot to laggards through their
+// candidate-validation gates — no shared storage required.
+//
+//	# three replicas, least-inflight balancing, snapshot distribution on
+//	faction-router -addr :8080 \
+//	  -replica http://127.0.0.1:8081 -replica http://127.0.0.1:8082 \
+//	  -replica http://127.0.0.1:8083 \
+//	  -snapshot-token $TOKEN
+//
+// Endpoints: the proxied model surface (POST /predict, /score, /feedback;
+// GET /info, /drift), GET /fleet (JSON fleet status: per-replica health,
+// generation, fairness gap, convergence), GET /metrics (router-side families:
+// faction_router_*), GET /healthz (router liveness) and GET /readyz (200 iff
+// at least one replica is ready).
+//
+// The -snapshot-token must match the replicas' -snapshot-token; without it
+// the router balances and health-checks but does not distribute models.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"faction/internal/fleet"
+	"faction/internal/obs"
+	"faction/internal/resilience"
+)
+
+// replicaList collects repeated -replica flags.
+type replicaList []string
+
+func (r *replicaList) String() string { return fmt.Sprint([]string(*r) == nil) }
+func (r *replicaList) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	var replicas replicaList
+	var (
+		addr            = flag.String("addr", ":8080", "listen address")
+		balance         = flag.String("balance", fleet.BalanceLeastInflight, "load-balancing mode: least-inflight or hash (rendezvous on client address)")
+		probeInterval   = flag.Duration("probe-interval", time.Second, "health-probe and snapshot-reconcile cadence")
+		probeTimeout    = flag.Duration("probe-timeout", 2*time.Second, "per-probe HTTP deadline")
+		snapToken       = flag.String("snapshot-token", "", "bearer token for the replicas' snapshot endpoints; empty disables model distribution")
+		maxAttempts     = flag.Int("max-attempts", 0, "max replicas one request may be retried across (0 = all)")
+		maxBody         = flag.Int64("max-body", 8<<20, "request body cap in bytes (bodies are buffered for retry)")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "max wait for in-flight requests on SIGINT/SIGTERM")
+		logFormat       = flag.String("log-format", "text", "log output format: text or json")
+		logLevel        = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	)
+	flag.Var(&replicas, "replica", "replica base URL (repeatable), e.g. -replica http://127.0.0.1:8081")
+	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
+
+	if len(replicas) == 0 {
+		fatal(fmt.Errorf("no replicas: pass at least one -replica URL"))
+	}
+	cfg := fleet.Config{
+		Balance:       *balance,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		SnapshotToken: *snapToken,
+		MaxAttempts:   *maxAttempts,
+		MaxBodyBytes:  *maxBody,
+		Logger:        logger,
+	}
+	for i, u := range replicas {
+		cfg.Replicas = append(cfg.Replicas, fleet.Replica{Name: fmt.Sprintf("r%d", i), URL: u})
+	}
+	rt, err := fleet.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	logger.Info("faction-router listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("replicas", len(replicas)),
+		slog.String("balance", *balance),
+		slog.Bool("snapshots", *snapToken != ""))
+	err = resilience.Serve(ctx, srv, ln, *shutdownTimeout, func() {
+		logger.Info("faction-router draining", slog.Duration("timeout", *shutdownTimeout))
+	})
+	if err != nil {
+		fatal(err)
+	}
+	logger.Info("faction-router drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faction-router:", err)
+	os.Exit(1)
+}

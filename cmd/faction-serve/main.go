@@ -79,6 +79,7 @@ func main() {
 		lambda     = flag.Float64("lambda", 1, "fairness trade-off λ for /score")
 		mu         = flag.Float64("mu", 0.7, "fairness regularization μ when training")
 		onlineFlag = flag.Bool("online", false, "enable POST /feedback and POST /refit (serving-time adaptation)")
+		snapToken  = flag.String("snapshot-token", "", "bearer token enabling GET /snapshot and POST /snapshot/install for fleet model distribution (empty disables)")
 
 		batchRows  = flag.Int("batch-rows", 64, "queued instance rows that trigger an immediate coalesced flush (with -batch-delay > 0)")
 		batchDelay = flag.Duration("batch-delay", 0, "max time a /predict or /score request waits to be coalesced into a batch (0 disables batching)")
@@ -96,7 +97,7 @@ func main() {
 
 		sensitiveCol  = flag.Int("sensitive-col", -1, "feature column carrying the sensitive attribute: enables per-group decision metrics, the fairness-gap gauge and the /debug/decisions audit trail (-1 disables)")
 		groupValues   = flag.String("group-values", "-1,1", "comma-separated sensitive values expected in -sensitive-col; unmatched values count as group \"other\"")
-		positiveClass = flag.Int("positive-class", 1, "predicted class counted as the positive outcome for the demographic-parity rates")
+		positiveClass = flag.Int("positive-class", 1, "predicted class counted as the positive outcome for the demographic-parity rates (0 is valid; -1 means the default, 1)")
 		fairWindow    = flag.Int("fairness-window", 1024, "per-group sliding-window length behind the positive rates and the fairness gap")
 		auditSize     = flag.Int("audit-decisions", 256, "decision audit-ring capacity served on GET /debug/decisions")
 
@@ -184,6 +185,7 @@ func main() {
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
 		MaxBodyBytes:   *maxBody,
+		SnapshotToken:  *snapToken,
 		Logger:         logger,
 	}
 	if *densPath != "" {

@@ -166,7 +166,7 @@ func obsServer(fair bool) (*server.Server, error) {
 	if fair {
 		spec := slo.DefaultSpec()
 		spec.Interval = slo.Duration(time.Hour)
-		cfg.FairObs = &server.FairObsConfig{SensitiveCol: 0, GroupValues: []int{-1, 1}}
+		cfg.FairObs = &server.FairObsConfig{SensitiveCol: 0, GroupValues: []int{-1, 1}, PositiveClass: 1}
 		cfg.HistoryInterval = time.Hour
 		cfg.SLO = &spec
 	}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"faction/internal/fleet"
 	"faction/internal/gda"
 	"faction/internal/mat"
 	"faction/internal/nn"
@@ -48,13 +50,17 @@ type ServeReport struct {
 	GOMAXPROCS  int           `json:"gomaxprocs"`
 	Concurrency int           `json:"concurrency"`
 	PerWorker   int           `json:"requests_per_worker"`
+	Replicas    int           `json:"replicas,omitempty"`
 	Results     []ServeResult `json:"results"`
 }
 
 // RunServe measures request-coalescing under concurrency-way single-instance
 // /predict load, once with batching off and once with it on, and reports
-// throughput, latency and flushed-batch-size evidence for both.
-func RunServe(concurrency, perWorker int) (ServeReport, error) {
+// throughput, latency and flushed-batch-size evidence for both. With
+// replicas > 1 it adds a third run: the same load fired at a fleet.Router
+// fronting that many in-process replicas, the sharded-serving throughput
+// point of BENCH_serve.json.
+func RunServe(concurrency, perWorker, replicas int) (ServeReport, error) {
 	if concurrency <= 0 {
 		concurrency = 64
 	}
@@ -68,6 +74,9 @@ func RunServe(concurrency, perWorker int) (ServeReport, error) {
 		Concurrency: concurrency,
 		PerWorker:   perWorker,
 	}
+	if replicas > 1 {
+		rep.Replicas = replicas
+	}
 	model, est, err := serveArtifacts()
 	if err != nil {
 		return rep, err
@@ -80,6 +89,13 @@ func RunServe(concurrency, perWorker int) (ServeReport, error) {
 		{"batched", time.Millisecond},
 	} {
 		res, err := runServeLoad(model, est, mode.name, mode.delay, concurrency, perWorker)
+		if err != nil {
+			return rep, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if replicas > 1 {
+		res, err := runFleetLoad(model, est, replicas, concurrency, perWorker)
 		if err != nil {
 			return rep, err
 		}
@@ -136,6 +152,32 @@ func runServeLoad(model *nn.Classifier, est *gda.Estimator, name string, delay t
 	}}
 	defer client.CloseIdleConnections()
 
+	res, err := firePredictLoad(ts.URL, client, name, concurrency, perWorker)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	if delay > 0 {
+		// Idempotent registration hands back the server's own instruments.
+		rows := reg.Histogram("faction_batch_rows", "", obs.ExpBuckets(1, 2, 10))
+		if n := rows.Count(); n > 0 {
+			res.MeanBatchRows = rows.Sum() / float64(n)
+		}
+		res.MaxBatchRows = maxFlushedRows(reg)
+		res.Flushes = map[string]int{}
+		for _, reason := range []string{"size", "deadline", "drain"} {
+			if v := reg.CounterVec("faction_batch_flushes_total", "", "reason").With(reason).Value(); v > 0 {
+				res.Flushes[reason] = int(v)
+			}
+		}
+	}
+	return res, nil
+}
+
+// firePredictLoad fires the shared load shape — concurrency workers, each
+// issuing perWorker single-instance /predict posts with a fixed random row —
+// at baseURL and reports throughput and latency. Both the single-server and
+// fleet runs use it, so their numbers answer identical work.
+func firePredictLoad(baseURL string, client *http.Client, name string, concurrency, perWorker int) (ServeResult, error) {
 	bodies := make([][]byte, concurrency)
 	rng := rand.New(rand.NewSource(5))
 	for w := range bodies {
@@ -161,7 +203,7 @@ func runServeLoad(model *nn.Classifier, est *gda.Estimator, name string, delay t
 			lats := make([]float64, 0, perWorker)
 			for i := 0; i < perWorker; i++ {
 				t0 := time.Now()
-				resp, err := client.Post(ts.URL+"/predict", "application/json", bytes.NewReader(bodies[w]))
+				resp, err := client.Post(baseURL+"/predict", "application/json", bytes.NewReader(bodies[w]))
 				if err != nil {
 					errs <- err
 					return
@@ -194,28 +236,58 @@ func runServeLoad(model *nn.Classifier, est *gda.Estimator, name string, delay t
 		mean += l
 	}
 	mean /= float64(len(all))
-	res := ServeResult{
+	return ServeResult{
 		Name:           name,
 		Requests:       len(all),
 		RequestsPerSec: float64(len(all)) / wall,
 		MeanLatencyMs:  mean,
 		P99LatencyMs:   all[(len(all)*99)/100-1],
-	}
-	if delay > 0 {
-		// Idempotent registration hands back the server's own instruments.
-		rows := reg.Histogram("faction_batch_rows", "", obs.ExpBuckets(1, 2, 10))
-		if n := rows.Count(); n > 0 {
-			res.MeanBatchRows = rows.Sum() / float64(n)
+	}, nil
+}
+
+// runFleetLoad stands up `replicas` in-process servers (batching off, same
+// artifacts) behind a fleet.Router with least-inflight balancing, probes the
+// fleet once so every replica is in rotation, and fires the shared load at
+// the router. On a multi-core host this is the sharded-serving scaling point;
+// on one core it measures the router's proxy overhead instead, since the
+// replicas contend for the same CPU.
+func runFleetLoad(model *nn.Classifier, est *gda.Estimator, replicas, concurrency, perWorker int) (ServeResult, error) {
+	discard := slog.New(slog.NewTextHandler(io.Discard, nil))
+	var members []fleet.Replica
+	for i := 0; i < replicas; i++ {
+		s, err := server.New(server.Config{
+			Model:             model,
+			Density:           est,
+			TrainLogDensities: est.TrainLogDensities,
+			MaxInflight:       2 * concurrency,
+			Logger:            discard,
+			Metrics:           obs.NewRegistry(),
+		})
+		if err != nil {
+			return ServeResult{}, err
 		}
-		res.MaxBatchRows = maxFlushedRows(reg)
-		res.Flushes = map[string]int{}
-		for _, reason := range []string{"size", "deadline", "drain"} {
-			if v := reg.CounterVec("faction_batch_flushes_total", "", "reason").With(reason).Value(); v > 0 {
-				res.Flushes[reason] = int(v)
-			}
-		}
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		members = append(members, fleet.Replica{Name: fmt.Sprintf("r%d", i), URL: ts.URL})
 	}
-	return res, nil
+	rt, err := fleet.New(fleet.Config{
+		Replicas:      members,
+		ProbeInterval: time.Hour, // probed by hand; no background loop
+		Logger:        discard,
+	})
+	if err != nil {
+		return ServeResult{}, err
+	}
+	rt.ProbeOnce(context.Background())
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        concurrency,
+		MaxIdleConnsPerHost: concurrency,
+	}}
+	defer client.CloseIdleConnections()
+	return firePredictLoad(front.URL, client, fmt.Sprintf("fleet-%dx", replicas), concurrency, perWorker)
 }
 
 // maxFlushedRows recovers an upper-bound witness of the largest flushed

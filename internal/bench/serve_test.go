@@ -14,14 +14,14 @@ import (
 // BENCH_serve.json, not to this smoke test — at width 4 coalescing is
 // possible but not guaranteed on a loaded CI machine.
 func TestRunServeSmoke(t *testing.T) {
-	rep, err := RunServe(4, 3)
+	rep, err := RunServe(4, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != 2 {
-		t.Fatalf("got %d results, want 2", len(rep.Results))
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(rep.Results))
 	}
-	for i, name := range []string{"unbatched", "batched"} {
+	for i, name := range []string{"unbatched", "batched", "fleet-2x"} {
 		r := rep.Results[i]
 		if r.Name != name {
 			t.Fatalf("results[%d].Name = %q, want %q", i, r.Name, name)
@@ -39,6 +39,12 @@ func TestRunServeSmoke(t *testing.T) {
 	}
 	if total == 0 {
 		t.Fatal("batched run flushed nothing")
+	}
+	if fl := rep.Results[2]; fl.Flushes != nil || fl.MeanBatchRows != 0 {
+		t.Fatalf("fleet run reported batching evidence: %+v", fl)
+	}
+	if rep.Replicas != 2 {
+		t.Fatalf("report replicas = %d, want 2", rep.Replicas)
 	}
 }
 

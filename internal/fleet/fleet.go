@@ -1,0 +1,583 @@
+// Package fleet is the sharded-serving front tier: a Router that fans client
+// traffic across N faction-serve replicas, ejects replicas that fail health
+// probes, retries failed attempts on the next replica, and converges the fleet
+// to one model generation by distributing checksummed snapshots from the
+// freshest replica to laggards — no shared storage required.
+//
+// The paper's protocol adapts the model online as the environment changes;
+// serving it at scale means N independent replicas whose generations drift
+// apart as refits land on whichever replica received the feedback. The router
+// closes that loop: it watches per-replica /info generations and pushes the
+// winning replica's resilience-envelope snapshot through each laggard's
+// candidate-validation gate (POST /snapshot/install), so a fairness-regressed
+// or shape-mismatched snapshot is rejected exactly like a bad refit would be.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faction/internal/obs"
+)
+
+// Balance modes for spreading traffic across ready replicas.
+const (
+	// BalanceLeastInflight routes each request to the ready replica with the
+	// fewest proxied requests currently outstanding (round-robin among ties).
+	BalanceLeastInflight = "least-inflight"
+	// BalanceHash routes by rendezvous (highest-random-weight) hash of the
+	// client address, so a given client sticks to one replica while it is
+	// healthy and degrades minimally when membership changes.
+	BalanceHash = "hash"
+)
+
+// Replica names one backend faction-serve process.
+type Replica struct {
+	// Name labels the replica in metrics and /fleet output. Defaults to
+	// "r<index>" when empty.
+	Name string
+	// URL is the replica's base URL, e.g. "http://127.0.0.1:8081".
+	URL string
+}
+
+// Config configures a Router.
+type Config struct {
+	// Replicas is the fixed fleet membership. At least one is required.
+	Replicas []Replica
+	// Balance selects the load-balancing mode; default BalanceLeastInflight.
+	Balance string
+	// ProbeInterval is the health-probe and reconcile cadence; default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe HTTP call; default 2s.
+	ProbeTimeout time.Duration
+	// SnapshotToken authorizes GET /snapshot and POST /snapshot/install on
+	// the replicas. Empty disables snapshot distribution — the router still
+	// balances and health-checks, but generations converge only via the
+	// replicas' own feedback paths.
+	SnapshotToken string
+	// MaxAttempts caps how many distinct replicas one request may be tried
+	// on; default (and max) len(Replicas).
+	MaxAttempts int
+	// MaxBodyBytes bounds buffered request bodies (the body must be buffered
+	// to be replayable across retries); default 8 MiB.
+	MaxBodyBytes int64
+	// Client performs all backend calls; default http.Client with sane
+	// connection pooling.
+	Client *http.Client
+	// Logger receives router events; default slog.Default().
+	Logger *slog.Logger
+	// Metrics is the router's own registry (separate from any replica's);
+	// default a fresh registry.
+	Metrics *obs.Registry
+}
+
+// replica is the router's live view of one backend.
+type replica struct {
+	name string
+	base *url.URL
+
+	up       atomic.Bool
+	ready    atomic.Bool
+	gen      atomic.Uint64
+	inflight atomic.Int64
+
+	errMu       sync.Mutex
+	lastErr     string
+	lastProbeMs atomic.Int64
+
+	mUp, mReady, mGen, mInflight, mShed, mGap *obs.Gauge
+	requests                                  map[string]*obs.Counter // status class -> counter
+}
+
+func (rep *replica) setErr(err error) {
+	rep.errMu.Lock()
+	if err == nil {
+		rep.lastErr = ""
+	} else {
+		rep.lastErr = err.Error()
+	}
+	rep.errMu.Unlock()
+}
+
+func (rep *replica) lastError() string {
+	rep.errMu.Lock()
+	defer rep.errMu.Unlock()
+	return rep.lastErr
+}
+
+// statusClasses are the bounded code-label values for
+// faction_router_requests_total: coarse classes, not raw codes, so the family
+// cardinality is fixed at 5 x |replicas|.
+var statusClasses = []string{"2xx", "3xx", "4xx", "5xx", "error"}
+
+func statusClass(code int) string {
+	switch {
+	case code >= 200 && code < 300:
+		return "2xx"
+	case code >= 300 && code < 400:
+		return "3xx"
+	case code >= 400 && code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// Router is the fleet front tier. Construct with New, mount Handler, and
+// Start the probe/reconcile loop (or drive ProbeOnce/Reconcile by hand in
+// tests).
+type Router struct {
+	cfg      Config
+	replicas []*replica
+	client   *http.Client
+	logger   *slog.Logger
+	reg      *obs.Registry
+	metrics  *routerMetrics
+
+	rr          atomic.Uint64 // round-robin tiebreak among equally loaded replicas
+	reconcileMu sync.Mutex    // one reconcile sweep at a time
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New validates the configuration and builds a Router. It does not contact
+// the replicas; every replica starts down until the first probe.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("fleet: no replicas configured")
+	}
+	switch cfg.Balance {
+	case "":
+		cfg.Balance = BalanceLeastInflight
+	case BalanceLeastInflight, BalanceHash:
+	default:
+		return nil, fmt.Errorf("fleet: unknown balance mode %q", cfg.Balance)
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 || cfg.MaxAttempts > len(cfg.Replicas) {
+		cfg.MaxAttempts = len(cfg.Replicas)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	rt := &Router{
+		cfg:     cfg,
+		client:  cfg.Client,
+		logger:  cfg.Logger,
+		reg:     cfg.Metrics,
+		metrics: newRouterMetrics(cfg.Metrics),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for i, r := range cfg.Replicas {
+		name := r.Name
+		if name == "" {
+			name = fmt.Sprintf("r%d", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("fleet: duplicate replica name %q", name)
+		}
+		seen[name] = true
+		base, err := url.Parse(r.URL)
+		if err != nil || base.Scheme == "" || base.Host == "" {
+			return nil, fmt.Errorf("fleet: replica %s has invalid URL %q", name, r.URL)
+		}
+		rep := &replica{
+			name:      name,
+			base:      base,
+			mUp:       rt.metrics.replicaUp.With(name),
+			mReady:    rt.metrics.replicaReady.With(name),
+			mGen:      rt.metrics.replicaGen.With(name),
+			mInflight: rt.metrics.replicaInflight.With(name),
+			mShed:     rt.metrics.replicaShed.With(name),
+			mGap:      rt.metrics.replicaGap.With(name),
+			requests:  map[string]*obs.Counter{},
+		}
+		for _, c := range statusClasses {
+			rep.requests[c] = rt.metrics.requests.With(name, c)
+		}
+		rt.replicas = append(rt.replicas, rep)
+	}
+	return rt, nil
+}
+
+// Handler returns the router's HTTP surface: the proxied model routes, the
+// /fleet status page, the router's own health endpoints, and its /metrics.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, route := range []string{"POST /predict", "POST /score", "POST /feedback"} {
+		mux.HandleFunc(route, rt.proxy)
+	}
+	// Read-only model metadata is proxied too, so single-endpoint clients
+	// never need to know replica addresses.
+	mux.HandleFunc("GET /info", rt.proxy)
+	mux.HandleFunc("GET /drift", rt.proxy)
+	mux.HandleFunc("GET /fleet", rt.handleFleet)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if rt.readyCount() == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "no ready replicas\n")
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	mux.Handle("GET /metrics", rt.reg.Handler())
+	return mux
+}
+
+func (rt *Router) readyCount() int {
+	n := 0
+	for _, rep := range rt.replicas {
+		if rep.up.Load() && rep.ready.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// candidates returns the replicas eligible for a request, most preferred
+// first, per the balance mode. Ready replicas are preferred; if none are
+// ready the router degrades to trying up-but-unready replicas (a replica
+// replaying its WAL still answers /predict once it flips ready — better to
+// try than to fail fast while the whole fleet restarts).
+func (rt *Router) candidates(key string) []*replica {
+	var ready, upOnly []*replica
+	for _, rep := range rt.replicas {
+		switch {
+		case rep.up.Load() && rep.ready.Load():
+			ready = append(ready, rep)
+		case rep.up.Load():
+			upOnly = append(upOnly, rep)
+		}
+	}
+	pool := ready
+	if len(pool) == 0 {
+		pool = upOnly
+	}
+	if len(pool) == 0 {
+		// Nothing has passed a probe (or probes have not run yet): try
+		// everything rather than refusing outright.
+		pool = append(pool, rt.replicas...)
+	}
+	rt.order(pool, key)
+	return pool
+}
+
+// order sorts pool in place into preference order.
+func (rt *Router) order(pool []*replica, key string) {
+	if len(pool) < 2 {
+		return
+	}
+	switch rt.cfg.Balance {
+	case BalanceHash:
+		// Rendezvous hashing: score each replica against the key and sort by
+		// descending score. Each key has a stable preference list; removing
+		// a replica only remaps the keys that preferred it.
+		scores := make(map[*replica]uint64, len(pool))
+		for _, rep := range pool {
+			h := fnv.New64a()
+			io.WriteString(h, key)
+			io.WriteString(h, "\x00")
+			io.WriteString(h, rep.name)
+			scores[rep] = h.Sum64()
+		}
+		sort.Slice(pool, func(i, j int) bool { return scores[pool[i]] > scores[pool[j]] })
+	default: // BalanceLeastInflight
+		offset := int(rt.rr.Add(1))
+		sort.SliceStable(pool, func(i, j int) bool {
+			return pool[i].inflight.Load() < pool[j].inflight.Load()
+		})
+		// Rotate equally loaded prefixes so ties spread round-robin instead
+		// of always hitting the first replica.
+		end := 1
+		for end < len(pool) && pool[end].inflight.Load() == pool[0].inflight.Load() {
+			end++
+		}
+		if end > 1 {
+			k := offset % end
+			rotated := append(append([]*replica{}, pool[k:end]...), pool[:k]...)
+			copy(pool[:end], rotated)
+		}
+	}
+	if rt.cfg.MaxAttempts < len(pool) {
+		// The caller iterates the returned slice; trim to the attempt cap.
+		for i := rt.cfg.MaxAttempts; i < len(pool); i++ {
+			pool[i] = nil
+		}
+	}
+}
+
+// retryableStatus reports whether a backend status code means "this replica
+// cannot take the request right now, another might": shed (429), timed out or
+// draining (503), bad gateway (502). Semantic errors (4xx) and handler bugs
+// (500) are returned to the client verbatim — retrying them elsewhere would
+// duplicate side effects for no benefit.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests ||
+		code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable
+}
+
+// proxy buffers the request body, walks the candidate replicas in balance
+// order, and relays the first non-retryable response. A replica that fails at
+// the connection level is marked down on the spot (the probe loop will bring
+// it back); a replica answering 429/502/503 is skipped for this request but
+// keeps its probe state. /feedback retries are at-least-once: a replica that
+// crashed after appending to its WAL but before responding will replay the
+// row, and the training path tolerates duplicate feedback.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBodyBytes+1))
+	if err != nil {
+		http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > rt.cfg.MaxBodyBytes {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	key := clientKey(r)
+	var lastErr error
+	lastStatus := 0
+	for _, rep := range rt.candidates(key) {
+		if rep == nil {
+			break // attempt cap
+		}
+		if r.Context().Err() != nil {
+			return // client gone; nothing useful to write
+		}
+		if lastErr != nil || lastStatus != 0 {
+			rt.metrics.retries.Inc()
+		}
+		status, err := rt.tryReplica(w, r, rep, body)
+		if err == nil && status == 0 {
+			return // response relayed
+		}
+		if err != nil {
+			lastErr, lastStatus = err, 0
+			rep.up.Store(false)
+			rep.ready.Store(false)
+			rep.mUp.Set(0)
+			rep.mReady.Set(0)
+			rep.setErr(err)
+			rep.requests["error"].Inc()
+			rt.logger.Warn("fleet: replica failed, ejecting until next probe",
+				slog.String("replica", rep.name), slog.String("error", err.Error()))
+			continue
+		}
+		lastErr, lastStatus = nil, status
+	}
+	rt.metrics.proxyErrors.Inc()
+	if lastStatus != 0 {
+		// Every eligible replica answered retryable-busy; relay the class.
+		http.Error(w, fmt.Sprintf("all replicas busy (last status %d)", lastStatus), http.StatusServiceUnavailable)
+		return
+	}
+	msg := "no replica reachable"
+	if lastErr != nil {
+		msg += ": " + lastErr.Error()
+	}
+	http.Error(w, msg, http.StatusBadGateway)
+}
+
+// tryReplica attempts the request on one replica. Returns (0, nil) once the
+// response has been relayed to the client, (status, nil) for a retryable
+// backend status (response consumed, not relayed), or (0, err) for a
+// connection-level failure.
+func (rt *Router) tryReplica(w http.ResponseWriter, r *http.Request, rep *replica, body []byte) (int, error) {
+	target := *rep.base
+	target.Path = strings.TrimRight(target.Path, "/") + r.URL.Path
+	target.RawQuery = r.URL.RawQuery
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, target.String(), bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		out.Header.Set("X-Request-ID", id)
+	}
+	out.ContentLength = int64(len(body))
+
+	rep.inflight.Add(1)
+	rep.mInflight.Set(float64(rep.inflight.Load()))
+	resp, err := rt.client.Do(out)
+	rep.inflight.Add(-1)
+	rep.mInflight.Set(float64(rep.inflight.Load()))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if retryableStatus(resp.StatusCode) {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		rep.requests[statusClass(resp.StatusCode)].Inc()
+		return resp.StatusCode, nil
+	}
+	rep.requests[statusClass(resp.StatusCode)].Inc()
+	for _, h := range []string{"Content-Type", "X-Request-ID"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Faction-Replica", rep.name)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return 0, nil
+}
+
+// clientKey derives the hash-balance key: the client host, so one client maps
+// to one replica. Falls back to the whole RemoteAddr when unparsable.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// fleetReplicaStatus is one row of the /fleet JSON page.
+type fleetReplicaStatus struct {
+	Name        string  `json:"name"`
+	URL         string  `json:"url"`
+	Up          bool    `json:"up"`
+	Ready       bool    `json:"ready"`
+	Generation  uint64  `json:"generation"`
+	Inflight    int64   `json:"inflight"`
+	FairnessGap float64 `json:"fairnessGap"`
+	Shed        float64 `json:"shed"`
+	LastProbeMs int64   `json:"lastProbeUnixMs"`
+	LastError   string  `json:"lastError,omitempty"`
+}
+
+// fleetStatus is the /fleet JSON page: the operator's one-look answer to "is
+// the fleet healthy and serving one model generation?".
+type fleetStatus struct {
+	Balance          string               `json:"balance"`
+	SnapshotsEnabled bool                 `json:"snapshotsEnabled"`
+	TargetGeneration uint64               `json:"targetGeneration"`
+	Converged        bool                 `json:"converged"`
+	ReadyReplicas    int                  `json:"readyReplicas"`
+	Replicas         []fleetReplicaStatus `json:"replicas"`
+}
+
+func (rt *Router) fleetSnapshotStatus() fleetStatus {
+	st := fleetStatus{
+		Balance:          rt.cfg.Balance,
+		SnapshotsEnabled: rt.cfg.SnapshotToken != "",
+	}
+	st.Converged = true
+	for _, rep := range rt.replicas {
+		up, ready := rep.up.Load(), rep.ready.Load()
+		row := fleetReplicaStatus{
+			Name:        rep.name,
+			URL:         rep.base.String(),
+			Up:          up,
+			Ready:       ready,
+			Generation:  rep.gen.Load(),
+			Inflight:    rep.inflight.Load(),
+			FairnessGap: rep.mGap.Value(),
+			Shed:        rep.mShed.Value(),
+			LastProbeMs: rep.lastProbeMs.Load(),
+			LastError:   rep.lastError(),
+		}
+		st.Replicas = append(st.Replicas, row)
+		if ready {
+			st.ReadyReplicas++
+			if row.Generation > st.TargetGeneration {
+				st.TargetGeneration = row.Generation
+			}
+		}
+	}
+	for _, row := range st.Replicas {
+		if row.Ready && row.Generation != st.TargetGeneration {
+			st.Converged = false
+		}
+	}
+	if st.ReadyReplicas == 0 {
+		st.Converged = false
+	}
+	return st
+}
+
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rt.fleetSnapshotStatus())
+}
+
+// Start launches the background probe + reconcile loop. Subsequent calls are
+// no-ops. The loop probes every replica each interval, updates the aggregate
+// gauges, and (when snapshot distribution is enabled) pushes the freshest
+// replica's snapshot to laggards.
+func (rt *Router) Start() {
+	rt.startOnce.Do(func() {
+		go func() {
+			defer close(rt.done)
+			tick := time.NewTicker(rt.cfg.ProbeInterval)
+			defer tick.Stop()
+			ctx := context.Background()
+			rt.ProbeOnce(ctx)
+			rt.Reconcile(ctx)
+			for {
+				select {
+				case <-rt.stop:
+					return
+				case <-tick.C:
+					rt.ProbeOnce(ctx)
+					if err := rt.Reconcile(ctx); err != nil {
+						rt.logger.Warn("fleet: reconcile failed", slog.String("error", err.Error()))
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the probe loop and waits for it to exit. Safe to call
+// multiple times, and safe even if Start was never called.
+func (rt *Router) Stop() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.startOnce.Do(func() { close(rt.done) })
+	<-rt.done
+}

@@ -1,0 +1,546 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"faction/internal/data"
+	"faction/internal/gda"
+	"faction/internal/nn"
+	"faction/internal/obs"
+	"faction/internal/server"
+)
+
+const testToken = "fleet-test-token"
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// replicaSet builds n independent faction-serve replicas from one trained
+// artifact pair (serialized and reloaded per replica, so no state is shared)
+// and returns the servers plus their test listeners.
+func replicaSet(t *testing.T, n int) ([]*server.Server, []*httptest.Server, *data.Stream) {
+	t.Helper()
+	stream := data.NYSF(data.StreamConfig{Seed: 11, SamplesPerTask: 160})
+	train := stream.Tasks[0].Pool
+	model := nn.NewClassifier(nn.Config{InputDim: stream.Dim, NumClasses: 2, Hidden: []int{16}, Seed: 11})
+	rng := rand.New(rand.NewSource(11))
+	model.Train(train.Matrix(), train.Labels(), train.Sensitive(), nn.NewAdam(0.01),
+		nn.TrainOpts{Epochs: 2, BatchSize: 32}, rng)
+	feats := model.Features(train.Matrix())
+	est, err := gda.Fit(feats, train.Labels(), train.Sensitive(), 2, []int{-1, 1}, gda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modelBytes, densityBytes bytes.Buffer
+	if err := model.Save(&modelBytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := est.Save(&densityBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	var servers []*server.Server
+	var listeners []*httptest.Server
+	for i := 0; i < n; i++ {
+		m, err := nn.LoadClassifier(bytes.NewReader(modelBytes.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := gda.Load(bytes.NewReader(densityBytes.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := server.New(server.Config{
+			Model:             m,
+			Density:           d,
+			TrainLogDensities: d.TrainLogDensities,
+			SnapshotToken:     testToken,
+			Online:            server.OnlineConfig{Enabled: true, Epochs: 2},
+			Logger:            discardLogger(),
+			Metrics:           obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		servers = append(servers, s)
+		listeners = append(listeners, ts)
+	}
+	return servers, listeners, stream
+}
+
+func newTestRouter(t *testing.T, listeners []*httptest.Server, patch func(*Config)) *Router {
+	t.Helper()
+	cfg := Config{
+		ProbeInterval: time.Hour, // driven by hand
+		SnapshotToken: testToken,
+		Logger:        discardLogger(),
+	}
+	for i, ts := range listeners {
+		cfg.Replicas = append(cfg.Replicas, Replica{Name: fmt.Sprintf("r%d", i), URL: ts.URL})
+	}
+	if patch != nil {
+		patch(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func predictBody(t *testing.T, stream *data.Stream) []byte {
+	t.Helper()
+	var req struct {
+		Instances [][]float64 `json:"instances"`
+	}
+	req.Instances = [][]float64{stream.Tasks[0].Pool.Samples[0].X}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postPredict(t *testing.T, client *http.Client, url string, body []byte) (int, []byte, string) {
+	t.Helper()
+	resp, err := client.Post(url+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("predict through router: %v", err)
+	}
+	defer resp.Body.Close()
+	ans, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, ans, resp.Header.Get("X-Faction-Replica")
+}
+
+func refitReplica(t *testing.T, url string, stream *data.Stream) {
+	t.Helper()
+	later := stream.Tasks[8].Pool
+	var fb struct {
+		Instances [][]float64 `json:"instances"`
+		Labels    []int       `json:"labels"`
+		Sensitive []int       `json:"sensitive"`
+	}
+	for _, smp := range later.Samples[:60] {
+		fb.Instances = append(fb.Instances, smp.X)
+		fb.Labels = append(fb.Labels, smp.Y)
+		fb.Sensitive = append(fb.Sensitive, smp.S)
+	}
+	raw, _ := json.Marshal(fb)
+	resp, err := http.Post(url+"/feedback", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(url+"/refit", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refit: %d %s", resp.StatusCode, body)
+	}
+}
+
+func routerMetricsText(t *testing.T, front *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
+}
+
+// The acceptance scenario end to end: a 3-replica fleet serves through the
+// router; one replica dies mid-traffic with zero failed client requests;
+// another refits ahead; one Reconcile converges the survivor set to the new
+// generation; /fleet and the router metrics report the converged fleet.
+func TestFleetKillRefitConverge(t *testing.T) {
+	servers, listeners, stream := replicaSet(t, 3)
+	rt := newTestRouter(t, listeners, nil)
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	client := &http.Client{}
+	body := predictBody(t, stream)
+
+	ctx := context.Background()
+	rt.ProbeOnce(ctx)
+	if got := rt.readyCount(); got != 3 {
+		t.Fatalf("ready replicas = %d, want 3", got)
+	}
+
+	// Zero failed client requests while replica 0 dies: concurrent load is in
+	// flight when the listener closes; every request must still answer 200 via
+	// retry-next-replica.
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := client.Post(front.URL+"/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("request %d: status %d", i, resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	listeners[0].Close() // the crash, mid-load
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("client saw a failure during replica crash: %v", err)
+	}
+
+	// The probe ejects the dead replica; the router stays ready on the rest.
+	rt.ProbeOnce(ctx)
+	if got := rt.readyCount(); got != 2 {
+		t.Fatalf("ready replicas after crash = %d, want 2", got)
+	}
+	resp, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router readyz after one crash: %d, want 200", resp.StatusCode)
+	}
+
+	// Replica 1 refits ahead of the fleet.
+	refitReplica(t, listeners[1].URL, stream)
+	rt.ProbeOnce(ctx)
+	if exposition := routerMetricsText(t, front); !strings.Contains(exposition, "faction_router_fleet_converged 0") {
+		t.Fatal("fleet should report diverged after a lone refit")
+	}
+
+	// One reconcile sweep pushes the snapshot to the laggard.
+	if err := rt.Reconcile(ctx); err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+	rt.ProbeOnce(ctx)
+	if g1, g2 := servers[1].Generation(), servers[2].Generation(); g1 != 1 || g2 != 1 {
+		t.Fatalf("generations after reconcile: r1=%d r2=%d, want 1/1", g1, g2)
+	}
+
+	// Converged fleet: both survivors answer the same prediction.
+	_, ans1, _ := postPredict(t, client, listeners[1].URL, body)
+	_, ans2, _ := postPredict(t, client, listeners[2].URL, body)
+	if !bytes.Equal(ans1, ans2) {
+		t.Fatalf("post-convergence predictions diverge:\n r1: %s\n r2: %s", ans1, ans2)
+	}
+
+	// /fleet reports the converged survivor set.
+	fresp, err := http.Get(front.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	var st fleetStatus
+	if err := json.NewDecoder(fresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.TargetGeneration != 1 || st.ReadyReplicas != 2 || !st.SnapshotsEnabled {
+		t.Fatalf("/fleet = %+v", st)
+	}
+	if len(st.Replicas) != 3 || st.Replicas[0].Up || !st.Replicas[1].Ready || st.Replicas[1].Generation != 1 {
+		t.Fatalf("/fleet replicas = %+v", st.Replicas)
+	}
+
+	// Router metrics agree.
+	exposition := routerMetricsText(t, front)
+	for _, want := range []string{
+		"faction_router_fleet_generation 1",
+		"faction_router_fleet_converged 1",
+		"faction_router_ready_replicas 2",
+		"faction_router_snapshot_pushes_total 1",
+		`faction_router_replica_up{replica="r0"} 0`,
+		`faction_router_replica_generation{replica="r2"} 1`,
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("router /metrics missing %q", want)
+		}
+	}
+}
+
+// stubFleet builds n lightweight fake replicas whose /predict identifies the
+// backend — for balancer and retry tests that need no real model.
+func stubFleet(t *testing.T, n int, predict func(i int, w http.ResponseWriter, r *http.Request)) []*httptest.Server {
+	t.Helper()
+	var listeners []*httptest.Server
+	for i := 0; i < n; i++ {
+		i := i
+		mux := http.NewServeMux()
+		ok := func(w http.ResponseWriter, _ *http.Request) { io.WriteString(w, "ok") }
+		mux.HandleFunc("GET /healthz", ok)
+		mux.HandleFunc("GET /readyz", ok)
+		mux.HandleFunc("GET /info", func(w http.ResponseWriter, _ *http.Request) {
+			io.WriteString(w, `{"generation":0}`)
+		})
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintf(w, "faction_fairness_gap %v\nfaction_http_shed_total 0\n", 0.1*float64(i))
+		})
+		mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+			predict(i, w, r)
+		})
+		ts := httptest.NewServer(mux)
+		t.Cleanup(ts.Close)
+		listeners = append(listeners, ts)
+	}
+	return listeners
+}
+
+// Least-inflight mode spreads idle-tie traffic round-robin instead of pinning
+// the first replica.
+func TestLeastInflightSpreadsTies(t *testing.T) {
+	listeners := stubFleet(t, 3, func(i int, w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "replica-%d", i)
+	})
+	rt := newTestRouter(t, listeners, func(c *Config) { c.SnapshotToken = "" })
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	rt.ProbeOnce(context.Background())
+
+	client := &http.Client{}
+	seen := map[string]int{}
+	for i := 0; i < 12; i++ {
+		code, _, replica := postPredict(t, client, front.URL, []byte(`{}`))
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+		seen[replica]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("sequential idle requests hit %d replicas (%v), want all 3", len(seen), seen)
+	}
+}
+
+// Hash mode pins one client to one replica across requests.
+func TestHashBalanceSticksPerClient(t *testing.T) {
+	listeners := stubFleet(t, 3, func(i int, w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "replica-%d", i)
+	})
+	rt := newTestRouter(t, listeners, func(c *Config) {
+		c.SnapshotToken = ""
+		c.Balance = BalanceHash
+	})
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	rt.ProbeOnce(context.Background())
+
+	client := &http.Client{}
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		code, _, replica := postPredict(t, client, front.URL, []byte(`{}`))
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+		seen[replica] = true
+	}
+	if len(seen) != 1 {
+		t.Fatalf("hash mode spread one client over %d replicas: %v", len(seen), seen)
+	}
+}
+
+// A replica answering 503 is skipped for the request (retry-next-replica) but
+// not ejected from probe state; 4xx answers relay verbatim with no retry.
+func TestRetryOn503NotOn4xx(t *testing.T) {
+	listeners := stubFleet(t, 2, func(i int, w http.ResponseWriter, _ *http.Request) {
+		if i == 0 {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "replica-%d", i)
+	})
+	rt := newTestRouter(t, listeners, func(c *Config) { c.SnapshotToken = "" })
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	rt.ProbeOnce(context.Background())
+
+	client := &http.Client{}
+	for i := 0; i < 6; i++ {
+		code, ans, replica := postPredict(t, client, front.URL, []byte(`{}`))
+		if code != http.StatusOK || replica != "r1" {
+			t.Fatalf("request %d: status %d from %q (%s), want 200 from r1", i, code, replica, ans)
+		}
+	}
+	// Both replicas still up per probe state: 503 is per-request, not ejection.
+	rt.ProbeOnce(context.Background())
+	if got := rt.readyCount(); got != 2 {
+		t.Fatalf("ready replicas = %d, want 2 (503 must not eject)", got)
+	}
+
+	// 4xx from a backend is the request's real answer: relayed, not retried.
+	bad := stubFleet(t, 1, func(_ int, w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "bad instances", http.StatusBadRequest)
+	})
+	rt2 := newTestRouter(t, bad, func(c *Config) { c.SnapshotToken = "" })
+	defer rt2.Stop()
+	front2 := httptest.NewServer(rt2.Handler())
+	defer front2.Close()
+	rt2.ProbeOnce(context.Background())
+	code, _, _ := postPredict(t, client, front2.URL, []byte(`{}`))
+	if code != http.StatusBadRequest {
+		t.Fatalf("4xx answer: %d, want 400 relayed", code)
+	}
+}
+
+// When every replica is busy (all 503), the router answers 503 — not 502 —
+// and counts a proxy error.
+func TestAllBusyAnswers503(t *testing.T) {
+	listeners := stubFleet(t, 2, func(_ int, w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+	})
+	rt := newTestRouter(t, listeners, func(c *Config) { c.SnapshotToken = "" })
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	rt.ProbeOnce(context.Background())
+	client := &http.Client{}
+	code, _, _ := postPredict(t, client, front.URL, []byte(`{}`))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("all-busy answer: %d, want 503", code)
+	}
+	if rt.metrics.proxyErrors.Value() != 1 {
+		t.Fatalf("proxy errors = %d, want 1", rt.metrics.proxyErrors.Value())
+	}
+}
+
+// The router surface under concurrent traffic, probes and reconciles — the
+// -race hammer for the fleet state shared between the proxy path and the
+// probe loop.
+func TestRouterConcurrencyHammer(t *testing.T) {
+	listeners := stubFleet(t, 3, func(i int, w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "replica-%d", i)
+	})
+	rt := newTestRouter(t, listeners, nil)
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	ctx := context.Background()
+	rt.ProbeOnce(ctx)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(front.URL+"/predict", "application/json", strings.NewReader(`{}`))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rt.ProbeOnce(ctx)
+			rt.Reconcile(ctx)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := &http.Client{}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := client.Get(front.URL + "/fleet")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// Config validation: no replicas, duplicate names, bad URLs and unknown
+// balance modes are all construction-time errors.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("no replicas accepted")
+	}
+	if _, err := New(Config{Replicas: []Replica{
+		{Name: "a", URL: "http://x"}, {Name: "a", URL: "http://y"},
+	}}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := New(Config{Replicas: []Replica{{URL: "not a url"}}}); err == nil {
+		t.Error("bad URL accepted")
+	}
+	if _, err := New(Config{
+		Replicas: []Replica{{URL: "http://x"}},
+		Balance:  "random",
+	}); err == nil {
+		t.Error("unknown balance mode accepted")
+	}
+}
+
+// The scrape parser pulls the two aggregated families out of a realistic
+// exposition and ignores everything else.
+func TestScrapeServingMetrics(t *testing.T) {
+	exposition := `# HELP faction_fairness_gap gap
+# TYPE faction_fairness_gap gauge
+faction_fairness_gap 0.25
+faction_http_requests_total{route="/predict",code="200"} 10
+faction_http_shed_total 3
+`
+	gap, gapOK, shed, shedOK := scrapeServingMetrics(strings.NewReader(exposition))
+	if !gapOK || gap != 0.25 || !shedOK || shed != 3 {
+		t.Fatalf("scrape = %v/%v %v/%v", gap, gapOK, shed, shedOK)
+	}
+}

@@ -1,0 +1,65 @@
+package fleet
+
+import "faction/internal/obs"
+
+// routerMetrics is the router's own registry surface. It deliberately lives on
+// a registry separate from any replica's: the router never serves model
+// predictions, so mixing its families into a replica exposition would make
+// per-process dashboards lie. Replica identity is a bounded label — the fleet
+// membership is fixed at construction — so {replica} stays within the
+// metrics-hygiene cardinality ceiling.
+type routerMetrics struct {
+	replicaUp        *obs.GaugeVec   // 1 if the last /healthz probe succeeded
+	replicaReady     *obs.GaugeVec   // 1 if the last /readyz probe succeeded
+	replicaGen       *obs.GaugeVec   // model generation from /info
+	replicaInflight  *obs.GaugeVec   // requests currently proxied to the replica
+	replicaShed      *obs.GaugeVec   // faction_http_shed_total scraped from the replica
+	replicaGap       *obs.GaugeVec   // faction_fairness_gap scraped from the replica
+	fleetGen         *obs.Gauge      // max generation across live replicas
+	fleetGap         *obs.Gauge      // max fairness gap across live replicas
+	converged        *obs.Gauge      // 1 if every ready replica serves fleetGen
+	readyReplicas    *obs.Gauge      // count of replicas passing /readyz
+	requests         *obs.CounterVec // proxied requests by {replica, code class}
+	retries          *obs.Counter    // attempts re-routed to another replica
+	proxyErrors      *obs.Counter    // requests that exhausted every replica
+	snapshotPushes   *obs.Counter    // successful snapshot installs pushed
+	snapshotFailures *obs.Counter    // snapshot fetch/install failures
+	probes           *obs.Counter    // probe sweeps completed
+}
+
+func newRouterMetrics(reg *obs.Registry) *routerMetrics {
+	return &routerMetrics{
+		replicaUp: reg.GaugeVec("faction_router_replica_up",
+			"1 if the replica's last /healthz probe succeeded.", "replica"),
+		replicaReady: reg.GaugeVec("faction_router_replica_ready",
+			"1 if the replica's last /readyz probe succeeded.", "replica"),
+		replicaGen: reg.GaugeVec("faction_router_replica_generation",
+			"Model generation the replica reported on /info.", "replica"),
+		replicaInflight: reg.GaugeVec("faction_router_replica_inflight",
+			"Requests currently proxied to the replica.", "replica"),
+		replicaShed: reg.GaugeVec("faction_router_replica_shed_total",
+			"faction_http_shed_total scraped from the replica.", "replica"),
+		replicaGap: reg.GaugeVec("faction_router_replica_fairness_gap",
+			"faction_fairness_gap scraped from the replica.", "replica"),
+		fleetGen: reg.Gauge("faction_router_fleet_generation",
+			"Highest model generation observed across live replicas."),
+		fleetGap: reg.Gauge("faction_router_fleet_fairness_gap",
+			"Worst (max) fairness gap across live replicas."),
+		converged: reg.Gauge("faction_router_fleet_converged",
+			"1 if every ready replica serves the fleet generation."),
+		readyReplicas: reg.Gauge("faction_router_ready_replicas",
+			"Count of replicas currently passing /readyz."),
+		requests: reg.CounterVec("faction_router_requests_total",
+			"Proxied requests by replica and status class.", "replica", "code"),
+		retries: reg.Counter("faction_router_retries_total",
+			"Request attempts re-routed to another replica after a failure."),
+		proxyErrors: reg.Counter("faction_router_proxy_errors_total",
+			"Requests that failed on every eligible replica."),
+		snapshotPushes: reg.Counter("faction_router_snapshot_pushes_total",
+			"Snapshot installs successfully pushed to lagging replicas."),
+		snapshotFailures: reg.Counter("faction_router_snapshot_push_failures_total",
+			"Snapshot fetches or installs that failed."),
+		probes: reg.Counter("faction_router_probe_sweeps_total",
+			"Completed health-probe sweeps across the fleet."),
+	}
+}

@@ -1,0 +1,305 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"faction/internal/server"
+)
+
+// maxSnapshotBytes bounds a fetched fleet snapshot. Models in this repo are
+// tens of kilobytes; 64 MiB is room for orders-of-magnitude growth while still
+// refusing a runaway donor.
+const maxSnapshotBytes = 64 << 20
+
+// ProbeOnce sweeps every replica once: /healthz, /readyz, /info (model
+// generation) and a /metrics scrape for the fairness gap and shed counter,
+// then refreshes the aggregate fleet gauges. Replicas are probed in parallel;
+// the call returns when the sweep completes. Exported so tests (and the bench
+// harness) can drive the loop deterministically instead of sleeping through
+// ProbeInterval ticks.
+func (rt *Router) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rep := range rt.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			rt.probeReplica(ctx, rep)
+		}(rep)
+	}
+	wg.Wait()
+	rt.refreshFleetGauges()
+	rt.metrics.probes.Inc()
+}
+
+func (rt *Router) probeReplica(ctx context.Context, rep *replica) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	rep.lastProbeMs.Store(time.Now().UnixMilli())
+
+	if err := rt.probeGet(ctx, rep, "/healthz", nil); err != nil {
+		rep.up.Store(false)
+		rep.ready.Store(false)
+		rep.mUp.Set(0)
+		rep.mReady.Set(0)
+		rep.setErr(err)
+		return
+	}
+	rep.up.Store(true)
+	rep.mUp.Set(1)
+	rep.setErr(nil)
+
+	if err := rt.probeGet(ctx, rep, "/readyz", nil); err != nil {
+		// Alive but not serving: WAL replay, draining shutdown, or an admin
+		// gate. Keep it out of rotation, keep probing.
+		rep.ready.Store(false)
+		rep.mReady.Set(0)
+		rep.setErr(err)
+	} else {
+		rep.ready.Store(true)
+		rep.mReady.Set(1)
+	}
+
+	var info struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := rt.probeGet(ctx, rep, "/info", func(body io.Reader) error {
+		return json.NewDecoder(body).Decode(&info)
+	}); err == nil {
+		rep.gen.Store(info.Generation)
+		rep.mGen.Set(float64(info.Generation))
+	}
+
+	if err := rt.probeGet(ctx, rep, "/metrics", func(body io.Reader) error {
+		gap, gapOK, shed, shedOK := scrapeServingMetrics(body)
+		if gapOK {
+			rep.mGap.Set(gap)
+		}
+		if shedOK {
+			rep.mShed.Set(shed)
+		}
+		return nil
+	}); err != nil {
+		rt.logger.Debug("fleet: metrics scrape failed",
+			"replica", rep.name, "error", err.Error())
+	}
+}
+
+// probeGet performs one GET against a replica admin endpoint. A non-2xx
+// status is an error (with a short body excerpt). read, when non-nil,
+// consumes the response body.
+func (rt *Router) probeGet(ctx context.Context, rep *replica, path string, read func(io.Reader) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base.String()+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		excerpt, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(excerpt))
+	}
+	if read != nil {
+		return read(resp.Body)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return nil
+}
+
+// scrapeServingMetrics pulls faction_fairness_gap and faction_http_shed_total
+// out of a Prometheus text exposition. A hand-rolled line scan, not a parser:
+// the exposition format is stable, both families are unlabeled singles, and
+// the router must not grow a dependency for two numbers.
+func scrapeServingMetrics(body io.Reader) (gap float64, gapOK bool, shed float64, shedOK bool) {
+	data, err := io.ReadAll(io.LimitReader(body, 1<<20))
+	if err != nil {
+		return
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, found := strings.Cut(line, " ")
+		if !found {
+			continue
+		}
+		switch name {
+		case "faction_fairness_gap":
+			if v, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err == nil {
+				gap, gapOK = v, true
+			}
+		case "faction_http_shed_total":
+			if v, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err == nil {
+				shed, shedOK = v, true
+			}
+		}
+	}
+	return
+}
+
+// refreshFleetGauges recomputes the aggregate gauges from per-replica state:
+// fleet generation (max over ready replicas), fleet fairness gap (max over up
+// replicas — the fleet is only as fair as its worst member), convergence, and
+// the ready count.
+func (rt *Router) refreshFleetGauges() {
+	var maxGen uint64
+	maxGap := 0.0
+	ready := 0
+	for _, rep := range rt.replicas {
+		if rep.up.Load() && rep.mGap.Value() > maxGap {
+			maxGap = rep.mGap.Value()
+		}
+		if rep.up.Load() && rep.ready.Load() {
+			ready++
+			if g := rep.gen.Load(); g > maxGen {
+				maxGen = g
+			}
+		}
+	}
+	converged := ready > 0
+	for _, rep := range rt.replicas {
+		if rep.up.Load() && rep.ready.Load() && rep.gen.Load() != maxGen {
+			converged = false
+		}
+	}
+	rt.metrics.fleetGen.Set(float64(maxGen))
+	rt.metrics.fleetGap.Set(maxGap)
+	rt.metrics.readyReplicas.Set(float64(ready))
+	if converged {
+		rt.metrics.converged.Set(1)
+	} else {
+		rt.metrics.converged.Set(0)
+	}
+}
+
+// Reconcile converges the fleet to one model generation: find the ready
+// replica with the highest generation, fetch its checksummed snapshot once,
+// and push it to every ready replica that lags. Installs go through each
+// replica's candidate-validation gate, so a snapshot that would regress
+// fairness or mismatch shapes is rejected by the replica, not forced onto it.
+// A replica that answers 409 (install raced a refit, or it already reached
+// the generation) is left alone — the next sweep re-evaluates. No-op when
+// snapshot distribution is disabled or the fleet is already converged.
+// Exported for deterministic tests; Start runs it after every probe sweep.
+func (rt *Router) Reconcile(ctx context.Context) error {
+	if rt.cfg.SnapshotToken == "" {
+		return nil
+	}
+	rt.reconcileMu.Lock()
+	defer rt.reconcileMu.Unlock()
+
+	var donor *replica
+	var maxGen uint64
+	for _, rep := range rt.replicas {
+		if rep.up.Load() && rep.ready.Load() && rep.gen.Load() >= maxGen {
+			if rep.gen.Load() > maxGen || donor == nil {
+				donor, maxGen = rep, rep.gen.Load()
+			}
+		}
+	}
+	if donor == nil || maxGen == 0 {
+		return nil // nothing ready, or nobody has refitted yet
+	}
+	var laggards []*replica
+	for _, rep := range rt.replicas {
+		if rep != donor && rep.up.Load() && rep.ready.Load() && rep.gen.Load() < maxGen {
+			laggards = append(laggards, rep)
+		}
+	}
+	if len(laggards) == 0 {
+		rt.refreshFleetGauges()
+		return nil
+	}
+
+	snapshot, gen, err := rt.fetchSnapshot(ctx, donor)
+	if err != nil {
+		rt.metrics.snapshotFailures.Inc()
+		return fmt.Errorf("fetch snapshot from %s: %w", donor.name, err)
+	}
+	var firstErr error
+	for _, rep := range laggards {
+		if err := rt.installSnapshot(ctx, rep, snapshot); err != nil {
+			rt.metrics.snapshotFailures.Inc()
+			rt.logger.Warn("fleet: snapshot install failed",
+				"replica", rep.name, "generation", gen, "error", err.Error())
+			if firstErr == nil {
+				firstErr = fmt.Errorf("install on %s: %w", rep.name, err)
+			}
+			continue
+		}
+		rt.metrics.snapshotPushes.Inc()
+		rep.gen.Store(gen)
+		rep.mGen.Set(float64(gen))
+		rt.logger.Info("fleet: snapshot installed",
+			"replica", rep.name, "generation", gen, "donor", donor.name)
+	}
+	rt.refreshFleetGauges()
+	return firstErr
+}
+
+// fetchSnapshot GETs the donor's envelope-framed snapshot. The body is
+// returned opaque — the router never decodes the model; integrity is the
+// envelope CRC, verified by the installing replica.
+func (rt *Router) fetchSnapshot(ctx context.Context, donor *replica) ([]byte, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, donor.base.String()+"/snapshot", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Authorization", "Bearer "+rt.cfg.SnapshotToken)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		excerpt, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, 0, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(excerpt))
+	}
+	gen, err := strconv.ParseUint(resp.Header.Get(server.SnapshotGenerationHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad %s header: %w", server.SnapshotGenerationHeader, err)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes+1))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(body) > maxSnapshotBytes {
+		return nil, 0, fmt.Errorf("snapshot exceeds %d bytes", maxSnapshotBytes)
+	}
+	return body, gen, nil
+}
+
+// installSnapshot POSTs the snapshot to a lagging replica's validation +
+// hot-swap path. A 409 means the install lost a race (concurrent refit, or
+// the replica caught up on its own) — not an error.
+func (rt *Router) installSnapshot(ctx context.Context, rep *replica, snapshot []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		rep.base.String()+"/snapshot/install", bytes.NewReader(snapshot))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+rt.cfg.SnapshotToken)
+	req.Header.Set("Content-Type", server.SnapshotContentType)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusConflict {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil
+	}
+	excerpt, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(excerpt))
+}

@@ -48,10 +48,23 @@ type series struct {
 	n    int     // points currently held (≤ len(buf))
 }
 
-// snapshotSince appends, oldest-first, the retained points with T ≥ cutoff.
-func (s *series) snapshotSince(cutoff int64, out []Point) []Point {
+// snapshotWindow appends, oldest-first, the retained points inside the
+// trailing window. The cutoff is anchored at the series' own newest retained
+// timestamp — not the wall clock — so a timeline driven by a synthetic clock
+// (deterministic tests, replayed fleet aggregation) filters against its own
+// epoch instead of whenever the snapshot happens to be taken. windowMs ≤ 0
+// keeps everything retained.
+func (s *series) snapshotWindow(windowMs int64, out []Point) []Point {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.n == 0 {
+		return out
+	}
+	cutoff := int64(0)
+	if windowMs > 0 {
+		newest := s.buf[(s.head-1+len(s.buf))%len(s.buf)].T
+		cutoff = newest - windowMs
+	}
 	start := s.head - s.n
 	for i := 0; i < s.n; i++ {
 		p := s.buf[(start+i+len(s.buf))%len(s.buf)]
@@ -63,7 +76,15 @@ func (s *series) snapshotSince(cutoff int64, out []Point) []Point {
 }
 
 func (s *series) sample(now int64) {
-	v, ok := s.src()
+	// The source pointer is replaced by Track (under mu) while the sampling
+	// loop runs — re-tracking a series across a refit is explicitly
+	// supported — so the read must hold the lock too. The source itself is
+	// invoked outside the critical section: a slow source must not block
+	// snapshot readers.
+	s.mu.Lock()
+	src := s.src
+	s.mu.Unlock()
+	v, ok := src()
 	if !ok || math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
@@ -193,16 +214,14 @@ type Response struct {
 }
 
 // Snapshot returns the retained timeline. names selects series (nil or empty
-// = all tracked); window limits points to the trailing duration (0 = all
+// = all tracked); window limits points to the trailing duration, measured
+// back from each series' newest retained point — not from time.Now() — so a
+// timeline sampled with a synthetic clock windows deterministically (0 = all
 // retained). Unknown names yield empty slices, so callers can distinguish
 // "tracked but quiet" from a typo by checking Names.
 func (sp *Sampler) Snapshot(names []string, window time.Duration) Response {
 	if len(names) == 0 {
 		names = sp.Names()
-	}
-	cutoff := int64(0)
-	if window > 0 {
-		cutoff = time.Now().Add(-window).UnixMilli()
 	}
 	resp := Response{
 		IntervalSeconds: sp.interval.Seconds(),
@@ -215,7 +234,7 @@ func (sp *Sampler) Snapshot(names []string, window time.Duration) Response {
 		sp.mu.RUnlock()
 		pts := []Point{}
 		if s != nil {
-			pts = s.snapshotSince(cutoff, pts)
+			pts = s.snapshotWindow(window.Milliseconds(), pts)
 		}
 		resp.Series[name] = pts
 	}

@@ -189,3 +189,81 @@ func BenchmarkSampleNow(b *testing.B) {
 		sp.SampleNow(now)
 	}
 }
+
+// The Track-while-sampling hammer: one goroutine re-Tracks a series in a hot
+// loop (the refit path re-registering its sources) while another samples and a
+// third snapshots. Run under -race this pins the fix for the unlocked s.src
+// read the sampling loop used to perform.
+func TestTrackWhileSamplingRace(t *testing.T) {
+	sp := New(time.Second, 32)
+	sp.Track("s", func() (float64, bool) { return 0, true })
+	stop := make(chan struct{})
+	done := make(chan struct{}, 3)
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := float64(i)
+			sp.Track("s", func() (float64, bool) { return v, true })
+		}
+	}()
+	go func() {
+		defer func() { done <- struct{}{} }()
+		now := time.UnixMilli(1000)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			now = now.Add(time.Millisecond)
+			sp.SampleNow(now)
+		}
+	}()
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sp.Snapshot([]string{"s"}, time.Minute)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+}
+
+// Window filtering is anchored at each series' newest retained point, not the
+// wall clock: a timeline sampled entirely with a synthetic clock (here, epoch
+// Unix-millisecond 1000 onwards — decades in the past) still windows
+// correctly. Under the old time.Now() cutoff every point here would have been
+// dropped.
+func TestWindowAnchoredAtNewestPoint(t *testing.T) {
+	sp := New(time.Second, 16)
+	v := 0.0
+	sp.Track("s", func() (float64, bool) { return v, true })
+	base := time.UnixMilli(1000)
+	for i := 0; i < 10; i++ {
+		v = float64(i)
+		sp.SampleNow(base.Add(time.Duration(i) * time.Second))
+	}
+	// Newest point is at base+9s; a 3s window keeps base+6s..base+9s.
+	pts := sp.Snapshot([]string{"s"}, 3*time.Second).Series["s"]
+	if len(pts) != 4 {
+		t.Fatalf("window kept %d points, want 4: %+v", len(pts), pts)
+	}
+	for i, p := range pts {
+		if p.V != float64(6+i) {
+			t.Fatalf("window kept wrong points: %+v", pts)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// EncodeEnvelope/DecodeEnvelope are the stream-framing twins of the on-disk
+// snapshot envelope: the fleet snapshot endpoints move the same FACSNAP2
+// framing over HTTP. Round trip, checksum refusal, truncation refusal and the
+// declared-length bound are the whole contract.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte("fleet snapshot payload bytes")
+	var buf bytes.Buffer
+	if err := EncodeEnvelope(&buf, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	lsn, got, err := DecodeEnvelope(bytes.NewReader(buf.Bytes()), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: lsn=%d payload=%q", lsn, got)
+	}
+}
+
+func TestEnvelopeEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeEnvelope(&buf, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	lsn, got, err := DecodeEnvelope(bytes.NewReader(buf.Bytes()), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 0 || len(got) != 0 {
+		t.Fatalf("empty round trip: lsn=%d len=%d", lsn, len(got))
+	}
+}
+
+func TestEnvelopeDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeEnvelope(&buf, 7, []byte("payload under checksum")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, flip := range []int{0, len(raw) - 1} { // magic byte; payload byte
+		bad := append([]byte(nil), raw...)
+		bad[flip] ^= 0x01
+		if _, _, err := DecodeEnvelope(bytes.NewReader(bad), 1<<20); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", flip, err)
+		}
+	}
+	// Truncated payload: the declared length outruns the stream.
+	if _, _, err := DecodeEnvelope(bytes.NewReader(raw[:len(raw)-3]), 1<<20); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncation: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// The maxBytes bound refuses a declared length beyond the cap before
+// allocating or reading it — the installer's defense against a malicious or
+// broken donor declaring a huge payload.
+func TestEnvelopeBoundsDeclaredLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeEnvelope(&buf, 1, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeEnvelope(bytes.NewReader(buf.Bytes()), 64); err == nil {
+		t.Fatal("oversized declared length accepted")
+	}
+	if _, _, err := DecodeEnvelope(bytes.NewReader(buf.Bytes()), 128); err != nil {
+		t.Fatalf("exact-cap payload refused: %v", err)
+	}
+}

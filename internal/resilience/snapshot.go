@@ -149,6 +149,56 @@ func saveSnapshot(path string, keep int, save func(w io.Writer) error, envelope 
 	return publish(tmp, path)
 }
 
+// EncodeEnvelope writes payload to w wrapped in the v2 snapshot envelope
+// ("FACSNAP2" | LSN | length | CRC-32C | payload) — the same checksummed
+// framing SaveSnapshotLSN puts on disk, usable over a byte stream. The fleet
+// tier ships model snapshots between replicas with it: the receiver's
+// DecodeEnvelope rejects truncated or bit-flipped transfers before a single
+// payload byte is decoded.
+func EncodeEnvelope(w io.Writer, lsn uint64, payload []byte) error {
+	header := make([]byte, len(snapshotMagicV2)+20)
+	copy(header, snapshotMagicV2)
+	binary.BigEndian.PutUint64(header[8:], lsn)
+	binary.BigEndian.PutUint64(header[16:], uint64(len(payload)))
+	binary.BigEndian.PutUint32(header[24:], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("resilience: writing envelope header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("resilience: writing envelope payload: %w", err)
+	}
+	return nil
+}
+
+// DecodeEnvelope reads one v2 envelope from r and returns the covered LSN and
+// the validated payload. maxBytes, when positive, bounds the declared payload
+// length before any allocation, so a hostile length field cannot balloon
+// memory. Truncation, a bad magic, or a checksum mismatch return an error
+// wrapping ErrCorrupt.
+func DecodeEnvelope(r io.Reader, maxBytes int64) (lsn uint64, payload []byte, err error) {
+	header := make([]byte, len(snapshotMagicV2)+20)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return 0, nil, fmt.Errorf("resilience: reading envelope header: %w: %v", ErrCorrupt, err)
+	}
+	if string(header[:len(snapshotMagicV2)]) != snapshotMagicV2 {
+		return 0, nil, fmt.Errorf("resilience: bad envelope magic %q: %w", header[:len(snapshotMagicV2)], ErrCorrupt)
+	}
+	lsn = binary.BigEndian.Uint64(header[8:])
+	length := binary.BigEndian.Uint64(header[16:])
+	wantCRC := binary.BigEndian.Uint32(header[24:])
+	if maxBytes > 0 && length > uint64(maxBytes) {
+		return 0, nil, fmt.Errorf("resilience: envelope declares %d payload bytes, cap %d: %w", length, maxBytes, ErrCorrupt)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("resilience: envelope payload truncated: %w: %v", ErrCorrupt, err)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+		return 0, nil, fmt.Errorf("resilience: envelope checksum mismatch (%08x != %08x): %w", got, wantCRC, ErrCorrupt)
+	}
+	return lsn, payload, nil
+}
+
 // SnapshotLSN reads the WAL LSN a snapshot covers without decoding its
 // payload. Snapshots in the v1 envelope or the legacy raw format predate
 // the WAL and cover nothing: they return 0 with no error, so callers replay

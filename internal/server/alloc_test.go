@@ -65,7 +65,7 @@ func allocFixture(t testing.TB, rows int) (*Server, []byte) {
 	sloSpec.Interval = slo.Duration(time.Hour)
 	s, err := New(Config{
 		Model: model, Density: est, TrainLogDensities: lds, Lambda: 0.5, WAL: wlog,
-		FairObs:         &FairObsConfig{SensitiveCol: 0, GroupValues: []int{-1, 1}},
+		FairObs:         &FairObsConfig{SensitiveCol: 0, GroupValues: []int{-1, 1}, PositiveClass: 1},
 		HistoryInterval: time.Hour,
 		SLO:             &sloSpec,
 	})

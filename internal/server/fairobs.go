@@ -38,7 +38,10 @@ type FairObsConfig struct {
 	// movement). Default {-1, 1}, the paper's binary coding.
 	GroupValues []int
 	// PositiveClass is the predicted class counted as the positive outcome
-	// of the demographic-parity rate. Default 1.
+	// of the demographic-parity rate. Negative (conventionally -1) means
+	// "use the default", class 1. Class 0 is a valid positive outcome — an
+	// earlier sentinel treated 0 as unset and silently rewrote it to 1, so
+	// demographic parity over the 0-labeled outcome could never be tracked.
 	PositiveClass int
 	// Window is the per-group sliding window length (decisions) behind the
 	// positive rates and the gap. Default 1024.
@@ -52,7 +55,7 @@ func (c *FairObsConfig) setDefaults() {
 	if len(c.GroupValues) == 0 {
 		c.GroupValues = []int{-1, 1}
 	}
-	if c.PositiveClass == 0 {
+	if c.PositiveClass < 0 {
 		c.PositiveClass = 1
 	}
 	if c.Window <= 0 {

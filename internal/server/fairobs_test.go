@@ -1,0 +1,122 @@
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"faction/internal/data"
+	"faction/internal/nn"
+)
+
+// The PositiveClass sentinel: negative means "use the default" (class 1),
+// while 0 is a real class choice and must survive setDefaults. The old
+// sentinel was ==0, which silently rewrote a requested class 0 to class 1 —
+// demographic parity over the 0-labeled outcome was untrackable.
+func TestPositiveClassSentinel(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, 1}, // conventional "default" sentinel
+		{-7, 1}, // any negative means default
+		{0, 0},  // class 0 is a valid positive outcome
+		{1, 1},
+		{3, 3},
+	} {
+		cfg := FairObsConfig{PositiveClass: tc.in}
+		cfg.setDefaults()
+		if cfg.PositiveClass != tc.want {
+			t.Errorf("setDefaults(PositiveClass=%d) = %d, want %d", tc.in, cfg.PositiveClass, tc.want)
+		}
+	}
+}
+
+// PositiveClass: 0 end to end: with class 0 as the positive outcome, the
+// per-group positive-rate gauges must equal the served fraction of class-0
+// decisions — which the old ==0 sentinel would have silently rebound to
+// class 1.
+func TestPositiveClassZeroEndToEnd(t *testing.T) {
+	stream := data.NYSF(data.StreamConfig{Seed: 11, SamplesPerTask: 160})
+	train := stream.Tasks[0].Pool
+	model := nn.NewClassifier(nn.Config{
+		InputDim: stream.Dim, NumClasses: 2, Hidden: []int{16}, Seed: 11,
+	})
+	rng := rand.New(rand.NewSource(11))
+	model.Train(train.Matrix(), train.Labels(), train.Sensitive(), nn.NewAdam(0.01),
+		nn.TrainOpts{Epochs: 1, BatchSize: 32}, rng)
+	s, err := New(Config{
+		Model:   model,
+		FairObs: &FairObsConfig{SensitiveCol: 0, GroupValues: []int{-1, 1}, PositiveClass: 0, Window: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if s.fairobs.positiveClass != 0 {
+		t.Fatalf("tracker positive class = %d, want 0", s.fairobs.positiveClass)
+	}
+	h := s.Handler()
+
+	inst := make([][]float64, 16)
+	for i := range inst {
+		row := append([]float64(nil), train.Samples[i].X...)
+		if i%2 == 0 {
+			row[0] = -1
+		} else {
+			row[0] = 1
+		}
+		inst[i] = row
+	}
+	body, err := json.Marshal(instancesRequest{Instances: inst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture the served classes so the expected class-0 fraction is computed
+	// from the server's own answers, not re-derived from the model.
+	req := httptest.NewRequest("POST", "/predict", strings.NewReader(string(body)))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("predict: %d %s", w.Code, w.Body.Bytes())
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	// Rows alternate group -1 (even i) and 1 (odd i), 8 decisions each.
+	wantRate := map[string]float64{}
+	for gi, label := range []string{"-1", "1"} {
+		zeros := 0
+		for i := gi; i < len(pr.Classes); i += 2 {
+			if pr.Classes[i] == 0 {
+				zeros++
+			}
+		}
+		wantRate[label] = float64(zeros) / 8
+	}
+
+	mreq := httptest.NewRequest("GET", "/metrics", nil)
+	mw := httptest.NewRecorder()
+	h.ServeHTTP(mw, mreq)
+	exposition := mw.Body.String()
+	for _, label := range []string{"-1", "1"} {
+		needle := `faction_group_positive_rate{group="` + label + `"} `
+		idx := strings.Index(exposition, needle)
+		if idx < 0 {
+			t.Fatalf("exposition missing %q", needle)
+		}
+		line := exposition[idx+len(needle):]
+		if nl := strings.IndexByte(line, '\n'); nl >= 0 {
+			line = line[:nl]
+		}
+		got, err := strconv.ParseFloat(strings.TrimSpace(line), 64)
+		if err != nil {
+			t.Fatalf("group %s rate %q: %v", label, line, err)
+		}
+		// Rates are multiples of 1/8 — exactly representable, so exact compare.
+		if got != wantRate[label] {
+			t.Errorf("group %s positive rate = %v, want %v (served class-0 fraction)", label, got, wantRate[label])
+		}
+	}
+}

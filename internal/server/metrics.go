@@ -41,11 +41,13 @@ type serverMetrics struct {
 	inflight *obs.Gauge   // faction_http_inflight_requests
 	shed     *obs.Counter // faction_http_shed_total
 	timeouts *obs.Counter // faction_http_timeouts_total
+	cancels  *obs.Counter // faction_http_client_cancels_total
 	panics   *obs.Counter // faction_http_panics_total
 
 	// Serving-time adaptation: the /metrics view of what /info reports.
 	refits       *obs.Counter // faction_refits_total
 	failedRefits *obs.Counter // faction_refits_failed_total
+	installs     *obs.Counter // faction_snapshot_installs_total
 	generation   *obs.Gauge   // faction_model_generation
 	feedback     *obs.Gauge   // faction_feedback_buffered
 	refitSeconds *obs.Histogram
@@ -95,12 +97,16 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Requests shed with 429 by the concurrency limiter."),
 		timeouts: reg.Counter("faction_http_timeouts_total",
 			"Requests cut off with 503 by the per-request deadline."),
+		cancels: reg.Counter("faction_http_client_cancels_total",
+			"Requests whose client disconnected before the handler finished (not deadline expiries; excluded from the error-rate SLO's 5xx count)."),
 		panics: reg.Counter("faction_http_panics_total",
 			"Handler panics converted to 500s (including late panics after a timeout)."),
 		refits: reg.Counter("faction_refits_total",
 			"Successful model refits (generation swaps)."),
 		failedRefits: reg.Counter("faction_refits_failed_total",
 			"Refit candidates rejected by validation, cancellation or density failure."),
+		installs: reg.Counter("faction_snapshot_installs_total",
+			"Fleet snapshots accepted through POST /snapshot/install."),
 		generation: reg.Gauge("faction_model_generation",
 			"Current model generation: 0 at startup, +1 per successful refit."),
 		feedback: reg.Gauge("faction_feedback_buffered",

@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -157,11 +158,23 @@ func maxBytes(n int64) middleware {
 	}
 }
 
+// statusClientClosedRequest is the nginx-convention 499: the client went
+// away before the handler finished. It is never seen by that client (it is
+// gone) — its job is to keep the instrument middleware's per-route counters
+// truthful without landing in the 5xx bucket the error-rate SLO burns on.
+const statusClientClosedRequest = 499
+
 // timeout bounds each request to d. The handler runs on its own goroutine
 // against a buffered response; if the deadline passes first the client gets
 // 503 (and the timeouts counter ticks) and the (context-cancelled) handler's
 // late output is discarded, so even CPU-bound handlers cannot wedge a
 // connection slot forever.
+//
+// The <-ctx.Done() arm also fires when the *client* disconnects (net/http
+// cancels the request context), which is not a server fault: those requests
+// tick the cancels counter, log at debug, and record 499 — counting them as
+// deadline 503s would inflate the timeouts counter and burn the error-rate
+// SLO on client behavior the server cannot control.
 //
 // Trade-off: answering the 503 returns from this middleware — and releases
 // the concurrency-limiter slot wrapping it — while the abandoned handler
@@ -170,7 +183,7 @@ func maxBytes(n int64) middleware {
 // handlers still winding down; a handler that ignores its context can
 // accumulate. A panic raised after the deadline can no longer reach the
 // recoverer, so it is counted and logged here instead of being dropped.
-func timeout(d time.Duration, logger *slog.Logger, timeouts, panics *obs.Counter) middleware {
+func timeout(d time.Duration, logger *slog.Logger, timeouts, cancels, panics *obs.Counter) middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel := context.WithTimeout(r.Context(), d)
@@ -195,8 +208,17 @@ func timeout(d time.Duration, logger *slog.Logger, timeouts, panics *obs.Counter
 			case hp := <-panicc:
 				panic(hp.val) // surface on the serving goroutine for recoverer
 			case <-ctx.Done():
-				timeouts.Inc()
-				httpError(w, r, http.StatusServiceUnavailable, "request timed out after %s", d)
+				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					timeouts.Inc()
+					httpError(w, r, http.StatusServiceUnavailable, "request timed out after %s", d)
+				} else {
+					cancels.Inc()
+					// The connection is gone; the write is for the status
+					// recorder, not the wire.
+					httpError(w, r, statusClientClosedRequest, "client closed request")
+					reqLogger(logger, r.Context()).Debug("client disconnected before response",
+						slog.String("method", r.Method), slog.String("path", r.URL.Path))
+				}
 				late := reqLogger(logger, r.Context()).With(
 					slog.String("method", r.Method), slog.String("path", r.URL.Path))
 				go func() {

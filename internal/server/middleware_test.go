@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -81,7 +83,7 @@ func TestPanicRecovery(t *testing.T) {
 	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprint(w, "still alive")
 	})
-	h := chain(mux, requestID, recoverer(logger, m.panics), timeout(5*time.Second, logger, m.timeouts, m.panics))
+	h := chain(mux, requestID, recoverer(logger, m.panics), timeout(5*time.Second, logger, m.timeouts, m.cancels, m.panics))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -193,7 +195,7 @@ func TestRequestTimeout(t *testing.T) {
 		fmt.Fprint(w, "too late")
 	})
 	m := testMetrics()
-	h := chain(mux, requestID, recoverer(discardLogger(), m.panics), timeout(100*time.Millisecond, discardLogger(), m.timeouts, m.panics))
+	h := chain(mux, requestID, recoverer(discardLogger(), m.panics), timeout(100*time.Millisecond, discardLogger(), m.timeouts, m.cancels, m.panics))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -214,6 +216,65 @@ func TestRequestTimeout(t *testing.T) {
 	}
 }
 
+// A client that disconnects mid-request must not be booked as a server
+// timeout: the cancels counter moves, the timeouts counter (which feeds the
+// error-rate SLO via 503s) does not, and the recorded status is 499, not 503.
+func TestTimeoutDistinguishesClientCancel(t *testing.T) {
+	m := testMetrics()
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hang", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-r.Context().Done()
+	})
+	// An outer status recorder stands in for the instrument layer: it sees
+	// the code the timeout middleware books for the (gone) client.
+	var wroteCode atomic.Int64
+	inner := chain(mux, requestID, recoverer(discardLogger(), m.panics),
+		timeout(10*time.Second, discardLogger(), m.timeouts, m.cancels, m.panics))
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusRecorder{ResponseWriter: w}
+		inner.ServeHTTP(sw, r)
+		wroteCode.Store(int64(sw.code))
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/hang", nil)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	<-entered
+	cancel() // the client walks away long before the 10s deadline
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request unexpectedly succeeded")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.cancels.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cancels counter never moved")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m.timeouts.Value() != 0 {
+		t.Fatalf("client cancel booked as server timeout: timeouts = %d", m.timeouts.Value())
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for wroteCode.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no status recorded for the cancelled request")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code := wroteCode.Load(); code != statusClientClosedRequest {
+		t.Fatalf("cancelled request booked status %d, want %d (499)", code, statusClientClosedRequest)
+	}
+}
+
 // TestTimeoutLogsLatePanic panics a handler after its deadline already
 // answered 503 and checks the panic is logged instead of silently dropped
 // (it can no longer reach the recoverer on the serving goroutine).
@@ -226,7 +287,7 @@ func TestTimeoutLogsLatePanic(t *testing.T) {
 	})
 	m := testMetrics()
 	h := chain(mux, requestID, recoverer(discardLogger(), m.panics),
-		timeout(50*time.Millisecond, slog.New(slog.NewTextHandler(logBuf, nil)), m.timeouts, m.panics))
+		timeout(50*time.Millisecond, slog.New(slog.NewTextHandler(logBuf, nil)), m.timeouts, m.cancels, m.panics))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -274,7 +335,7 @@ func TestTimeoutPreservesFastResponses(t *testing.T) {
 		fmt.Fprint(w, "payload")
 	})
 	m := testMetrics()
-	ts := httptest.NewServer(chain(mux, timeout(time.Second, discardLogger(), m.timeouts, m.panics)))
+	ts := httptest.NewServer(chain(mux, timeout(time.Second, discardLogger(), m.timeouts, m.cancels, m.panics)))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/fast")
 	if err != nil {

@@ -58,7 +58,7 @@ func newObsTestServer(t testing.TB, reg *obs.Registry) *fairObsFixture {
 		Model: model, Density: est, TrainLogDensities: lds, Lambda: 0.5,
 		Metrics:         reg,
 		Drift:           drift.New(drift.Config{MinBaseline: 3, ZThreshold: 2, MinStd: 0.01}),
-		FairObs:         &FairObsConfig{SensitiveCol: 0, GroupValues: []int{-1, 1}, Window: 64},
+		FairObs:         &FairObsConfig{SensitiveCol: 0, GroupValues: []int{-1, 1}, PositiveClass: 1, Window: 64},
 		HistoryInterval: time.Hour,
 		HistoryPoints:   64,
 		SLO:             &spec,

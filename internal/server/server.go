@@ -64,6 +64,14 @@ type Config struct {
 	// (ReplayFeedback) and closing belong to the owner (cmd/faction-serve).
 	WAL *wal.WAL
 
+	// SnapshotToken, when non-empty, enables the fleet snapshot-distribution
+	// endpoints: GET /snapshot exports the live model (and density) in a
+	// checksummed envelope, and POST /snapshot/install hot-swaps a peer's
+	// newer-generation snapshot in through the refit validation gate. Both
+	// require this bearer token; empty (the default) leaves the endpoints
+	// unregistered.
+	SnapshotToken string
+
 	// BatchDelay enables the request-coalescing micro-batcher: concurrent
 	// /predict and /score requests queue up to BatchDelay and are fused into
 	// one model + density pass (see batcher.go and DESIGN.md §9). Responses
@@ -453,13 +461,18 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /refit", s.handleRefit)
 		s.routes["/feedback"], s.routes["/refit"] = true, true
 	}
+	if s.cfg.SnapshotToken != "" {
+		mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+		mux.HandleFunc("POST /snapshot/install", s.handleSnapshotInstall)
+		s.routes["/snapshot"], s.routes["/snapshot/install"] = true, true
+	}
 
 	var inner []middleware
 	if n := s.cfg.MaxInflight; n > 0 {
 		inner = append(inner, limitConcurrency(n, s.metrics.shed))
 	}
 	if d := s.cfg.RequestTimeout; d > 0 {
-		inner = append(inner, timeout(d, s.cfg.Logger, s.metrics.timeouts, s.metrics.panics))
+		inner = append(inner, timeout(d, s.cfg.Logger, s.metrics.timeouts, s.metrics.cancels, s.metrics.panics))
 	}
 	if n := s.cfg.MaxBodyBytes; n > 0 {
 		inner = append(inner, maxBytes(n))
