@@ -33,11 +33,11 @@ vet:
 bench-smoke:
 	$(GO) test -bench . -benchtime=1x ./...
 
-# bench-gate re-runs the kernel and read-path allocation suites and compares
-# them against the committed baselines in results/. It fails only on a >2x
+# bench-gate re-runs the kernel, read-path allocation and observability
+# suites and compares them against the committed baselines in results/. It fails only on a >2x
 # ns/op regression (machine variance headroom) or on ANY allocation appearing
 # on a path whose baseline is pinned at zero allocs/op. Refresh the baselines
-# with `faction-bench -kernel ...` / `faction-bench -alloc ...` in the same
+# with `faction-bench -kernel ...` / `-alloc ...` / `-obs ...` in the same
 # change that knowingly shifts them.
 bench-gate:
 	$(GO) run ./cmd/faction-bench -gate results

@@ -40,9 +40,10 @@
 //
 //	faction-bench -obs results/BENCH_obs.json
 //
-// With -gate, it re-runs the kernel and allocation suites and compares them
-// against the committed baselines in the given directory, exiting non-zero
-// on regression (>2x ns/op, or any allocation on a pinned-zero path):
+// With -gate, it re-runs the kernel, allocation and observability suites and
+// compares them against the committed baselines in the given directory,
+// exiting non-zero on regression (>2x ns/op, or any allocation on a
+// pinned-zero path):
 //
 //	faction-bench -gate results
 //
@@ -83,7 +84,7 @@ func main() {
 		walPath  = flag.String("wal", "", "run the WAL durability benchmark and write the JSON report to this path instead of running experiments")
 		obsPath  = flag.String("obs", "", "run the fairness-observability overhead benchmark and write the JSON report to this path instead of running experiments")
 		walRecs  = flag.Int("wal-records", 20000, "records per -wal run at the widest appender count")
-		gate     = flag.String("gate", "", "re-run the kernel and allocation suites and compare against the committed baselines in this directory, exiting non-zero on regression")
+		gate     = flag.String("gate", "", "re-run the kernel, allocation and observability suites and compare against the committed baselines in this directory, exiting non-zero on regression")
 		clients  = flag.Int("clients", 64, "concurrent load-generator clients for -serve")
 		requests = flag.Int("requests", 40, "requests each -serve client issues")
 		replicas = flag.Int("replicas", 1, "with -serve, also measure this many in-process replicas behind a fleet router (1 disables)")
@@ -375,7 +376,8 @@ func runObsBench(path string) error {
 	return nil
 }
 
-// runGate re-runs the kernel and allocation suites and compares them against
+// runGate re-runs the kernel, allocation and observability suites and
+// compares them against
 // the committed baselines in dir, failing on regression (see bench.Gate).
 func runGate(dir string) error {
 	fmt.Printf("=== benchmark regression gate vs %s ===\n", dir)

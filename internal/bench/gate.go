@@ -7,9 +7,10 @@ import (
 	"path/filepath"
 )
 
-// The benchmark regression gate compares a fresh run of the kernel and
-// allocation suites against the committed baselines in results/. It is built
-// for CI, where wall-clock numbers are noisy: a run fails only on
+// The benchmark regression gate compares a fresh run of the kernel,
+// allocation and observability suites against the committed baselines in
+// results/. It is built for CI, where wall-clock numbers are noisy: a run
+// fails only on
 //
 //   - ns/op more than NsRegressionFactor (2×) worse than baseline, or
 //   - allocs/op > 0 on an entry whose baseline is exactly 0 — the pinned
@@ -82,9 +83,10 @@ func loadBaseline(path string) ([]KernelResult, error) {
 	return rep.Kernels, nil
 }
 
-// Gate runs the kernel and allocation suites and compares them against the
-// baselines committed in dir (BENCH_kernel.json, BENCH_alloc.json). It
-// returns every violation; an empty slice means the gate passes.
+// Gate runs the kernel, allocation and observability suites and compares
+// them against the baselines committed in dir (BENCH_kernel.json,
+// BENCH_alloc.json, BENCH_obs.json). It returns every violation; an empty
+// slice means the gate passes.
 func Gate(dir string) ([]GateViolation, error) {
 	kernelBase, err := loadBaseline(filepath.Join(dir, "BENCH_kernel.json"))
 	if err != nil {
@@ -94,12 +96,21 @@ func Gate(dir string) ([]GateViolation, error) {
 	if err != nil {
 		return nil, err
 	}
+	obsBase, err := loadBaseline(filepath.Join(dir, "BENCH_obs.json"))
+	if err != nil {
+		return nil, err
+	}
 	kernels := RunKernels()
 	allocRep, err := RunAlloc()
 	if err != nil {
 		return nil, err
 	}
+	obsRep, err := RunObs()
+	if err != nil {
+		return nil, err
+	}
 	violations := CompareKernels(kernelBase, kernels.Kernels)
 	violations = append(violations, CompareKernels(allocBase, allocRep.Kernels)...)
+	violations = append(violations, CompareKernels(obsBase, obsRep.Kernels)...)
 	return violations, nil
 }

@@ -118,10 +118,14 @@ func RunKernels() Report {
 	}
 	rep.Kernels = append(rep.Kernels,
 		toResult("LinearTrainStep/batch64-hidden512", benchTrainStep()),
-		toResult("GDAScoreBatch/512x64", benchGDAScoreBatch()),
-		toResult("GDAScoreBatchRaw/512x64", benchGDAScoreBatchRaw()),
+		toResult("GDAScoreBatch/512x64", benchGDAScoreBatch(gda.PrecisionF64)),
+		toResult("GDAScoreBatch/512x64/f32", benchGDAScoreBatch(gda.PrecisionF32)),
+		toResult("GDAScoreBatchRaw/512x64", benchGDAScoreBatchRaw(gda.PrecisionF64)),
+		toResult("GDAScoreBatchRaw/512x64/f32", benchGDAScoreBatchRaw(gda.PrecisionF32)),
 		toResult("WhitenMahalanobis/512x64x4/serial", benchWhitenKernel(1)),
 		toResult("WhitenMahalanobis/512x64x4/parallel", benchWhitenKernel(0)),
+		toResult("WhitenMahalanobis32/512x64x4/serial", benchWhitenKernel32(1)),
+		toResult("WhitenMahalanobis32/512x64x4/parallel", benchWhitenKernel32(0)),
 		toResult("ObsCounterInc", benchCounterInc()),
 		toResult("ObsHistogramObserve", benchHistogramObserve()))
 	return rep
@@ -240,9 +244,10 @@ func benchHistogramObserve() testing.BenchmarkResult {
 	})
 }
 
-// benchScoreFixture fits the 2-class × 2-group estimator on 256 samples and
-// builds the 512×64 probe batch shared by the density-scoring benchmarks.
-func benchScoreFixture(b *testing.B) (*gda.Estimator, *mat.Dense) {
+// benchScoreFixture fits the 2-class × 2-group estimator on 256 samples at
+// the given scoring precision and builds the 512×64 probe batch shared by the
+// density-scoring benchmarks.
+func benchScoreFixture(b *testing.B, prec gda.Precision) (*gda.Estimator, *mat.Dense) {
 	const n, dim = 256, 64
 	rng := rand.New(rand.NewSource(17))
 	f := randDense(rng, n, dim)
@@ -256,14 +261,17 @@ func benchScoreFixture(b *testing.B) (*gda.Estimator, *mat.Dense) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	e.SetPrecision(prec)
 	return e, randDense(rng, 512, dim)
 }
 
 // benchGDAScoreBatch measures density scoring of a 512×64 probe batch
-// against a 2-class × 2-group estimator fitted on 256 samples.
-func benchGDAScoreBatch() testing.BenchmarkResult {
+// against a 2-class × 2-group estimator fitted on 256 samples, at either
+// kernel precision — the f64/f32 row pair in one report is the headline
+// speedup the -score-precision flag buys.
+func benchGDAScoreBatch(prec gda.Precision) testing.BenchmarkResult {
 	return stableBench(func(b *testing.B) {
-		e, probe := benchScoreFixture(b)
+		e, probe := benchScoreFixture(b, prec)
 		b.ReportAllocs()
 		quiesce(b)
 		for i := 0; i < b.N; i++ {
@@ -274,11 +282,12 @@ func benchGDAScoreBatch() testing.BenchmarkResult {
 
 // benchGDAScoreBatchRaw measures the pooled scoring path the serving layer
 // takes (ScoreBatchRaw → SliceInto → Release) at the same 512×64 shape. Its
-// steady state performs no heap allocation; the committed baseline pins
-// allocs/op at 0, so the bench gate flags any allocation creeping back in.
-func benchGDAScoreBatchRaw() testing.BenchmarkResult {
+// steady state performs no heap allocation at either precision; the committed
+// baselines pin allocs/op at 0, so the bench gate flags any allocation
+// creeping back in.
+func benchGDAScoreBatchRaw(prec gda.Precision) testing.BenchmarkResult {
 	return stableBench(func(b *testing.B) {
-		e, probe := benchScoreFixture(b)
+		e, probe := benchScoreFixture(b, prec)
 		var batch gda.BatchScores
 		for i := 0; i < 10; i++ { // warm the pools
 			raw := e.ScoreBatchRaw(probe)
@@ -310,6 +319,44 @@ func benchWhitenKernel(p int) testing.BenchmarkResult {
 		const n, dim, comps = 512, 64, 4
 		rng := rand.New(rand.NewSource(31))
 		stack := mat.NewWhitenedStack(dim)
+		for k := 0; k < comps; k++ {
+			sample := randDense(rng, dim+8, dim)
+			cov := mat.Covariance(sample, mat.MeanCols(sample), 1e-6)
+			ch, err := mat.NewCholesky(cov)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mean := make([]float64, dim)
+			for j := range mean {
+				mean[j] = rng.NormFloat64()
+			}
+			stack.AddFactor(ch, mean)
+		}
+		probe := randDense(rng, n, dim)
+		dst := make([]float64, n*comps)
+		stack.MahalanobisInto(dst, probe) // warm the tile/job pools
+		b.ReportAllocs()
+		quiesce(b)
+		for i := 0; i < b.N; i++ {
+			stack.MahalanobisInto(dst, probe)
+		}
+	})
+}
+
+// benchWhitenKernel32 is benchWhitenKernel on the float32 stack — same
+// 512×64×4 shape, same fixture seed, so the f64/f32 row pair isolates the
+// bandwidth win of the halved element width. Steady state is allocation-free
+// at any width, exactly like the f64 kernel.
+func benchWhitenKernel32(p int) testing.BenchmarkResult {
+	return stableBench(func(b *testing.B) {
+		old := mat.Parallelism()
+		if p > 0 {
+			mat.SetParallelism(p)
+		}
+		defer mat.SetParallelism(old)
+		const n, dim, comps = 512, 64, 4
+		rng := rand.New(rand.NewSource(31))
+		stack := mat.NewWhitenedStack32(dim)
 		for k := 0; k < comps; k++ {
 			sample := randDense(rng, dim+8, dim)
 			cov := mat.Covariance(sample, mat.MeanCols(sample), 1e-6)

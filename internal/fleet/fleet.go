@@ -99,8 +99,8 @@ type replica struct {
 	lastErr     string
 	lastProbeMs atomic.Int64
 
-	mUp, mReady, mGen, mInflight, mShed, mGap *obs.Gauge
-	requests                                  map[string]*obs.Counter // status class -> counter
+	mUp, mReady, mGen, mInflight, mShed, mGap, mDrift *obs.Gauge
+	requests                                          map[string]*obs.Counter // status class -> counter
 }
 
 func (rep *replica) setErr(err error) {
@@ -226,6 +226,7 @@ func New(cfg Config) (*Router, error) {
 			mInflight: rt.metrics.replicaInflight.With(name),
 			mShed:     rt.metrics.replicaShed.With(name),
 			mGap:      rt.metrics.replicaGap.With(name),
+			mDrift:    rt.metrics.replicaDrift.With(name),
 			requests:  map[string]*obs.Counter{},
 		}
 		for _, c := range statusClasses {
@@ -484,6 +485,7 @@ type fleetReplicaStatus struct {
 	Generation  uint64  `json:"generation"`
 	Inflight    int64   `json:"inflight"`
 	FairnessGap float64 `json:"fairnessGap"`
+	DriftShifts float64 `json:"driftShifts"`
 	Shed        float64 `json:"shed"`
 	LastProbeMs int64   `json:"lastProbeUnixMs"`
 	LastError   string  `json:"lastError,omitempty"`
@@ -516,6 +518,7 @@ func (rt *Router) fleetSnapshotStatus() fleetStatus {
 			Generation:  rep.gen.Load(),
 			Inflight:    rep.inflight.Load(),
 			FairnessGap: rep.mGap.Value(),
+			DriftShifts: rep.mDrift.Value(),
 			Shed:        rep.mShed.Value(),
 			LastProbeMs: rep.lastProbeMs.Load(),
 			LastError:   rep.lastError(),

@@ -307,7 +307,8 @@ func stubFleet(t *testing.T, n int, predict func(i int, w http.ResponseWriter, r
 			io.WriteString(w, `{"generation":0}`)
 		})
 		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-			fmt.Fprintf(w, "faction_fairness_gap %v\nfaction_http_shed_total 0\n", 0.1*float64(i))
+			fmt.Fprintf(w, "faction_fairness_gap %v\nfaction_http_shed_total 0\nfaction_drift_shifts %d\n",
+				0.1*float64(i), i)
 		})
 		mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
 			predict(i, w, r)
@@ -317,6 +318,50 @@ func stubFleet(t *testing.T, n int, predict func(i int, w http.ResponseWriter, r
 		listeners = append(listeners, ts)
 	}
 	return listeners
+}
+
+// A probe sweep scrapes each replica's drift-detector state into the
+// per-replica gauge, rolls the worst count up into the fleet aggregate, and
+// surfaces it on the /fleet status page.
+func TestProbeScrapesReplicaDrift(t *testing.T) {
+	listeners := stubFleet(t, 3, func(i int, w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "replica-%d", i)
+	})
+	rt := newTestRouter(t, listeners, func(c *Config) { c.SnapshotToken = "" })
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	rt.ProbeOnce(context.Background())
+
+	exposition := routerMetricsText(t, front)
+	for _, want := range []string{
+		`faction_router_replica_drift{replica="r0"} 0`,
+		`faction_router_replica_drift{replica="r1"} 1`,
+		`faction_router_replica_drift{replica="r2"} 2`,
+		"faction_router_fleet_drift_shifts 2",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("router /metrics missing %q", want)
+		}
+	}
+
+	resp, err := http.Get(front.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st fleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Replicas) != 3 {
+		t.Fatalf("/fleet replicas = %+v", st.Replicas)
+	}
+	for i, row := range st.Replicas {
+		if row.DriftShifts != float64(i) {
+			t.Errorf("/fleet replica %s driftShifts = %v, want %d", row.Name, row.DriftShifts, i)
+		}
+	}
 }
 
 // Least-inflight mode spreads idle-tie traffic round-robin instead of pinning
@@ -530,17 +575,24 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
-// The scrape parser pulls the two aggregated families out of a realistic
-// exposition and ignores everything else.
+// The scrape parser pulls the three aggregated families out of a realistic
+// exposition and ignores everything else; a missing family (a replica without
+// a drift detector) leaves its OK flag down instead of inventing a zero.
 func TestScrapeServingMetrics(t *testing.T) {
 	exposition := `# HELP faction_fairness_gap gap
 # TYPE faction_fairness_gap gauge
 faction_fairness_gap 0.25
 faction_http_requests_total{route="/predict",code="200"} 10
 faction_http_shed_total 3
+faction_drift_shifts 2
 `
-	gap, gapOK, shed, shedOK := scrapeServingMetrics(strings.NewReader(exposition))
-	if !gapOK || gap != 0.25 || !shedOK || shed != 3 {
-		t.Fatalf("scrape = %v/%v %v/%v", gap, gapOK, shed, shedOK)
+	sc := scrapeServingMetrics(strings.NewReader(exposition))
+	if !sc.gapOK || sc.gap != 0.25 || !sc.shedOK || sc.shed != 3 || !sc.driftOK || sc.drift != 2 {
+		t.Fatalf("scrape = %+v", sc)
+	}
+
+	noDrift := scrapeServingMetrics(strings.NewReader("faction_fairness_gap 0.1\n"))
+	if noDrift.driftOK || !noDrift.gapOK {
+		t.Fatalf("scrape without drift family = %+v", noDrift)
 	}
 }

@@ -15,8 +15,10 @@ type routerMetrics struct {
 	replicaInflight  *obs.GaugeVec   // requests currently proxied to the replica
 	replicaShed      *obs.GaugeVec   // faction_http_shed_total scraped from the replica
 	replicaGap       *obs.GaugeVec   // faction_fairness_gap scraped from the replica
+	replicaDrift     *obs.GaugeVec   // faction_drift_shifts scraped from the replica
 	fleetGen         *obs.Gauge      // max generation across live replicas
 	fleetGap         *obs.Gauge      // max fairness gap across live replicas
+	fleetDrift       *obs.Gauge      // max drift shift count across live replicas
 	converged        *obs.Gauge      // 1 if every ready replica serves fleetGen
 	readyReplicas    *obs.Gauge      // count of replicas passing /readyz
 	requests         *obs.CounterVec // proxied requests by {replica, code class}
@@ -41,10 +43,14 @@ func newRouterMetrics(reg *obs.Registry) *routerMetrics {
 			"faction_http_shed_total scraped from the replica.", "replica"),
 		replicaGap: reg.GaugeVec("faction_router_replica_fairness_gap",
 			"faction_fairness_gap scraped from the replica.", "replica"),
+		replicaDrift: reg.GaugeVec("faction_router_replica_drift",
+			"faction_drift_shifts scraped from the replica.", "replica"),
 		fleetGen: reg.Gauge("faction_router_fleet_generation",
 			"Highest model generation observed across live replicas."),
 		fleetGap: reg.Gauge("faction_router_fleet_fairness_gap",
 			"Worst (max) fairness gap across live replicas."),
+		fleetDrift: reg.Gauge("faction_router_fleet_drift_shifts",
+			"Worst (max) drift shift count across live replicas."),
 		converged: reg.Gauge("faction_router_fleet_converged",
 			"1 if every ready replica serves the fleet generation."),
 		readyReplicas: reg.Gauge("faction_router_ready_replicas",

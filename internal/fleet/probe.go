@@ -79,12 +79,15 @@ func (rt *Router) probeReplica(ctx context.Context, rep *replica) {
 	}
 
 	if err := rt.probeGet(ctx, rep, "/metrics", func(body io.Reader) error {
-		gap, gapOK, shed, shedOK := scrapeServingMetrics(body)
-		if gapOK {
-			rep.mGap.Set(gap)
+		sc := scrapeServingMetrics(body)
+		if sc.gapOK {
+			rep.mGap.Set(sc.gap)
 		}
-		if shedOK {
-			rep.mShed.Set(shed)
+		if sc.shedOK {
+			rep.mShed.Set(sc.shed)
+		}
+		if sc.driftOK {
+			rep.mDrift.Set(sc.drift)
 		}
 		return nil
 	}); err != nil {
@@ -117,11 +120,20 @@ func (rt *Router) probeGet(ctx context.Context, rep *replica, path string, read 
 	return nil
 }
 
-// scrapeServingMetrics pulls faction_fairness_gap and faction_http_shed_total
-// out of a Prometheus text exposition. A hand-rolled line scan, not a parser:
-// the exposition format is stable, both families are unlabeled singles, and
-// the router must not grow a dependency for two numbers.
-func scrapeServingMetrics(body io.Reader) (gap float64, gapOK bool, shed float64, shedOK bool) {
+// servingScrape is the per-replica readout of scrapeServingMetrics; each
+// value carries its own OK flag because a replica without a density serves no
+// drift detector and an idle replica may not have computed a gap yet.
+type servingScrape struct {
+	gap, shed, drift       float64
+	gapOK, shedOK, driftOK bool
+}
+
+// scrapeServingMetrics pulls faction_fairness_gap, faction_http_shed_total
+// and faction_drift_shifts out of a Prometheus text exposition. A hand-rolled
+// line scan, not a parser: the exposition format is stable, all three
+// families are unlabeled singles, and the router must not grow a dependency
+// for three numbers.
+func scrapeServingMetrics(body io.Reader) (sc servingScrape) {
 	data, err := io.ReadAll(io.LimitReader(body, 1<<20))
 	if err != nil {
 		return
@@ -137,11 +149,15 @@ func scrapeServingMetrics(body io.Reader) (gap float64, gapOK bool, shed float64
 		switch name {
 		case "faction_fairness_gap":
 			if v, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err == nil {
-				gap, gapOK = v, true
+				sc.gap, sc.gapOK = v, true
 			}
 		case "faction_http_shed_total":
 			if v, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err == nil {
-				shed, shedOK = v, true
+				sc.shed, sc.shedOK = v, true
+			}
+		case "faction_drift_shifts":
+			if v, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err == nil {
+				sc.drift, sc.driftOK = v, true
 			}
 		}
 	}
@@ -149,16 +165,20 @@ func scrapeServingMetrics(body io.Reader) (gap float64, gapOK bool, shed float64
 }
 
 // refreshFleetGauges recomputes the aggregate gauges from per-replica state:
-// fleet generation (max over ready replicas), fleet fairness gap (max over up
-// replicas — the fleet is only as fair as its worst member), convergence, and
-// the ready count.
+// fleet generation (max over ready replicas), fleet fairness gap and drift
+// shift count (max over up replicas — the fleet is only as fair, and as
+// stable, as its worst member), convergence, and the ready count.
 func (rt *Router) refreshFleetGauges() {
 	var maxGen uint64
 	maxGap := 0.0
+	maxDrift := 0.0
 	ready := 0
 	for _, rep := range rt.replicas {
 		if rep.up.Load() && rep.mGap.Value() > maxGap {
 			maxGap = rep.mGap.Value()
+		}
+		if rep.up.Load() && rep.mDrift.Value() > maxDrift {
+			maxDrift = rep.mDrift.Value()
 		}
 		if rep.up.Load() && rep.ready.Load() {
 			ready++
@@ -175,6 +195,7 @@ func (rt *Router) refreshFleetGauges() {
 	}
 	rt.metrics.fleetGen.Set(float64(maxGen))
 	rt.metrics.fleetGap.Set(maxGap)
+	rt.metrics.fleetDrift.Set(maxDrift)
 	rt.metrics.readyReplicas.Set(float64(ready))
 	if converged {
 		rt.metrics.converged.Set(1)

@@ -104,6 +104,12 @@ type Estimator struct {
 	// Derived from the Cholesky factor bits in finalize, so Fit and a Load of
 	// its snapshot build bit-identical stacks.
 	wstack *mat.WhitenedStack
+	// wstack32 is the float32 twin, built lazily by SetPrecision(PrecisionF32)
+	// or eagerly by finalize when the precision is already f32 (Load of an f32
+	// snapshot). nil while the estimator scores in f64.
+	wstack32 *mat.WhitenedStack32
+	// precision selects which stack mahalanobisQuads streams (precision.go).
+	precision Precision
 }
 
 // finalize (re)builds the deterministic component ordering, the cached
@@ -132,6 +138,10 @@ func (e *Estimator) finalize() {
 	for j, c := range e.ordered {
 		c.ordIdx = j
 		e.wstack.AddFactor(c.chol, c.Mean)
+	}
+	e.wstack32 = nil
+	if e.precision == PrecisionF32 {
+		e.buildStack32()
 	}
 }
 
@@ -286,7 +296,7 @@ func (e *Estimator) LogCondDensity(z []float64, y, s int) float64 {
 		return math.Inf(-1)
 	}
 	quads := make([]float64, len(e.ordered))
-	e.wstack.MahalanobisInto(quads, mat.NewDenseData(1, e.Dim, z))
+	e.mahalanobisQuads(quads, mat.NewDenseData(1, e.Dim, z))
 	return c.logNormBase - 0.5*quads[c.ordIdx]
 }
 
@@ -507,7 +517,7 @@ func (e *Estimator) ScoreBatchRaw(features *mat.Dense) *RawScores {
 	// the sharded reduction below only does the O(n·K) log-space arithmetic.
 	nc := len(e.ordered)
 	raw.quads = growFloats(raw.quads, n*nc)
-	e.wstack.MahalanobisInto(raw.quads, features)
+	e.mahalanobisQuads(raw.quads, features)
 	j := scoreJobPool.Get().(*scoreJob)
 	j.e, j.raw = e, raw
 	mat.ParallelFor(n, scoreBatchMinGrain, j.fn)
@@ -657,7 +667,7 @@ func (e *Estimator) LogDensityBatchInto(dst []float64, features *mat.Dense) {
 	nc := len(e.ordered)
 	qp := quadsPool.Get().(*[]float64)
 	quads := growFloats(*qp, n*nc)
-	e.wstack.MahalanobisInto(quads, features)
+	e.mahalanobisQuads(quads, features)
 	j := logDensJobPool.Get().(*logDensJob)
 	j.e, j.quads, j.out = e, quads, dst
 	mat.ParallelFor(n, scoreBatchMinGrain, j.fn)

@@ -16,41 +16,117 @@ type estimatorSnapshot struct {
 	Classes    int
 	SensValues []int
 	TrainLDs   []float64
-	Comps      []componentSnapshot
+	// Precision is the wire precision of the component payloads: "" or "f64"
+	// means float64 Mean/Factor fields, "f32" means float32 Mean32/Factor32
+	// fields (version ≥ 2). Loading restores the estimator's scoring
+	// precision to match.
+	Precision string
+	Comps     []componentSnapshot
 }
 
 type componentSnapshot struct {
-	Y, S        int
-	N           int
-	Mean        []float64
-	Weight      float64
-	Degenerate  bool
-	Factor      []float64 // lower-triangular Cholesky factor, row-major Dim×Dim
+	Y, S       int
+	N          int
+	Mean       []float64
+	Weight     float64
+	Degenerate bool
+	Factor     []float64 // lower-triangular Cholesky factor, row-major Dim×Dim
+	// Mean32/Factor32 replace Mean/Factor in f32-precision snapshots,
+	// halving the dominant K·Dim² payload bytes. Factor32 packs only the
+	// lower triangle (row-major, length Dim·(Dim+1)/2) — the f64 field leans
+	// on gob's trailing-zero compression for the upper half instead.
+	// LogNormBase and Weight stay float64 either way, so log-density bits
+	// round-trip exactly on the f32 scoring path.
+	Mean32      []float32
+	Factor32    []float32
 	LogNormBase float64
 }
 
-const snapshotVersion = 1
+// snapshotVersion is written for float64 payloads (byte-compatible with every
+// previously persisted snapshot); snapshotVersionF32 for float32 payloads.
+// Load accepts both.
+const (
+	snapshotVersion    = 1
+	snapshotVersionF32 = 2
+)
 
-// Save serializes the fitted estimator to w.
+// Save serializes the fitted estimator to w. An estimator scoring at
+// PrecisionF32 persists float32 component payloads: what is saved is exactly
+// what the f32 kernel streams (the stack is derived from f32-rounded factor
+// and mean bits), so Load rebuilds a bit-identical f32 whitening stack and
+// identical log densities.
 func (e *Estimator) Save(w io.Writer) error {
+	f32 := e.precision == PrecisionF32
 	snap := estimatorSnapshot{
 		Version:    snapshotVersion,
 		Dim:        e.Dim,
 		Classes:    e.Classes,
 		SensValues: append([]int(nil), e.SensValues...),
 		TrainLDs:   append([]float64(nil), e.TrainLogDensities...),
+		Precision:  e.precision.String(),
+	}
+	if f32 {
+		snap.Version = snapshotVersionF32
 	}
 	for _, c := range e.comps {
-		snap.Comps = append(snap.Comps, componentSnapshot{
+		cs := componentSnapshot{
 			Y: c.Y, S: c.S, N: c.N,
-			Mean:        append([]float64(nil), c.Mean...),
 			Weight:      c.Weight,
 			Degenerate:  c.Degenerate,
-			Factor:      append([]float64(nil), c.chol.L().Data...),
 			LogNormBase: c.logNormBase,
-		})
+		}
+		if f32 {
+			cs.Mean32 = roundSlice32(c.Mean)
+			cs.Factor32 = packLowerTri32(c.chol.L().Data, e.Dim)
+		} else {
+			cs.Mean = append([]float64(nil), c.Mean...)
+			cs.Factor = append([]float64(nil), c.chol.L().Data...)
+		}
+		snap.Comps = append(snap.Comps, cs)
 	}
 	return gob.NewEncoder(w).Encode(snap)
+}
+
+func roundSlice32(v []float64) []float32 {
+	out := make([]float32, len(v))
+	for i, x := range v {
+		out[i] = float32(x)
+	}
+	return out
+}
+
+func widenSlice64(v []float32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// packLowerTri32 rounds the lower triangle of the row-major d×d factor to
+// float32, row-major, length d·(d+1)/2.
+func packLowerTri32(l []float64, d int) []float32 {
+	out := make([]float32, 0, d*(d+1)/2)
+	for j := 0; j < d; j++ {
+		for r := 0; r <= j; r++ {
+			out = append(out, float32(l[j*d+r]))
+		}
+	}
+	return out
+}
+
+// unpackLowerTri64 widens a packed float32 lower triangle back to a full
+// row-major d×d float64 factor (exact: float32 widens losslessly).
+func unpackLowerTri64(p []float32, d int) []float64 {
+	out := make([]float64, d*d)
+	i := 0
+	for j := 0; j < d; j++ {
+		for r := 0; r <= j; r++ {
+			out[j*d+r] = float64(p[i])
+			i++
+		}
+	}
+	return out
 }
 
 // SaveFile writes a crash-safe estimator snapshot: checksummed, written to a
@@ -77,14 +153,24 @@ func LoadFile(path string) (*Estimator, error) {
 }
 
 // Load reconstructs an estimator saved with Save. Densities match the saved
-// model exactly.
+// model exactly: an f64 snapshot rebuilds the f64 whitening stack bit for
+// bit, and an f32 snapshot rebuilds the f32 stack bit for bit (the factor and
+// mean widen from float32 exactly, and the stack derivation rounds them right
+// back). The loaded estimator's scoring precision matches the payload.
 func Load(r io.Reader) (*Estimator, error) {
 	var snap estimatorSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("gda: decoding estimator: %w", err)
 	}
-	if snap.Version != snapshotVersion {
+	if snap.Version != snapshotVersion && snap.Version != snapshotVersionF32 {
 		return nil, fmt.Errorf("gda: unsupported snapshot version %d", snap.Version)
+	}
+	prec, err := ParsePrecision(snap.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("gda: snapshot %w", err)
+	}
+	if prec == PrecisionF32 && snap.Version < snapshotVersionF32 {
+		return nil, fmt.Errorf("gda: f32 payload in version-%d snapshot", snap.Version)
 	}
 	if snap.Dim <= 0 || snap.Classes <= 0 || len(snap.SensValues) == 0 {
 		return nil, fmt.Errorf("gda: invalid snapshot header (dim %d, classes %d, %d sensitive values)",
@@ -96,6 +182,7 @@ func Load(r io.Reader) (*Estimator, error) {
 		SensValues:        append([]int(nil), snap.SensValues...),
 		TrainLogDensities: append([]float64(nil), snap.TrainLDs...),
 		comps:             map[[2]int]*Component{},
+		precision:         prec,
 	}
 	sensIdx := make(map[int]bool, len(snap.SensValues))
 	for _, v := range snap.SensValues {
@@ -108,13 +195,25 @@ func Load(r io.Reader) (*Estimator, error) {
 		if !sensIdx[cs.S] {
 			return nil, fmt.Errorf("gda: component %d sensitive value %d not in %v", i, cs.S, snap.SensValues)
 		}
-		if len(cs.Mean) != snap.Dim {
-			return nil, fmt.Errorf("gda: component %d mean has %d values, want %d", i, len(cs.Mean), snap.Dim)
+		mean, factor := cs.Mean, cs.Factor
+		if prec == PrecisionF32 {
+			if len(cs.Mean) != 0 || len(cs.Factor) != 0 {
+				return nil, fmt.Errorf("gda: component %d carries float64 fields in an f32 snapshot", i)
+			}
+			if want := snap.Dim * (snap.Dim + 1) / 2; len(cs.Factor32) != want {
+				return nil, fmt.Errorf("gda: component %d packed factor has %d values, want %d", i, len(cs.Factor32), want)
+			}
+			mean, factor = widenSlice64(cs.Mean32), unpackLowerTri64(cs.Factor32, snap.Dim)
+		} else if len(cs.Mean32) != 0 || len(cs.Factor32) != 0 {
+			return nil, fmt.Errorf("gda: component %d carries float32 fields in an f64 snapshot", i)
 		}
-		if len(cs.Factor) != snap.Dim*snap.Dim {
-			return nil, fmt.Errorf("gda: component %d factor has %d values, want %d", i, len(cs.Factor), snap.Dim*snap.Dim)
+		if len(mean) != snap.Dim {
+			return nil, fmt.Errorf("gda: component %d mean has %d values, want %d", i, len(mean), snap.Dim)
 		}
-		ch, err := mat.CholeskyFromFactor(mat.NewDenseData(snap.Dim, snap.Dim, cs.Factor))
+		if len(factor) != snap.Dim*snap.Dim {
+			return nil, fmt.Errorf("gda: component %d factor has %d values, want %d", i, len(factor), snap.Dim*snap.Dim)
+		}
+		ch, err := mat.CholeskyFromFactor(mat.NewDenseData(snap.Dim, snap.Dim, factor))
 		if err != nil {
 			return nil, fmt.Errorf("gda: component %d: %w", i, err)
 		}
@@ -124,7 +223,7 @@ func Load(r io.Reader) (*Estimator, error) {
 		}
 		e.comps[key] = &Component{
 			Y: cs.Y, S: cs.S, N: cs.N,
-			Mean:        append([]float64(nil), cs.Mean...),
+			Mean:        mean,
 			Weight:      cs.Weight,
 			Degenerate:  cs.Degenerate,
 			chol:        ch,

@@ -1,0 +1,90 @@
+package gda
+
+import (
+	"fmt"
+
+	"faction/internal/mat"
+)
+
+// Precision selects the storage width of the whitened scoring kernel. Every
+// density entry point (LogDensity, LogCondDensity, ScoreBatchRaw,
+// LogDensityBatchInto) routes its quadratic forms through one
+// precision-parameterised pass — mahalanobisQuads — so the two paths cannot
+// drift apart structurally: the only difference is which stack the kernel
+// streams. PrecisionF64 is the default and the differential reference;
+// PrecisionF32 stores whitening matrices and packed means as float32 while
+// accumulating the subtract-square reduction in float64 (DESIGN.md §15),
+// halving kernel bandwidth and snapshot density bytes at a bounded,
+// property-tested relative error.
+type Precision uint8
+
+const (
+	// PrecisionF64 scores through the float64 whitened stack (the default).
+	PrecisionF64 Precision = iota
+	// PrecisionF32 scores through the float32 whitened stack with float64
+	// accumulation.
+	PrecisionF32
+)
+
+// String returns the wire name of the precision ("f64" or "f32") — the value
+// accepted by ParsePrecision, recorded on /info and in snapshot envelopes.
+func (p Precision) String() string {
+	if p == PrecisionF32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// ParsePrecision parses a wire precision name. The empty string means f64 —
+// the default, and what pre-precision snapshot envelopes carry.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f64":
+		return PrecisionF64, nil
+	case "f32":
+		return PrecisionF32, nil
+	}
+	return PrecisionF64, fmt.Errorf("gda: unknown precision %q (want f64 or f32)", s)
+}
+
+// Precision returns the estimator's active scoring precision.
+func (e *Estimator) Precision() Precision { return e.precision }
+
+// SetPrecision switches the scoring path. Building the float32 stack from the
+// component factors is a one-time conversion (the same derivation Load of an
+// f32 snapshot performs); switching back to f64 is free. Not safe concurrently
+// with scoring — set it at construction, load, or install time, before the
+// estimator is published.
+func (e *Estimator) SetPrecision(p Precision) {
+	e.precision = p
+	if p == PrecisionF32 && e.wstack32 == nil {
+		e.buildStack32()
+	}
+}
+
+// WhitenedStack32 exposes the float32 whitening stack (nil until PrecisionF32
+// has been set). For persistence round-trip tests.
+func (e *Estimator) WhitenedStack32() *mat.WhitenedStack32 { return e.wstack32 }
+
+// buildStack32 derives the float32 whitening stack from the ordered
+// components. mat.(*WhitenedStack32).AddFactor rounds the factor and mean to
+// float32 before deriving W and m̃, so a stack built here at fit time is
+// bit-identical to one rebuilt from an f32-persisted snapshot.
+func (e *Estimator) buildStack32() {
+	e.wstack32 = mat.NewWhitenedStack32(e.Dim)
+	for _, c := range e.ordered {
+		e.wstack32.AddFactor(c.chol, c.Mean)
+	}
+}
+
+// mahalanobisQuads fills dst[i·K+j] with the Mahalanobis distance of every
+// feature row to every ordered component through the stack selected by the
+// active precision — the single kernel dispatch point shared by all density
+// entry points.
+func (e *Estimator) mahalanobisQuads(dst []float64, features *mat.Dense) {
+	if e.precision == PrecisionF32 {
+		e.wstack32.MahalanobisInto(dst, features)
+		return
+	}
+	e.wstack.MahalanobisInto(dst, features)
+}

@@ -44,7 +44,14 @@ const whitenLanes = 8
 func (c *Cholesky) InvLower() *Dense {
 	n := c.n
 	w := NewDense(n, n)
-	l := c.l.Data
+	invLowerInto(w.Data, c.l.Data, n)
+	return w
+}
+
+// invLowerInto fills w (n×n row major) with the inverse of the
+// lower-triangular factor l by column-wise forward substitution. Shared by
+// the f64 and f32 stacks so both derive from identical substitution order.
+func invLowerInto(w, l []float64, n int) {
 	for col := 0; col < n; col++ {
 		// Solve L·x = e_col; x fills W[col:, col].
 		for i := col; i < n; i++ {
@@ -53,12 +60,11 @@ func (c *Cholesky) InvLower() *Dense {
 				sum = 1.0
 			}
 			for k := col; k < i; k++ {
-				sum -= l[i*n+k] * w.Data[k*n+col]
+				sum -= l[i*n+k] * w[k*n+col]
 			}
-			w.Data[i*n+col] = sum / l[i*n+i]
+			w[i*n+col] = sum / l[i*n+i]
 		}
 	}
-	return w
 }
 
 // WhitenedStack is a packed stack of K whitening factors (W_k = L_k⁻¹, row

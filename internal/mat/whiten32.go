@@ -1,0 +1,223 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Float32 whitened scoring path.
+//
+// WhitenedStack32 is the storage-halved twin of WhitenedStack: whitening
+// matrices W and packed means m̃ are stored as float32, so a tile pass streams
+// half the bytes through the kernel — the f64 kernel is memory-bandwidth
+// bound, which makes operand width the dominant lever (DESIGN.md §15). The
+// numerics are deliberately asymmetric: the triangular matvec u = W·z runs in
+// float32 (that is where the bandwidth lives), while the subtract-square
+// reduction q += (u − m̃)² accumulates in float64. The subtraction is exact —
+// both operands are float32 values widened to float64 — so the only f32
+// rounding is in u itself, and the squared terms never lose low bits to a
+// narrow accumulator. The float64 path stays as the differential reference,
+// exactly as logDensitySolve references the batch path in gda.
+//
+// Precision-rounding contract: AddFactor rounds the Cholesky factor and mean
+// to float32 BEFORE deriving W and m̃ (in float64, then rounding the results).
+// Because float32→float64→float32 round-trips exactly, a stack rebuilt from a
+// persisted float32 payload is bit-identical to the one built at fit time —
+// the same Fit/Load determinism pin the f64 stack carries via InvLower.
+//
+// Lane layout mirrors the f64 path at twice the width: whitenLanes32 rows per
+// column-major tile (tile[r·lanes+lane] = z_lane[r]), lanes fully independent,
+// padding lanes zero-filled. Per-row outputs are bit-identical whatever the
+// batch composition, block grouping, or shard layout. Feature values outside
+// float32 range (|z| ≳ 3.4e38) overflow to ±Inf during tile packing and
+// poison only their own row, matching the NaN/Inf propagation contract of the
+// f64 kernel.
+
+// whitenLanes32 is the f32 lane-block width: 16 floats = two 8-wide vectors
+// in the matvec, converted to four 4-wide float64 vectors for the reduction.
+const whitenLanes32 = 16
+
+// WhitenedStack32 is a packed stack of K float32 whitening factors and
+// whitened means with a float64-accumulating kernel. Build it once per fit or
+// snapshot load with AddFactor; it is immutable afterwards and safe for
+// concurrent MahalanobisInto calls.
+type WhitenedStack32 struct {
+	d, k int
+	w    []float32 // k panels of d×d row-major W, rounded to f32
+	mtil []float32 // k rows of m̃, rounded to f32
+}
+
+// NewWhitenedStack32 creates an empty float32 stack for dimension-d factors.
+func NewWhitenedStack32(d int) *WhitenedStack32 {
+	if d < 0 {
+		panic(fmt.Sprintf("mat: negative whitened dimension %d", d))
+	}
+	return &WhitenedStack32{d: d}
+}
+
+// Dim returns the feature dimension d.
+func (s *WhitenedStack32) Dim() int { return s.d }
+
+// Components returns the number of stacked factors.
+func (s *WhitenedStack32) Components() int { return s.k }
+
+// AddFactor appends the float32 whitening of one Cholesky factor and mean,
+// returning its index in the stack. The factor and mean are rounded to
+// float32 first and the whitening derived from the rounded bits, so a stack
+// rebuilt from float32-persisted inputs reproduces these exact bits.
+func (s *WhitenedStack32) AddFactor(c *Cholesky, mean []float64) int {
+	d := s.d
+	if c.Size() != d || len(mean) != d {
+		panic(fmt.Sprintf("mat: whitened factor dim %d / mean %d, want %d", c.Size(), len(mean), d))
+	}
+	l32 := make([]float64, d*d)
+	for i, v := range c.l.Data {
+		l32[i] = float64(float32(v))
+	}
+	w := make([]float64, d*d)
+	invLowerInto(w, l32, d)
+	for _, v := range w {
+		s.w = append(s.w, float32(v))
+	}
+	// m̃_j = Σ_{r≤j} W[j,r]·μ_r over the f32-rounded mean, accumulated in f64.
+	for j := 0; j < d; j++ {
+		sum := 0.0
+		wrow := w[j*d : j*d+j+1]
+		for r, wv := range wrow {
+			sum += wv * float64(float32(mean[r]))
+		}
+		s.mtil = append(s.mtil, float32(sum))
+	}
+	k := s.k
+	s.k++
+	return k
+}
+
+// WhitenedMean returns a view of m̃_k (do not modify). Exposed for the
+// persistence round-trip tests proving Load-derived whitening matches
+// Fit-derived bits.
+func (s *WhitenedStack32) WhitenedMean(k int) []float32 {
+	return s.mtil[k*s.d : (k+1)*s.d]
+}
+
+// Factor returns a view of W_k's row-major data (do not modify).
+func (s *WhitenedStack32) Factor(k int) []float32 {
+	return s.w[k*s.d*s.d : (k+1)*s.d*s.d]
+}
+
+// tileScratch32 is the per-shard scratch of a float32 whitened pass: one
+// column-major float32 lane tile plus the float64 per-kernel-call output.
+type tileScratch32 struct {
+	tile []float32
+	q    [whitenLanes32]float64
+}
+
+var tileScratch32Pool = sync.Pool{New: func() any { return new(tileScratch32) }}
+
+func getTileScratch32(d int) *tileScratch32 {
+	ts := tileScratch32Pool.Get().(*tileScratch32)
+	if cap(ts.tile) < d*whitenLanes32 {
+		ts.tile = make([]float32, d*whitenLanes32)
+	}
+	ts.tile = ts.tile[:d*whitenLanes32]
+	return ts
+}
+
+// whitenJob32 carries one float32 MahalanobisInto pass across the worker pool
+// without allocating (fn pre-bound at pool-New time).
+type whitenJob32 struct {
+	s   *WhitenedStack32
+	z   *Dense
+	dst []float64
+	fn  func(lo, hi int)
+}
+
+var whitenJob32Pool = sync.Pool{New: func() any {
+	j := new(whitenJob32)
+	j.fn = j.run
+	return j
+}}
+
+// run processes lane blocks [lob, hib): packs each block's rows into the
+// column-major float32 tile and scores it against every stacked factor.
+func (j *whitenJob32) run(lob, hib int) {
+	s, z, dst := j.s, j.z, j.dst
+	d, k, n := s.d, s.k, z.Rows
+	ts := getTileScratch32(d)
+	tile := ts.tile
+	for b := lob; b < hib; b++ {
+		lo := b * whitenLanes32
+		rows := min(whitenLanes32, n-lo)
+		for lane := 0; lane < rows; lane++ {
+			zrow := z.Data[(lo+lane)*d : (lo+lane+1)*d]
+			for r, v := range zrow {
+				tile[r*whitenLanes32+lane] = float32(v)
+			}
+		}
+		// Zero padding lanes, same reasoning as the f64 path: the fill is what
+		// makes block grouping provably irrelevant to real rows' results.
+		for lane := rows; lane < whitenLanes32; lane++ {
+			for r := 0; r < d; r++ {
+				tile[r*whitenLanes32+lane] = 0
+			}
+		}
+		for f := 0; f < k; f++ {
+			whitenQuadTile32(&ts.q, tile, s.w[f*d*d:(f+1)*d*d], s.mtil[f*d:(f+1)*d], d)
+			for lane := 0; lane < rows; lane++ {
+				dst[(lo+lane)*k+f] = ts.q[lane]
+			}
+		}
+	}
+	tileScratch32Pool.Put(ts)
+}
+
+// MahalanobisInto computes dst[i·K+f] = ‖W_f·z_i − m̃_f‖² on the float32 path
+// with float64 accumulation, sharding lane blocks across the kernel worker
+// pool. dst must have length z.Rows·Components(). Per-row results are
+// bit-identical across batch compositions, shard counts and repeated runs; a
+// steady-state loop at fixed shape performs no heap allocation.
+func (s *WhitenedStack32) MahalanobisInto(dst []float64, z *Dense) {
+	n := z.Rows
+	if n > 0 && z.Cols != s.d {
+		panic(fmt.Sprintf("mat: whitened batch dim %d, want %d", z.Cols, s.d))
+	}
+	if len(dst) != n*s.k {
+		panic(fmt.Sprintf("mat: whitened dst length %d, want %d", len(dst), n*s.k))
+	}
+	if n == 0 || s.k == 0 {
+		return
+	}
+	nb := (n + whitenLanes32 - 1) / whitenLanes32
+	j := whitenJob32Pool.Get().(*whitenJob32)
+	j.s, j.z, j.dst = s, z, dst
+	ParallelFor(nb, 1, j.fn)
+	j.s, j.z, j.dst = nil, nil, nil
+	whitenJob32Pool.Put(j)
+}
+
+// whitenQuadTile32Go is the portable kernel: for each of the 16 tile lanes,
+// q[lane] = Σ_j (u_j − m̃_j)² with u_j = Σ_{r≤j} W[j,r]·tile[r·16+lane]. The
+// matvec accumulates in float32 (matching the two 8-wide vector registers of
+// the AVX2 kernel); the subtraction and squared-sum run in float64. Per-lane
+// accumulation order is fixed (ascending r inside ascending j), so results
+// are deterministic and independent of which rows share the tile.
+func whitenQuadTile32Go(q *[whitenLanes32]float64, tile, w, mtil []float32, d int) {
+	var qa [whitenLanes32]float64
+	for j := 0; j < d; j++ {
+		wrow := w[j*d : j*d+j+1]
+		var u [whitenLanes32]float32
+		for r, wv := range wrow {
+			t := tile[r*whitenLanes32 : r*whitenLanes32+whitenLanes32 : r*whitenLanes32+whitenLanes32]
+			for lane := range u {
+				u[lane] += wv * t[lane]
+			}
+		}
+		m := float64(mtil[j])
+		for lane := range u {
+			// Exact subtraction: both operands are float32 values in float64.
+			t := float64(u[lane]) - m
+			qa[lane] += t * t
+		}
+	}
+	*q = qa
+}

@@ -1,0 +1,80 @@
+//go:build amd64 && !noasm
+
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential test of the f32 AVX2+FMA microkernel against the portable Go
+// kernel on the same tiles. Both accumulate the matvec in float32 and the
+// reduction in float64, but FMA contracts the f32 multiply-adds, so bits
+// differ; agreement is asserted under a relative tolerance sized to the f32
+// accumulation error (~√d·ε₃₂), far looser than the f64 kernel's 1e-12.
+func TestWhitenQuadAVX32MatchesGo(t *testing.T) {
+	if !whitenUseAVX {
+		t.Skip("no AVX2+FMA on this machine")
+	}
+	rng := rand.New(rand.NewSource(43))
+	for _, d := range []int{1, 2, 3, 7, 8, 15, 24, 64, 65} {
+		tile := make([]float32, d*whitenLanes32)
+		for i := range tile {
+			tile[i] = float32(2 * rng.NormFloat64())
+		}
+		w := make([]float32, d*d)
+		mtil := make([]float32, d)
+		for j := 0; j < d; j++ {
+			for r := 0; r <= j; r++ {
+				w[j*d+r] = float32(rng.NormFloat64())
+			}
+			mtil[j] = float32(rng.NormFloat64())
+		}
+		var qAsm, qGo [whitenLanes32]float64
+		whitenQuadAVX32(&qAsm[0], &tile[0], &w[0], &mtil[0], d)
+		whitenQuadTile32Go(&qGo, tile, w, mtil, d)
+		for lane := 0; lane < whitenLanes32; lane++ {
+			rel := math.Abs(qAsm[lane]-qGo[lane]) / (1 + math.Abs(qGo[lane]))
+			if rel > 1e-4 || math.IsNaN(qAsm[lane]) != math.IsNaN(qGo[lane]) {
+				t.Fatalf("d=%d lane %d: asm %v vs go %v (rel %g)", d, lane, qAsm[lane], qGo[lane], rel)
+			}
+		}
+		// The assembly kernel must be deterministic call to call.
+		var again [whitenLanes32]float64
+		whitenQuadAVX32(&again[0], &tile[0], &w[0], &mtil[0], d)
+		if again != qAsm {
+			t.Fatalf("d=%d: f32 asm kernel not deterministic across calls", d)
+		}
+	}
+}
+
+// Forcing the portable f32 kernel through the dispatch flag must keep
+// MahalanobisInto within tolerance of the AVX path on a full batch.
+func TestMahalanobisInto32AVXvsGo(t *testing.T) {
+	if !whitenUseAVX {
+		t.Skip("no AVX2+FMA on this machine")
+	}
+	old := Parallelism()
+	SetParallelism(1)
+	defer SetParallelism(old)
+	const d, k, n = 40, 3, 53
+	_, stack32, _, _ := whitenFixtureStack32(t, d, k, 10, 47)
+	rng := rand.New(rand.NewSource(53))
+	z := NewDense(n, d)
+	for i := range z.Data {
+		z.Data[i] = rng.NormFloat64()
+	}
+	avx := make([]float64, n*k)
+	stack32.MahalanobisInto(avx, z)
+	whitenUseAVX = false
+	defer func() { whitenUseAVX = true }()
+	pure := make([]float64, n*k)
+	stack32.MahalanobisInto(pure, z)
+	for i := range avx {
+		rel := math.Abs(avx[i]-pure[i]) / (1 + math.Abs(pure[i]))
+		if rel > 1e-4 {
+			t.Fatalf("dst[%d]: avx %v vs go %v (rel %g)", i, avx[i], pure[i], rel)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"faction/internal/testutil"
+)
+
+// whitenFixtureStack32 builds the f64 fixture stack plus its float32 twin
+// from the same factors and means, so tests can compare the two paths on
+// identical inputs.
+func whitenFixtureStack32(t testing.TB, d, k int, extra int, seed int64) (*WhitenedStack, *WhitenedStack32, []*Cholesky, [][]float64) {
+	t.Helper()
+	stack, chols, means := whitenFixtureStack(t, d, k, extra, seed)
+	stack32 := NewWhitenedStack32(d)
+	for f := 0; f < k; f++ {
+		stack32.AddFactor(chols[f], means[f])
+	}
+	return stack, stack32, chols, means
+}
+
+// Property: the float32 path tracks the float64 path within the error model
+// of DESIGN.md §15 — the f32 matvec contributes ~√d·ε₃₂ relative error,
+// amplified by the factor's conditioning (rounding L to f32 perturbs W by
+// ~κ(L)·ε₃₂). Well-conditioned fixtures sit orders of magnitude inside the
+// tight bound; ridge-rescued near-singular fixtures get the κ-scaled loose
+// bound. NaN classification must agree exactly.
+func TestWhitenedStack32MatchesF64(t *testing.T) {
+	for _, tc := range []struct {
+		d, k, n, extra int
+		tol            float64
+	}{
+		{1, 1, 1, 4, 2e-3},
+		{2, 3, 9, 4, 2e-3},
+		{3, 2, 8, 4, 2e-3},
+		{5, 1, 7, 4, 2e-3},
+		{8, 4, 16, 8, 2e-3},
+		{9, 3, 33, 8, 2e-3},
+		{16, 2, 40, 8, 2e-3},
+		{17, 2, 31, 8, 2e-3}, // d and n both off the 16-lane grid
+		{33, 3, 21, 8, 2e-3},
+		{64, 4, 37, 16, 2e-3},
+		// Near-singular: rank-deficient sample covariance, ridge-rescued. The
+		// f32 rounding of L is magnified by κ(L) ≈ √κ(Σ) through InvLower.
+		{12, 2, 19, -5, 5e-2},
+		{32, 3, 25, -20, 5e-2},
+	} {
+		t.Run(fmt.Sprintf("d%d_k%d_n%d_extra%d", tc.d, tc.k, tc.n, tc.extra), func(t *testing.T) {
+			stack, stack32, _, _ := whitenFixtureStack32(t, tc.d, tc.k, tc.extra, int64(tc.d*100+tc.n))
+			rng := rand.New(rand.NewSource(int64(tc.n)))
+			z := NewDense(tc.n, tc.d)
+			for i := range z.Data {
+				z.Data[i] = 2 * rng.NormFloat64()
+			}
+			q64 := make([]float64, tc.n*tc.k)
+			stack.MahalanobisInto(q64, z)
+			q32 := make([]float64, tc.n*tc.k)
+			stack32.MahalanobisInto(q32, z)
+			for i := range q64 {
+				if rel := math.Abs(q32[i]-q64[i]) / (1 + math.Abs(q64[i])); rel > tc.tol || math.IsNaN(q32[i]) != math.IsNaN(q64[i]) {
+					t.Fatalf("dst[%d]: f32 %v vs f64 %v (rel %g > %g)", i, q32[i], q64[i], rel, tc.tol)
+				}
+			}
+		})
+	}
+}
+
+// Property: the f32 whitening is a deterministic function of the
+// float32-rounded factor and mean bits. Rebuilding the stack from factors and
+// means that went through a float32 round trip — exactly what loading an f32
+// snapshot payload does — reproduces W and m̃ bit for bit, because AddFactor
+// rounds its inputs to float32 before deriving anything.
+func TestWhitenedStack32RoundTripBits(t *testing.T) {
+	for _, d := range []int{1, 3, 8, 17, 32} {
+		_, stack32, chols, means := whitenFixtureStack32(t, d, 2, 6, int64(d*7+1))
+		reload := NewWhitenedStack32(d)
+		for f := 0; f < 2; f++ {
+			lw := make([]float64, d*d)
+			for i, v := range chols[f].L().Data {
+				lw[i] = float64(float32(v))
+			}
+			ch, err := CholeskyFromFactor(NewDenseData(d, d, lw))
+			if err != nil {
+				t.Fatalf("d=%d factor %d: rounded factor rejected: %v", d, f, err)
+			}
+			mw := make([]float64, d)
+			for i, v := range means[f] {
+				mw[i] = float64(float32(v))
+			}
+			reload.AddFactor(ch, mw)
+		}
+		for f := 0; f < 2; f++ {
+			for i, v := range stack32.Factor(f) {
+				if reload.Factor(f)[i] != v {
+					t.Fatalf("d=%d factor %d: W32[%d] differs after f32 round trip", d, f, i)
+				}
+			}
+			for i, v := range stack32.WhitenedMean(f) {
+				if reload.WhitenedMean(f)[i] != v {
+					t.Fatalf("d=%d factor %d: m̃32[%d] differs after f32 round trip", d, f, i)
+				}
+			}
+		}
+	}
+}
+
+// Property: repeated evaluations and every worker-pool width produce the same
+// bits on the f32 path. Odd batch size exercises the padded tail block.
+func TestWhitenedStack32Deterministic(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	const d, k, n = 24, 3, 61
+	_, stack32, _, _ := whitenFixtureStack32(t, d, k, 8, 3)
+	rng := rand.New(rand.NewSource(9))
+	z := NewDense(n, d)
+	for i := range z.Data {
+		z.Data[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, n*k)
+	SetParallelism(1)
+	stack32.MahalanobisInto(ref, z)
+	got := make([]float64, n*k)
+	for _, p := range []int{1, 2, 3, 7, 16} {
+		SetParallelism(p)
+		for rep := 0; rep < 3; rep++ {
+			for i := range got {
+				got[i] = math.NaN()
+			}
+			stack32.MahalanobisInto(got, z)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("parallelism %d rep %d: dst[%d] = %v, serial %v", p, rep, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// Property: a row's f32 result does not depend on which rows share its batch
+// — the coalescer bit-identity contract, now at 16-lane block width.
+func TestWhitenedStack32BatchComposition(t *testing.T) {
+	const d, k, n = 18, 2, 37
+	_, stack32, _, _ := whitenFixtureStack32(t, d, k, 6, 11)
+	rng := rand.New(rand.NewSource(13))
+	z := NewDense(n, d)
+	for i := range z.Data {
+		z.Data[i] = rng.NormFloat64()
+	}
+	whole := make([]float64, n*k)
+	stack32.MahalanobisInto(whole, z)
+	single := make([]float64, k)
+	for i := 0; i < n; i++ {
+		stack32.MahalanobisInto(single, NewDenseData(1, d, z.Row(i)))
+		for f := 0; f < k; f++ {
+			if single[f] != whole[i*k+f] {
+				t.Fatalf("row %d factor %d: alone %v, in batch %v", i, f, single[f], whole[i*k+f])
+			}
+		}
+	}
+	sub := NewDenseData(n-5, d, z.Data[3*d:(n-2)*d])
+	subDst := make([]float64, (n-5)*k)
+	stack32.MahalanobisInto(subDst, sub)
+	for i := range subDst {
+		if subDst[i] != whole[3*k+i] {
+			t.Fatalf("sub-range result %d differs from whole-batch value", i)
+		}
+	}
+}
+
+// Property: non-finite inputs poison exactly the rows that carry them on the
+// f32 path, including values finite in float64 but beyond float32 range —
+// tile packing overflows them to ±Inf, which must stay confined to their row.
+func TestWhitenedStack32NonFinite(t *testing.T) {
+	const d, k, n = 16, 3, 39
+	_, stack32, _, _ := whitenFixtureStack32(t, d, k, 6, 17)
+	rng := rand.New(rand.NewSource(19))
+	clean := NewDense(n, d)
+	for i := range clean.Data {
+		clean.Data[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, n*k)
+	stack32.MahalanobisInto(ref, clean)
+
+	dirty := clean.Clone()
+	const nanRow, infRow, overflowRow = 4, 13, 22
+	dirty.Row(nanRow)[d/2] = math.NaN()
+	dirty.Row(infRow)[0] = math.Inf(1)
+	dirty.Row(overflowRow)[d-1] = 1e300 // finite in f64, Inf in f32
+	got := make([]float64, n*k)
+	stack32.MahalanobisInto(got, dirty)
+	for i := 0; i < n; i++ {
+		for f := 0; f < k; f++ {
+			v := got[i*k+f]
+			switch i {
+			case nanRow:
+				if !math.IsNaN(v) {
+					t.Fatalf("NaN row factor %d: got %v, want NaN", f, v)
+				}
+			case infRow, overflowRow:
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					t.Fatalf("row %d factor %d: got finite %v, want non-finite", i, f, v)
+				}
+			default:
+				if v != ref[i*k+f] {
+					t.Fatalf("clean row %d factor %d perturbed by non-finite neighbors: %v vs %v",
+						i, f, v, ref[i*k+f])
+				}
+			}
+		}
+	}
+}
+
+// Degenerate shapes: mirrors the f64 edge suite.
+func TestWhitenedStack32Edges(t *testing.T) {
+	_, stack32, _, _ := whitenFixtureStack32(t, 6, 2, 4, 23)
+	stack32.MahalanobisInto(nil, NewDense(0, 6)) // n == 0: no-op
+
+	empty := NewWhitenedStack32(6) // k == 0
+	empty.MahalanobisInto(nil, NewDense(4, 6))
+
+	zero := NewWhitenedStack32(0) // d == 0: every distance is an empty sum
+	ch, err := NewCholesky(NewDense(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero.AddFactor(ch, nil)
+	dst := []float64{math.NaN(), math.NaN(), math.NaN()}
+	zero.MahalanobisInto(dst, NewDense(3, 0))
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("d=0 distance[%d] = %v, want 0", i, v)
+		}
+	}
+
+	mustPanicWhiten(t, "dim mismatch", func() {
+		stack32.MahalanobisInto(make([]float64, 2*2), NewDense(2, 5))
+	})
+	mustPanicWhiten(t, "dst length", func() {
+		stack32.MahalanobisInto(make([]float64, 3), NewDense(2, 6))
+	})
+	mustPanicWhiten(t, "factor dim", func() {
+		c, _, err := NewCholeskyRidge(Covariance(NewDense(9, 4), make([]float64, 4), 1e-3), 1e-3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stack32.AddFactor(c, make([]float64, 4))
+	})
+}
+
+// The f32 whitened pass is allocation-free at steady state, same as the f64
+// pass — the property the gda f32 scoring path's bench-gate pins inherit.
+func TestWhitenedStack32SteadyStateAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; alloc counts not representative")
+	}
+	old := Parallelism()
+	SetParallelism(1)
+	defer SetParallelism(old)
+	_, stack32, _, _ := whitenFixtureStack32(t, 32, 4, 8, 29)
+	rng := rand.New(rand.NewSource(31))
+	z := NewDense(40, 32)
+	for i := range z.Data {
+		z.Data[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 40*4)
+	loop := func() { stack32.MahalanobisInto(dst, z) }
+	for i := 0; i < 10; i++ {
+		loop()
+	}
+	if n := testing.AllocsPerRun(50, loop); n != 0 {
+		t.Fatalf("steady-state f32 MahalanobisInto allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkWhitenMahalanobis32 is the f32 quadratic-form pass at the same
+// shape as the f64 benchmark: 512 rows × 64 dims against a 4-factor stack.
+func BenchmarkWhitenMahalanobis32(b *testing.B) {
+	_, stack32, _, _ := whitenFixtureStack32(b, 64, 4, 16, 37)
+	rng := rand.New(rand.NewSource(41))
+	z := NewDense(512, 64)
+	for i := range z.Data {
+		z.Data[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 512*4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stack32.MahalanobisInto(dst, z)
+	}
+}

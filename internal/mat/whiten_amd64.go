@@ -1,4 +1,4 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package mat
 
@@ -24,6 +24,8 @@ func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv0() (eax, edx uint32)
 
 func whitenQuadAVX(q, tile, w, mtil *float64, d int)
+
+func whitenQuadAVX32(q *float64, tile, w, mtil *float32, d int)
 
 // detectAVX2FMA reports whether the CPU and OS support the AVX2+FMA kernel:
 // CPUID.1:ECX advertises FMA, AVX and OSXSAVE; XCR0 confirms the OS saves
@@ -56,4 +58,19 @@ func whitenQuadTile(q *[whitenLanes]float64, tile, w, mtil []float64, d int) {
 		return
 	}
 	whitenQuadTileGo(q, tile, w, mtil, d)
+}
+
+// whitenQuadTile32 dispatches one 16-lane float32 tile against one factor.
+// Gated by the same whitenUseAVX selection: the f32 kernel needs exactly the
+// AVX2+FMA feature set the f64 kernel does.
+func whitenQuadTile32(q *[whitenLanes32]float64, tile, w, mtil []float32, d int) {
+	if d == 0 {
+		*q = [whitenLanes32]float64{}
+		return
+	}
+	if whitenUseAVX {
+		whitenQuadAVX32(&q[0], &tile[0], &w[0], &mtil[0], d)
+		return
+	}
+	whitenQuadTile32Go(q, tile, w, mtil, d)
 }

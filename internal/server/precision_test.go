@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"faction/internal/data"
+	"faction/internal/gda"
+	"faction/internal/nn"
+)
+
+// precisionFixture is snapshotFixture with an explicit density scoring
+// precision, so cross-precision fleet scenarios can pair donors and laggards
+// that disagree.
+func precisionFixture(t *testing.T, token string, prec gda.Precision) (*Server, *httptest.Server, *data.Stream) {
+	t.Helper()
+	stream := data.NYSF(data.StreamConfig{Seed: 4, SamplesPerTask: 200})
+	train := stream.Tasks[0].Pool
+	model := nn.NewClassifier(nn.Config{InputDim: stream.Dim, NumClasses: 2, Hidden: []int{16}, Seed: 4})
+	rng := rand.New(rand.NewSource(4))
+	model.Train(train.Matrix(), train.Labels(), train.Sensitive(), nn.NewAdam(0.01),
+		nn.TrainOpts{Epochs: 5, BatchSize: 32}, rng)
+	feats := model.Features(train.Matrix())
+	est, err := gda.Fit(feats, train.Labels(), train.Sensitive(), 2, []int{-1, 1}, gda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Model:             model,
+		Density:           est,
+		TrainLogDensities: est.TrainLogDensities,
+		SnapshotToken:     token,
+		ScorePrecision:    prec,
+		Online:            OnlineConfig{Enabled: true, Epochs: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	return s, ts, stream
+}
+
+// /info advertises the configured scoring precision whenever a density is
+// served, so operators (and the router) can see which kernel a replica runs
+// without decoding a snapshot.
+func TestInfoReportsScorePrecision(t *testing.T) {
+	for _, tc := range []struct {
+		prec gda.Precision
+		want string
+	}{
+		{gda.PrecisionF64, "f64"},
+		{gda.PrecisionF32, "f32"},
+	} {
+		_, ts, _ := precisionFixture(t, testSnapToken, tc.prec)
+		resp, err := http.Get(ts.URL + "/info")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info struct {
+			ScorePrecision string `json:"scorePrecision"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if info.ScorePrecision != tc.want {
+			t.Fatalf("/info scorePrecision = %q, want %q", info.ScorePrecision, tc.want)
+		}
+	}
+}
+
+// A snapshot whose density was exported at one precision must never install
+// onto a replica configured for the other: the payloads carry different
+// component encodings, and a silent reinterpretation would fork the fleet's
+// bit-determinism. Both directions are refused with 422 and a reason naming
+// both precisions.
+func TestSnapshotInstallRejectsCrossPrecision(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		donor    gda.Precision
+		receiver gda.Precision
+	}{
+		{"f32 envelope onto f64 replica", gda.PrecisionF32, gda.PrecisionF64},
+		{"f64 envelope onto f32 replica", gda.PrecisionF64, gda.PrecisionF32},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, donorTS, stream := precisionFixture(t, testSnapToken, tc.donor)
+			lag, lagTS, _ := precisionFixture(t, testSnapToken, tc.receiver)
+			refitOnce(t, donorTS, stream)
+
+			envelope, _ := fetchSnapshot(t, donorTS.URL, testSnapToken)
+			resp, body := installSnapshot(t, lagTS.URL, testSnapToken, envelope)
+			if resp.StatusCode != http.StatusUnprocessableEntity {
+				t.Fatalf("cross-precision install: %d %s, want 422", resp.StatusCode, body)
+			}
+			reason := string(body)
+			if !strings.Contains(reason, tc.donor.String()) || !strings.Contains(reason, tc.receiver.String()) {
+				t.Fatalf("422 reason %q does not name both precisions %s/%s", reason, tc.donor, tc.receiver)
+			}
+			if !strings.Contains(reason, "cross-precision") {
+				t.Fatalf("422 reason %q does not explain the cross-precision refusal", reason)
+			}
+			// The refused install must leave the replica untouched.
+			if got := lag.Generation(); got != 0 {
+				t.Fatalf("laggard generation %d after refused install, want 0", got)
+			}
+		})
+	}
+}
+
+// Same-precision f32 fleets still round-trip: an f32 donor's snapshot installs
+// onto an f32 laggard, the installed estimator reports f32, and both replicas
+// answer an identical /predict identically afterwards.
+func TestSnapshotF32RoundTrip(t *testing.T) {
+	donor, donorTS, stream := precisionFixture(t, testSnapToken, gda.PrecisionF32)
+	lag, lagTS, _ := precisionFixture(t, testSnapToken, gda.PrecisionF32)
+	refitOnce(t, donorTS, stream)
+	if got := donor.cfg.Density.Precision(); got != gda.PrecisionF32 {
+		t.Fatalf("donor density precision after refit = %s, want f32", got)
+	}
+
+	envelope, _ := fetchSnapshot(t, donorTS.URL, testSnapToken)
+	resp, body := installSnapshot(t, lagTS.URL, testSnapToken, envelope)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("f32 install: %d %s", resp.StatusCode, body)
+	}
+	var ir installResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Generation != 1 || !ir.HasDensity {
+		t.Fatalf("install response %+v", ir)
+	}
+	if got := lag.cfg.Density.Precision(); got != gda.PrecisionF32 {
+		t.Fatalf("installed density precision = %s, want f32", got)
+	}
+
+	probe := instancesRequest{Instances: [][]float64{stream.Tasks[8].Pool.Samples[0].X}}
+	_, donorAns := postJSON(t, donorTS.URL+"/predict", probe)
+	_, lagAns := postJSON(t, lagTS.URL+"/predict", probe)
+	if !bytes.Equal(donorAns, lagAns) {
+		t.Fatalf("post-install predictions diverge:\n donor: %s\n lag:   %s", donorAns, lagAns)
+	}
+}
